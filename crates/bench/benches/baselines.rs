@@ -1,0 +1,48 @@
+//! Baseline coloring algorithms on an explicit dense graph (the
+//! competitors of Tables III–IV): sequential greedy orderings,
+//! Jones–Plassmann, speculative parallel — plus Picasso on the same graph
+//! through a CSR edge oracle, for a like-for-like comparison.
+
+use coloring::{colpack_color, jones_plassmann_ldf, speculative_parallel, OrderingHeuristic};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::gen::erdos_renyi;
+use picasso::{Picasso, PicassoConfig};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    // ~50% density: the regime the paper targets.
+    let g = erdos_renyi(2000, 0.5, 11);
+    let mut group = c.benchmark_group("baselines_er2000_d50");
+    group.sample_size(10);
+
+    for h in [
+        OrderingHeuristic::LargestFirst,
+        OrderingHeuristic::SmallestLast,
+        OrderingHeuristic::DynamicLargestFirst,
+        OrderingHeuristic::IncidenceDegree,
+    ] {
+        group.bench_function(BenchmarkId::new("greedy", h.label()), |b| {
+            b.iter(|| black_box(colpack_color(&g, h, 0).num_colors))
+        });
+    }
+    group.bench_function("jones_plassmann_ldf", |b| {
+        b.iter(|| black_box(jones_plassmann_ldf(&g, 1).num_colors))
+    });
+    group.bench_function("speculative_parallel", |b| {
+        b.iter(|| black_box(speculative_parallel(&g, 1).num_colors))
+    });
+    group.bench_function("picasso_on_csr_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                Picasso::new(PicassoConfig::normal(1))
+                    .solve_oracle(&g)
+                    .unwrap()
+                    .num_colors,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Conflict-graph construction backends: sequential vs rayon-parallel vs
+//! simulated device (Algorithm 3) — the Table V microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use device::DeviceSim;
+use pauli::EncodedSet;
+use picasso::conflict::{build_device, build_parallel, build_sequential};
+use picasso::{ColorLists, PauliComplementOracle, PicassoConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn setup(n: usize) -> (EncodedSet, ColorLists) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let strings = pauli::string::random_unique_set(n, 16, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let cfg = PicassoConfig::normal(1);
+    let lists = ColorLists::assign(n, 0, cfg.palette_size(n), cfg.list_size(n), 1, 1);
+    (set, lists)
+}
+
+fn bench_conflict(c: &mut Criterion) {
+    for &n in &[512usize, 2048] {
+        let (set, lists) = setup(n);
+        let oracle = PauliComplementOracle::new(&set);
+        let pairs = (n * (n - 1) / 2) as u64;
+        let mut group = c.benchmark_group(format!("conflict_build_n{n}"));
+        group.throughput(Throughput::Elements(pairs));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| black_box(build_sequential(&oracle, &lists).num_edges))
+        });
+        group.bench_function(BenchmarkId::new("parallel", n), |b| {
+            b.iter(|| black_box(build_parallel(&oracle, &lists).num_edges))
+        });
+        group.bench_function(BenchmarkId::new("device", n), |b| {
+            b.iter(|| {
+                let dev = DeviceSim::new(256 * 1024 * 1024);
+                black_box(build_device(&oracle, &lists, &dev, 16).unwrap().num_edges)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conflict);
+criterion_main!(benches);

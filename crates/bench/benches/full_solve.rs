@@ -1,0 +1,53 @@
+//! End-to-end Picasso solves: Normal vs Aggressive configurations on a
+//! scaled molecular instance (the Fig. 3 pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pauli::EncodedSet;
+use picasso::{Picasso, PicassoConfig};
+use qchem::MoleculeSpec;
+use std::hint::black_box;
+
+fn bench_full_solve(c: &mut Criterion) {
+    let spec = MoleculeSpec::by_name("H6 2D sto3g").unwrap();
+    let strings = spec.generate(0.05, 1); // ~907 vertices
+    let set = EncodedSet::from_strings(&strings);
+
+    let mut group = c.benchmark_group("full_solve_h6_2d_sto3g");
+    group.sample_size(10);
+    group.bench_function("normal_12.5pct_a2", |b| {
+        b.iter(|| {
+            black_box(
+                Picasso::new(PicassoConfig::normal(1))
+                    .solve_pauli(&set)
+                    .unwrap()
+                    .num_colors,
+            )
+        })
+    });
+    group.bench_function("aggressive_3pct_a30", |b| {
+        b.iter(|| {
+            black_box(
+                Picasso::new(PicassoConfig::aggressive(1))
+                    .solve_pauli(&set)
+                    .unwrap()
+                    .num_colors,
+            )
+        })
+    });
+    group.bench_function("sequential_backend", |b| {
+        b.iter(|| {
+            black_box(
+                Picasso::new(
+                    PicassoConfig::normal(1).with_backend(picasso::ConflictBackend::Sequential),
+                )
+                .solve_pauli(&set)
+                .unwrap()
+                .num_colors,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_solve);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Algorithm 2 (dynamic bucket greedy) vs static-order list coloring of a
+//! realistic conflict graph — the §IV-B scheme comparison.
+
+use coloring::OrderingHeuristic;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pauli::EncodedSet;
+use picasso::conflict::build_parallel;
+use picasso::listcolor::{greedy_list_color, static_list_color};
+use picasso::{ColorLists, PauliComplementOracle, PicassoConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_list_coloring(c: &mut Criterion) {
+    let n = 3000;
+    let mut rng = StdRng::seed_from_u64(3);
+    let strings = pauli::string::random_unique_set(n, 14, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let oracle = PauliComplementOracle::new(&set);
+    let cfg = PicassoConfig::normal(1);
+    let lists = ColorLists::assign(n, 0, cfg.palette_size(n), cfg.list_size(n), 1, 1);
+    let build = build_parallel(&oracle, &lists);
+    let gc = build.graph;
+    let active: Vec<u32> = (0..n as u32)
+        .filter(|&v| gc.degree(v as usize) > 0)
+        .collect();
+
+    let mut group = c.benchmark_group("conflict_list_coloring");
+    group.sample_size(20);
+    group.bench_function("dynamic_bucket_greedy", |b| {
+        b.iter(|| black_box(greedy_list_color(&gc, &lists, &active, 9).assigned.len()))
+    });
+    for h in [
+        OrderingHeuristic::Natural,
+        OrderingHeuristic::LargestFirst,
+        OrderingHeuristic::SmallestLast,
+    ] {
+        group.bench_function(BenchmarkId::new("static", h.label()), |b| {
+            b.iter(|| black_box(static_list_color(&gc, &lists, &active, h, 9).assigned.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_coloring);
+criterion_main!(benches);

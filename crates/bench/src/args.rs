@@ -1,0 +1,122 @@
+//! Shared CLI configuration for the experiment binaries.
+
+use qchem::{MoleculeSpec, Tier};
+use std::path::PathBuf;
+
+/// Parsed harness options.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Uniform scale override (`--scale`); when set, every tier uses it.
+    pub uniform_scale: Option<f64>,
+    /// Scale for the small tier (default 1/32).
+    pub scale_small: f64,
+    /// Scale for the medium tier (default 1/64).
+    pub scale_medium: f64,
+    /// Scale for the large tier (default 1/128).
+    pub scale_large: f64,
+    /// Number of seeds averaged (the paper averages 5 runs).
+    pub seeds: u64,
+    /// Simulated device capacity in bytes (`--capacity`).
+    pub device_capacity: usize,
+    /// Output directory for CSV artifacts (`--out`).
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> HarnessConfig {
+        HarnessConfig {
+            uniform_scale: None,
+            scale_small: 1.0 / 32.0,
+            scale_medium: 1.0 / 64.0,
+            scale_large: 1.0 / 128.0,
+            seeds: 5,
+            device_capacity: device::presets::SCALED_DEFAULT,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parses `std::env::args()`, falling back to defaults. Unknown flags
+    /// abort with a usage message.
+    pub fn from_env() -> HarnessConfig {
+        let mut cfg = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_value = |i: usize| -> &str {
+                args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cfg.uniform_scale = Some(need_value(i).parse().expect("bad --scale"));
+                    i += 2;
+                }
+                "--seeds" => {
+                    cfg.seeds = need_value(i).parse().expect("bad --seeds");
+                    i += 2;
+                }
+                "--capacity" => {
+                    cfg.device_capacity = need_value(i).parse().expect("bad --capacity");
+                    i += 2;
+                }
+                "--out" => {
+                    cfg.out_dir = PathBuf::from(need_value(i));
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --scale F | --seeds N | --capacity BYTES | --out DIR");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        std::fs::create_dir_all(&cfg.out_dir).ok();
+        cfg
+    }
+
+    /// The scale used for a given instance.
+    pub fn scale_for(&self, spec: &MoleculeSpec) -> f64 {
+        if let Some(s) = self.uniform_scale {
+            return s;
+        }
+        match spec.tier() {
+            Tier::Small => self.scale_small,
+            Tier::Medium => self.scale_medium,
+            Tier::Large => self.scale_large,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_tiered() {
+        let cfg = HarnessConfig::default();
+        let small = MoleculeSpec::by_name("H6 3D sto3g").unwrap();
+        let medium = MoleculeSpec::by_name("H8 2D sto3g").unwrap();
+        let large = MoleculeSpec::by_name("H10 1D sto3g").unwrap();
+        assert_eq!(cfg.scale_for(small), 1.0 / 32.0);
+        assert_eq!(cfg.scale_for(medium), 1.0 / 64.0);
+        assert_eq!(cfg.scale_for(large), 1.0 / 128.0);
+    }
+
+    #[test]
+    fn uniform_override_wins() {
+        let cfg = HarnessConfig {
+            uniform_scale: Some(0.01),
+            ..HarnessConfig::default()
+        };
+        for spec in &qchem::TABLE2 {
+            assert_eq!(cfg.scale_for(spec), 0.01);
+        }
+    }
+}

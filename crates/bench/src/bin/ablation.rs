@@ -1,0 +1,10 @@
+//! Runs the design-choice ablations (log base, coloring scheme, oracle
+//! encoding).
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+fn main() {
+    let cfg = bench_harness::HarnessConfig::from_env();
+    bench_harness::exp_ablation::run(&cfg).print();
+}

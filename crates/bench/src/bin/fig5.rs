@@ -1,0 +1,9 @@
+//! Regenerates Fig5 of the paper.
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+fn main() {
+    let cfg = bench_harness::HarnessConfig::from_env();
+    bench_harness::exp_fig5::run(&cfg).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates the Section VI predictor evaluation.
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+fn main() {
+    let cfg = bench_harness::HarnessConfig::from_env();
+    bench_harness::exp_predictor::run(&cfg).print();
+}

@@ -1,0 +1,22 @@
+//! Runs the entire experiment suite (every table and figure) in order.
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+use std::time::Instant;
+
+fn main() {
+    let cfg = bench_harness::HarnessConfig::from_env();
+    let t = Instant::now();
+    bench_harness::exp_table2::run(&cfg).print();
+    bench_harness::exp_table3::run(&cfg).print();
+    bench_harness::exp_table4::run(&cfg).print();
+    bench_harness::exp_table5::run(&cfg).print();
+    bench_harness::exp_fig2::run(&cfg).print();
+    bench_harness::exp_fig3::run(&cfg).print();
+    bench_harness::exp_fig4::run(&cfg).print();
+    bench_harness::exp_fig5::run(&cfg).print();
+    bench_harness::exp_predictor::run(&cfg).print();
+    bench_harness::exp_ablation::run(&cfg).print();
+    println!("full suite completed in {:.1}s", t.elapsed().as_secs_f64());
+}

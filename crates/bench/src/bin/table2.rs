@@ -1,0 +1,9 @@
+//! Regenerates Table II (dataset census).
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+fn main() {
+    let cfg = bench_harness::HarnessConfig::from_env();
+    bench_harness::exp_table2::run(&cfg).print();
+}

@@ -1,0 +1,93 @@
+//! Fig. 4: colors / memory / time relative to the ECL-GC-family baseline
+//! while varying Picasso's palette size (α = 4.5 fixed).
+//!
+//! The paper's five instances (H6 2D sto3g … H4 1D 631g), P swept over
+//! {1, 5, 10, 15} %, plus the Kokkos-family point. All three metrics are
+//! normalized to ECL-GC ( = 1.0). Requires the tracking allocator for
+//! the memory column.
+
+use crate::args::HarnessConfig;
+use crate::datasets::{materialize_complement, Instance};
+use crate::report::{fnum, Table};
+use coloring::{jones_plassmann_ldf, speculative_parallel};
+use memtrack::PeakRegion;
+use picasso::{Picasso, PicassoConfig};
+use qchem::MoleculeSpec;
+use std::time::Instant;
+
+/// The five instances shown in the paper's Fig. 4.
+pub const FIG4_INSTANCES: [&str; 5] = [
+    "H6 2D sto3g",
+    "H6 1D sto3g",
+    "H4 2D 631g",
+    "H4 3D 631g",
+    "H4 1D 631g",
+];
+
+/// The palette sweep of Fig. 4.
+pub const FIG4_PALETTES: [f64; 4] = [0.01, 0.05, 0.10, 0.15];
+
+struct Measured {
+    colors: f64,
+    mem_mib: f64,
+    secs: f64,
+}
+
+fn measure<F: FnOnce() -> u32>(f: F) -> Measured {
+    let region = PeakRegion::start();
+    let t = Instant::now();
+    let colors = f();
+    Measured {
+        colors: colors as f64,
+        mem_mib: region.peak_bytes() as f64 / (1024.0 * 1024.0),
+        secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the relative comparison.
+pub fn run(cfg: &HarnessConfig) -> Table {
+    let mut table = Table::new(
+        "Fig. 4: relative to ECL-GC* (colors / memory / time); alpha = 4.5",
+        &["Problem", "Config", "RelColors", "RelMemory", "RelTime"],
+    );
+    for name in FIG4_INSTANCES {
+        let spec = MoleculeSpec::by_name(name).expect("known instance");
+        let inst = Instance::generate(spec, cfg, 1);
+
+        // Baseline: JP (ECL-GC family), graph load included.
+        let ecl = measure(|| {
+            let g = materialize_complement(&inst.set);
+            jones_plassmann_ldf(&g, 1).num_colors
+        });
+        // Kokkos-family point.
+        let kokkos = measure(|| {
+            let g = materialize_complement(&inst.set);
+            speculative_parallel(&g, 1).num_colors
+        });
+        let mut configs: Vec<(String, Measured)> = vec![("Kokkos-EB*".into(), kokkos)];
+        for p in FIG4_PALETTES {
+            let m = measure(|| {
+                Picasso::new(
+                    PicassoConfig::normal(1)
+                        .with_palette_fraction(p)
+                        .with_alpha(4.5),
+                )
+                .solve_pauli(&inst.set)
+                .expect("solve")
+                .num_colors
+            });
+            configs.push((format!("Picasso P={}%", p * 100.0), m));
+        }
+        for (label, m) in configs {
+            table.push_row(vec![
+                name.to_string(),
+                label,
+                fnum(m.colors / ecl.colors.max(1.0), 3),
+                fnum(m.mem_mib / ecl.mem_mib.max(1e-9), 3),
+                fnum(m.secs / ecl.secs.max(1e-9), 3),
+            ]);
+        }
+    }
+    table.write_csv(&cfg.out_dir.join("fig4.csv")).ok();
+    table
+}

@@ -1,0 +1,106 @@
+//! Fig. 5: the (P, α) sensitivity heatmaps on the representative input
+//! (H4 2D 6311g): final colors %, maximum conflict-edge %, total time.
+
+use crate::args::HarnessConfig;
+use crate::datasets::Instance;
+use crate::report::{fnum, Table};
+use picasso::{grid_sweep, PicassoConfig};
+use qchem::MoleculeSpec;
+
+/// The grids of Fig. 5 (percent palette sizes, alphas).
+pub const FIG5_PALETTES: [f64; 5] = [0.01, 0.05, 0.10, 0.15, 0.20];
+/// α axis of the heatmap.
+pub const FIG5_ALPHAS: [f64; 5] = [0.5, 1.5, 2.5, 3.5, 4.5];
+
+/// Runs the sweep; emits one row per grid point and three heat matrices.
+pub fn run(cfg: &HarnessConfig) -> Table {
+    let spec = MoleculeSpec::by_name("H4 2D 6311g").expect("representative input");
+    let inst = Instance::generate(spec, cfg, 1);
+    let n = inst.num_vertices() as f64;
+    let counts = inst.edge_counts();
+    let points = grid_sweep(
+        &inst.set,
+        &FIG5_PALETTES,
+        &FIG5_ALPHAS,
+        PicassoConfig::normal(1),
+    )
+    .expect("sweep");
+
+    let mut table = Table::new(
+        format!(
+            "Fig. 5: P x alpha sensitivity on {} (|V|={})",
+            spec.name,
+            inst.num_vertices()
+        ),
+        &["P%", "alpha", "Colors%", "MaxEc%", "Time(s)", "Iters"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            fnum(p.palette_fraction * 100.0, 1),
+            fnum(p.alpha, 1),
+            fnum(100.0 * p.num_colors as f64 / n, 2),
+            fnum(
+                100.0 * p.max_conflict_edges as f64 / counts.complement.max(1) as f64,
+                2,
+            ),
+            fnum(p.total_secs, 3),
+            p.iterations.to_string(),
+        ]);
+    }
+    table.write_csv(&cfg.out_dir.join("fig5.csv")).ok();
+
+    // Render the three heat matrices like the paper's panels.
+    for (title, col) in [
+        ("Final Colors (%)", 2usize),
+        ("Max |Ec| (%)", 3),
+        ("Total Time (s)", 4),
+    ] {
+        println!("-- {title} (rows = alpha, cols = P%) --");
+        print!("{:>6}", "");
+        for p in FIG5_PALETTES {
+            print!("{:>8}", fnum(p * 100.0, 1));
+        }
+        println!();
+        for (ai, a) in FIG5_ALPHAS.iter().enumerate() {
+            print!("{:>6}", fnum(*a, 1));
+            for (pi, _) in FIG5_PALETTES.iter().enumerate() {
+                let row = &table.rows[pi * FIG5_ALPHAS.len() + ai];
+                print!("{:>8}", row[col]);
+            }
+            println!();
+        }
+        println!();
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_shape_matches_paper() {
+        let cfg = HarnessConfig {
+            uniform_scale: Some(0.004),
+            out_dir: std::env::temp_dir().join("picasso_f5_test"),
+            ..HarnessConfig::default()
+        };
+        std::fs::create_dir_all(&cfg.out_dir).ok();
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 25);
+        // Shape check: at fixed alpha=4.5 the smallest palette must give
+        // the fewest colors (paper: "smaller P ... lower number of final
+        // colors at the cost of extra work").
+        let colors_at = |p_idx: usize, a_idx: usize| -> f64 {
+            t.rows[p_idx * FIG5_ALPHAS.len() + a_idx][2]
+                .parse()
+                .unwrap()
+        };
+        let small_p = colors_at(0, 4);
+        let large_p = colors_at(4, 4);
+        assert!(
+            small_p <= large_p + 1e-9,
+            "P=1% gave {small_p}%, P=20% gave {large_p}%"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Table IV: peak-memory comparison on the small tier.
+//!
+//! Every baseline's measured region *includes* materializing the full
+//! complement graph (they cannot run without it); Picasso's region is the
+//! bare solve — it never builds the graph. This is the paper's central
+//! memory contrast. Requires the binary to install
+//! [`memtrack::TrackingAllocator`].
+
+use crate::args::HarnessConfig;
+use crate::datasets::{materialize_complement, small_instances, Instance};
+use crate::report::{fnum, Table};
+use coloring::{colpack_color, jones_plassmann_ldf, speculative_parallel, OrderingHeuristic};
+use memtrack::PeakRegion;
+use picasso::{Picasso, PicassoConfig};
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn peak_of<F: FnOnce()>(f: F) -> f64 {
+    let region = PeakRegion::start();
+    f();
+    region.peak_bytes() as f64 / MIB
+}
+
+/// Measures one instance; returns (colpack, norm, aggr, kokkos, ecl) peak
+/// MiB.
+fn measure(inst: &Instance) -> [f64; 5] {
+    let colpack = peak_of(|| {
+        let g = materialize_complement(&inst.set);
+        let r = colpack_color(&g, OrderingHeuristic::DynamicLargestFirst, 0);
+        std::hint::black_box(r.num_colors);
+    });
+    let norm = peak_of(|| {
+        let r = Picasso::new(PicassoConfig::normal(1))
+            .solve_pauli(&inst.set)
+            .unwrap();
+        std::hint::black_box(r.num_colors);
+    });
+    let aggr = peak_of(|| {
+        let r = Picasso::new(PicassoConfig::aggressive(1))
+            .solve_pauli(&inst.set)
+            .unwrap();
+        std::hint::black_box(r.num_colors);
+    });
+    let kokkos = peak_of(|| {
+        let g = materialize_complement(&inst.set);
+        let r = speculative_parallel(&g, 1);
+        std::hint::black_box(r.num_colors);
+    });
+    let ecl = peak_of(|| {
+        let g = materialize_complement(&inst.set);
+        let r = jones_plassmann_ldf(&g, 1);
+        std::hint::black_box(r.num_colors);
+    });
+    [colpack, norm, aggr, kokkos, ecl]
+}
+
+/// Runs the memory comparison.
+pub fn run(cfg: &HarnessConfig) -> Table {
+    let mut table = Table::new(
+        "Table IV: peak heap memory in MiB (baselines include graph materialization)",
+        &[
+            "Problem",
+            "|V|",
+            "ColPack",
+            "Pic-Norm",
+            "Pic-Aggr",
+            "Kokkos-EB*",
+            "ECL-GC*",
+            "ColPack/Norm",
+        ],
+    );
+    if memtrack::total_allocations() == 0 {
+        eprintln!("warning: tracking allocator not installed; table4 will read all zeros");
+    }
+    for inst in small_instances(cfg, 1) {
+        let [colpack, norm, aggr, kokkos, ecl] = measure(&inst);
+        let ratio = if norm > 0.0 { colpack / norm } else { 0.0 };
+        table.push_row(vec![
+            inst.spec.name.to_string(),
+            inst.num_vertices().to_string(),
+            fnum(colpack, 2),
+            fnum(norm, 2),
+            fnum(aggr, 2),
+            fnum(kokkos, 2),
+            fnum(ecl, 2),
+            fnum(ratio, 1),
+        ]);
+    }
+    table.write_csv(&cfg.out_dir.join("table4.csv")).ok();
+    table
+}

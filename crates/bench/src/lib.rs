@@ -1,0 +1,37 @@
+//! Experiment harness regenerating every table and figure of the Picasso
+//! paper (§VII), at laptop scale.
+//!
+//! Each `tableN` / `figN` binary is a thin wrapper over the matching
+//! `exp_*` module here, so `run_all` can execute the full suite in one
+//! process. Shared infrastructure:
+//!
+//! * [`args`] — common CLI flags (`--scale`, `--seeds`, `--capacity`,
+//!   `--out`),
+//! * [`datasets`] — scaled Table II instance generation and caching,
+//! * [`report`] — aligned-text + CSV table output.
+//!
+//! ## Scaling
+//!
+//! The paper runs on a 64-core EPYC + 40 GB A100; instances reach 2.1 M
+//! vertices and 1.1 T edges. The harness shrinks every instance by a
+//! per-tier factor (small 1/32, medium 1/64, large 1/128 by default;
+//! `--scale F` forces one uniform factor) and shrinks the simulated
+//! device with them. Shape conclusions (who wins, memory ratios, where
+//! the capacity line bites) are preserved; absolute numbers are not
+//! comparable and EXPERIMENTS.md reports them side by side.
+
+pub mod args;
+pub mod datasets;
+pub mod exp_ablation;
+pub mod exp_fig2;
+pub mod exp_fig3;
+pub mod exp_fig4;
+pub mod exp_fig5;
+pub mod exp_predictor;
+pub mod exp_table2;
+pub mod exp_table3;
+pub mod exp_table4;
+pub mod exp_table5;
+pub mod report;
+
+pub use args::HarnessConfig;

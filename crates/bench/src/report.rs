@@ -1,0 +1,147 @@
+//! Aligned-text and CSV table output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple experiment results table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table caption (printed above the rows).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with fixed precision, trimming `-0.00`.
+pub fn fnum(v: f64, decimals: usize) -> String {
+    let s = format!("{v:.decimals$}");
+    if s.starts_with("-0.") && (s[1..].parse::<f64>() == Ok(0.0)) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Geometric mean of positive values; 0 for empty input.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["hello, world".into()]);
+        let dir = std::env::temp_dir().join("picasso_report_test.csv");
+        t.write_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.contains("\"hello, world\""));
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn geo_mean_known() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[rustfmt::skip]
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+    }
+}

@@ -1,0 +1,301 @@
+//! ColPack-style vertex ordering heuristics.
+//!
+//! Greedy first-fit coloring quality is determined by the visit order;
+//! these are the four orderings of Table III (LF, SL, DLF, ID) plus
+//! Natural and Random. See Gebremedhin, Manne & Pothen, *What Color Is
+//! Your Jacobian?* (SIAM Review 2005) for the definitions.
+
+use graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The ordering heuristics evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderingHeuristic {
+    /// Vertex id order.
+    Natural,
+    /// Uniformly random permutation.
+    Random,
+    /// Largest (static) degree first — "LF".
+    LargestFirst,
+    /// Smallest degree last (degeneracy order) — "SL".
+    SmallestLast,
+    /// Dynamic largest degree first — "DLF".
+    DynamicLargestFirst,
+    /// Incidence degree (most already-ordered neighbors first) — "ID".
+    IncidenceDegree,
+}
+
+impl OrderingHeuristic {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderingHeuristic::Natural => "NAT",
+            OrderingHeuristic::Random => "RND",
+            OrderingHeuristic::LargestFirst => "LF",
+            OrderingHeuristic::SmallestLast => "SL",
+            OrderingHeuristic::DynamicLargestFirst => "DLF",
+            OrderingHeuristic::IncidenceDegree => "ID",
+        }
+    }
+
+    /// Computes the visit order for `g`. `seed` only affects `Random`.
+    pub fn order(self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+        match self {
+            OrderingHeuristic::Natural => (0..g.num_vertices() as u32).collect(),
+            OrderingHeuristic::Random => {
+                let mut order: Vec<u32> = (0..g.num_vertices() as u32).collect();
+                order.shuffle(&mut StdRng::seed_from_u64(seed));
+                order
+            }
+            OrderingHeuristic::LargestFirst => largest_first(g),
+            OrderingHeuristic::SmallestLast => smallest_last(g),
+            OrderingHeuristic::DynamicLargestFirst => dynamic_largest_first(g),
+            OrderingHeuristic::IncidenceDegree => incidence_degree(g),
+        }
+    }
+}
+
+/// Sort by static degree, descending; ties by id for determinism.
+fn largest_first(g: &CsrGraph) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v as usize)), v));
+    order
+}
+
+/// A bucket priority structure over small integer keys with O(1)
+/// re-keying, shared by the SL / DLF / ID orderings (and conceptually the
+/// same machinery as Algorithm 2's list-size buckets).
+struct BucketQueue {
+    buckets: Vec<Vec<u32>>,
+    /// Position of each vertex inside its bucket, for O(1) removal.
+    pos: Vec<u32>,
+    key: Vec<u32>,
+    present: Vec<bool>,
+    len: usize,
+}
+
+impl BucketQueue {
+    fn new(keys: Vec<u32>, max_key: usize) -> BucketQueue {
+        let n = keys.len();
+        let mut buckets = vec![Vec::new(); max_key + 1];
+        let mut pos = vec![0u32; n];
+        for (v, &k) in keys.iter().enumerate() {
+            pos[v] = buckets[k as usize].len() as u32;
+            buckets[k as usize].push(v as u32);
+        }
+        BucketQueue {
+            buckets,
+            pos,
+            key: keys,
+            present: vec![true; n],
+            len: n,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes and returns a vertex with minimum key.
+    fn pop_min(&mut self) -> u32 {
+        let k = self
+            .buckets
+            .iter()
+            .position(|b| !b.is_empty())
+            .expect("pop from empty queue");
+        let v = self.buckets[k][0];
+        self.remove(v);
+        v
+    }
+
+    /// Removes and returns a vertex with maximum key.
+    fn pop_max(&mut self) -> u32 {
+        let k = self
+            .buckets
+            .iter()
+            .rposition(|b| !b.is_empty())
+            .expect("pop from empty queue");
+        let v = self.buckets[k][0];
+        self.remove(v);
+        v
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.present[v as usize]
+    }
+
+    fn remove(&mut self, v: u32) {
+        debug_assert!(self.present[v as usize]);
+        let k = self.key[v as usize] as usize;
+        let p = self.pos[v as usize] as usize;
+        let bucket = &mut self.buckets[k];
+        let last = *bucket.last().unwrap();
+        bucket[p] = last;
+        self.pos[last as usize] = p as u32;
+        bucket.pop();
+        self.present[v as usize] = false;
+        self.len -= 1;
+    }
+
+    fn change_key(&mut self, v: u32, new_key: u32) {
+        self.remove(v);
+        self.key[v as usize] = new_key;
+        let p = self.buckets[new_key as usize].len() as u32;
+        self.pos[v as usize] = p;
+        self.buckets[new_key as usize].push(v);
+        self.present[v as usize] = true;
+        self.len += 1;
+    }
+}
+
+/// Smallest Last: repeatedly delete a minimum-degree vertex; the coloring
+/// order is the reverse of deletion (a degeneracy ordering).
+fn smallest_last(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let keys: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+    let mut q = BucketQueue::new(keys, g.max_degree());
+    let mut removal = Vec::with_capacity(n);
+    while !q.is_empty() {
+        let v = q.pop_min();
+        removal.push(v);
+        for &u in g.neighbors(v as usize) {
+            if q.contains(u) {
+                let k = q.key[u as usize];
+                q.change_key(u, k.saturating_sub(1));
+            }
+        }
+    }
+    removal.reverse();
+    removal
+}
+
+/// Dynamic Largest First: repeatedly pick the vertex with the largest
+/// degree in the subgraph induced by the not-yet-ordered vertices.
+fn dynamic_largest_first(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let keys: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+    let mut q = BucketQueue::new(keys, g.max_degree());
+    let mut order = Vec::with_capacity(n);
+    while !q.is_empty() {
+        let v = q.pop_max();
+        order.push(v);
+        for &u in g.neighbors(v as usize) {
+            if q.contains(u) {
+                let k = q.key[u as usize];
+                q.change_key(u, k.saturating_sub(1));
+            }
+        }
+    }
+    order
+}
+
+/// Incidence Degree: repeatedly pick the vertex adjacent to the most
+/// already-ordered vertices (ties resolved arbitrarily within a bucket).
+fn incidence_degree(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let keys = vec![0u32; n];
+    let mut q = BucketQueue::new(keys, g.max_degree());
+    let mut order = Vec::with_capacity(n);
+    while !q.is_empty() {
+        let v = q.pop_max();
+        order.push(v);
+        for &u in g.neighbors(v as usize) {
+            if q.contains(u) {
+                let k = q.key[u as usize];
+                q.change_key(u, k + 1);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen::{complete_graph, erdos_renyi, star_graph};
+
+    fn assert_is_permutation(order: &[u32], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &v in order {
+            assert!(!seen[v as usize], "duplicate vertex {v}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let g = erdos_renyi(80, 0.3, 5);
+        for h in [
+            OrderingHeuristic::Natural,
+            OrderingHeuristic::Random,
+            OrderingHeuristic::LargestFirst,
+            OrderingHeuristic::SmallestLast,
+            OrderingHeuristic::DynamicLargestFirst,
+            OrderingHeuristic::IncidenceDegree,
+        ] {
+            assert_is_permutation(&h.order(&g, 3), 80);
+        }
+    }
+
+    #[test]
+    fn lf_starts_with_max_degree() {
+        let g = star_graph(10);
+        let order = OrderingHeuristic::LargestFirst.order(&g, 0);
+        assert_eq!(order[0], 0, "hub must come first");
+    }
+
+    #[test]
+    fn dlf_starts_with_max_degree() {
+        let g = star_graph(10);
+        let order = OrderingHeuristic::DynamicLargestFirst.order(&g, 0);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn sl_on_star_orders_hub_early() {
+        // Leaves are removed first (degree 1), so reversed order puts the
+        // hub near the front.
+        let g = star_graph(10);
+        let order = OrderingHeuristic::SmallestLast.order(&g, 0);
+        let hub_pos = order.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos <= 1, "hub at position {hub_pos}");
+    }
+
+    #[test]
+    fn orderings_are_deterministic() {
+        let g = erdos_renyi(60, 0.4, 9);
+        for h in [
+            OrderingHeuristic::LargestFirst,
+            OrderingHeuristic::SmallestLast,
+            OrderingHeuristic::DynamicLargestFirst,
+            OrderingHeuristic::IncidenceDegree,
+        ] {
+            assert_eq!(h.order(&g, 1), h.order(&g, 2), "{h:?} must ignore seed");
+        }
+        assert_eq!(
+            OrderingHeuristic::Random.order(&g, 7),
+            OrderingHeuristic::Random.order(&g, 7)
+        );
+        assert_ne!(
+            OrderingHeuristic::Random.order(&g, 7),
+            OrderingHeuristic::Random.order(&g, 8)
+        );
+    }
+
+    #[test]
+    fn complete_graph_any_order_works() {
+        let g = complete_graph(6);
+        for h in [
+            OrderingHeuristic::SmallestLast,
+            OrderingHeuristic::IncidenceDegree,
+        ] {
+            assert_is_permutation(&h.order(&g, 0), 6);
+        }
+    }
+}

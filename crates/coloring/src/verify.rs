@@ -1,0 +1,99 @@
+//! Coloring validity checks.
+
+use crate::UNCOLORED;
+use graph::{CsrGraph, EdgeOracle};
+use rayon::prelude::*;
+
+/// True iff every vertex is colored and no edge is monochromatic.
+pub fn is_valid_coloring(g: &CsrGraph, colors: &[u32]) -> bool {
+    if colors.len() != g.num_vertices() {
+        return false;
+    }
+    (0..g.num_vertices()).into_par_iter().all(|v| {
+        colors[v] != UNCOLORED
+            && g.neighbors(v)
+                .iter()
+                .all(|&u| colors[u as usize] != colors[v])
+    })
+}
+
+/// Number of distinct colors used (ignoring uncolored sentinels).
+pub fn num_colors(colors: &[u32]) -> u32 {
+    let mut used: Vec<u32> = colors.iter().copied().filter(|&c| c != UNCOLORED).collect();
+    used.sort_unstable();
+    used.dedup();
+    used.len() as u32
+}
+
+/// Validates a coloring against an *implicit* graph by exhaustive pair
+/// enumeration (in parallel). Returns the first violating edge found, if
+/// any. This is how Picasso's output is checked without ever building the
+/// graph.
+pub fn validate_oracle_coloring<O: EdgeOracle>(
+    oracle: &O,
+    colors: &[u32],
+) -> Result<(), (usize, usize)> {
+    let n = oracle.num_vertices();
+    if colors.len() != n {
+        return Err((0, 0));
+    }
+    if let Some(v) = colors.iter().position(|&c| c == UNCOLORED) {
+        return Err((v, v));
+    }
+    let bad = (0..n)
+        .into_par_iter()
+        .filter_map(|u| {
+            ((u + 1)..n)
+                .find(|&v| colors[u] == colors[v] && oracle.has_edge(u, v))
+                .map(|v| (u, v))
+        })
+        .find_any(|_| true);
+    match bad {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::gen::{cycle_graph, erdos_renyi};
+    use graph::FnOracle;
+
+    #[test]
+    fn detects_valid_and_invalid() {
+        let g = cycle_graph(4);
+        assert!(is_valid_coloring(&g, &[0, 1, 0, 1]));
+        assert!(!is_valid_coloring(&g, &[0, 0, 1, 1]));
+        assert!(!is_valid_coloring(&g, &[0, 1, 0])); // wrong length
+        assert!(!is_valid_coloring(&g, &[0, 1, 0, UNCOLORED]));
+    }
+
+    #[test]
+    fn num_colors_ignores_sentinels_and_gaps() {
+        assert_eq!(num_colors(&[0, 5, 5, 9]), 3);
+        assert_eq!(num_colors(&[UNCOLORED, 1]), 1);
+        assert_eq!(num_colors(&[]), 0);
+    }
+
+    #[test]
+    fn oracle_validation_matches_explicit() {
+        let g = erdos_renyi(60, 0.4, 3);
+        let r = crate::greedy::colpack_color(&g, crate::OrderingHeuristic::Natural, 0);
+        assert!(validate_oracle_coloring(&g, &r.colors).is_ok());
+        // Breaking one vertex must be caught.
+        let mut broken = r.colors.clone();
+        let v0_neighbor = g.neighbors(0).first().copied();
+        if let Some(u) = v0_neighbor {
+            broken[0] = broken[u as usize];
+            assert!(validate_oracle_coloring(&g, &broken).is_err());
+        }
+    }
+
+    #[test]
+    fn oracle_validation_flags_uncolored() {
+        let o = FnOracle::new(3, |_, _| false);
+        assert!(validate_oracle_coloring(&o, &[0, UNCOLORED, 0]).is_err());
+        assert!(validate_oracle_coloring(&o, &[0, 0, 0]).is_ok());
+    }
+}

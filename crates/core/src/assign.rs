@@ -1,0 +1,222 @@
+//! Random color-list assignment (Line 6 of Algorithm 1).
+//!
+//! Every live vertex receives `L` distinct colors drawn uniformly without
+//! replacement from the iteration's palette `[base, base + P)`. Lists are
+//! stored row-major in one flat array and kept **sorted**, so the
+//! conflict check between two vertices is an `O(L)` sorted-merge
+//! intersection. Assignment is rayon-parallel with per-vertex
+//! deterministic seeding: the result depends only on
+//! `(seed, iteration, vertex)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Flat row-major storage of per-vertex sorted color lists.
+#[derive(Clone, Debug)]
+pub struct ColorLists {
+    n: usize,
+    stride: usize,
+    colors: Vec<u32>,
+}
+
+impl ColorLists {
+    /// Assigns lists for `n` vertices: `list_size` distinct colors each,
+    /// from the palette `[palette_base, palette_base + palette_size)`.
+    ///
+    /// `list_size` is clamped to `palette_size` (a list can at most hold
+    /// the whole palette).
+    pub fn assign(
+        n: usize,
+        palette_base: u32,
+        palette_size: u32,
+        list_size: u32,
+        seed: u64,
+        iteration: u64,
+    ) -> ColorLists {
+        assert!(palette_size >= 1, "palette must be non-empty");
+        let l = list_size.clamp(1, palette_size) as usize;
+        let mut colors = vec![0u32; n * l];
+        colors.par_chunks_mut(l).enumerate().for_each(|(v, row)| {
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ iteration.wrapping_mul(0x9E3779B97F4A7C15)
+                    ^ (v as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
+            );
+            sample_distinct(&mut rng, palette_size, row);
+            for c in row.iter_mut() {
+                *c += palette_base;
+            }
+            row.sort_unstable();
+        });
+        ColorLists {
+            n,
+            stride: l,
+            colors,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when no vertices are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// List length `L` (identical for every vertex).
+    #[inline]
+    pub fn list_size(&self) -> usize {
+        self.stride
+    }
+
+    /// The sorted color list of vertex `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u32] {
+        &self.colors[v * self.stride..(v + 1) * self.stride]
+    }
+
+    /// Whether two vertices share at least one color — the conflict
+    /// predicate of Line 7 (sorted-merge, O(L)).
+    #[inline]
+    pub fn intersects(&self, u: usize, v: usize) -> bool {
+        let a = self.row(u);
+        let b = self.row(v);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Heap bytes held by the flat list array (the `N·L·4`-byte input the
+    /// paper copies to the GPU).
+    pub fn heap_bytes(&self) -> usize {
+        self.colors.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Samples `row.len()` distinct values from `0..palette_size` into `row`
+/// (unsorted).
+///
+/// Sparse lists (`L ≪ P`, the Normal regime) use Floyd's algorithm;
+/// dense lists (`L` a large fraction of `P`, the Aggressive regime where
+/// Floyd's membership probes degenerate to O(L²)) use a partial
+/// Fisher–Yates shuffle, O(P).
+fn sample_distinct<R: Rng>(rng: &mut R, palette_size: u32, row: &mut [u32]) {
+    let l = row.len() as u32;
+    debug_assert!(l <= palette_size);
+    if l == palette_size {
+        for (i, slot) in row.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        return;
+    }
+    if (l as u64) * 4 >= palette_size as u64 {
+        // Dense: partial Fisher–Yates over the whole palette.
+        let mut scratch: Vec<u32> = (0..palette_size).collect();
+        for i in 0..l as usize {
+            let j = rng.random_range(i..palette_size as usize);
+            scratch.swap(i, j);
+        }
+        row.copy_from_slice(&scratch[..l as usize]);
+        return;
+    }
+    // Sparse: Floyd's algorithm, expected O(L) membership probes.
+    let mut chosen: Vec<u32> = Vec::with_capacity(l as usize);
+    for k in (palette_size - l)..palette_size {
+        let t = rng.random_range(0..=k);
+        if chosen.contains(&t) {
+            chosen.push(k);
+        } else {
+            chosen.push(t);
+        }
+    }
+    row.copy_from_slice(&chosen);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_are_sorted_distinct_in_palette() {
+        let lists = ColorLists::assign(100, 50, 40, 8, 7, 1);
+        assert_eq!(lists.len(), 100);
+        assert_eq!(lists.list_size(), 8);
+        for v in 0..100 {
+            let row = lists.row(v);
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {v} not sorted-distinct"
+            );
+            assert!(
+                row.iter().all(|&c| (50..90).contains(&c)),
+                "row {v} out of palette"
+            );
+        }
+    }
+
+    #[test]
+    fn full_palette_when_list_size_exceeds_palette() {
+        let lists = ColorLists::assign(10, 0, 5, 30, 1, 0);
+        assert_eq!(lists.list_size(), 5);
+        for v in 0..10 {
+            assert_eq!(lists.row(v), &[0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_iteration() {
+        let a = ColorLists::assign(50, 0, 100, 10, 3, 2);
+        let b = ColorLists::assign(50, 0, 100, 10, 3, 2);
+        assert_eq!(a.colors, b.colors);
+        let c = ColorLists::assign(50, 0, 100, 10, 3, 3);
+        assert_ne!(a.colors, c.colors, "different iteration must reshuffle");
+        let d = ColorLists::assign(50, 0, 100, 10, 4, 2);
+        assert_ne!(a.colors, d.colors, "different seed must reshuffle");
+    }
+
+    #[test]
+    fn intersects_agrees_with_set_intersection() {
+        let lists = ColorLists::assign(60, 0, 30, 6, 11, 0);
+        for u in 0..60 {
+            for v in 0..60 {
+                let su: std::collections::HashSet<u32> = lists.row(u).iter().copied().collect();
+                let truth = lists.row(v).iter().any(|c| su.contains(c));
+                assert_eq!(lists.intersects(u, v), truth, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn self_intersection_always_true() {
+        let lists = ColorLists::assign(5, 10, 20, 4, 1, 0);
+        for v in 0..5 {
+            assert!(lists.intersects(v, v));
+        }
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        // Each of 20 colors should be picked by roughly L/P of 2000
+        // vertices: expect 2000 * 5/20 = 500 each, allow wide slack.
+        let lists = ColorLists::assign(2000, 0, 20, 5, 99, 0);
+        let mut counts = vec![0usize; 20];
+        for v in 0..2000 {
+            for &c in lists.row(v) {
+                counts[c as usize] += 1;
+            }
+        }
+        for (c, &k) in counts.iter().enumerate() {
+            assert!((350..650).contains(&k), "color {c} count {k} far from 500");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Oracle adapters bridging Pauli sets and live-subset views to the
+//! generic [`graph::EdgeOracle`] the solver consumes.
+
+use graph::EdgeOracle;
+use pauli::AntiCommuteSet;
+
+/// The complement ("compatibility") graph of a Pauli-string set: an edge
+/// joins two strings that do **not** anticommute. This is the graph `G'`
+/// the paper colors — color classes become anticommuting cliques of `G`.
+pub struct PauliComplementOracle<'a, S: AntiCommuteSet> {
+    set: &'a S,
+}
+
+impl<'a, S: AntiCommuteSet> PauliComplementOracle<'a, S> {
+    /// Wraps a Pauli set as its complement graph.
+    pub fn new(set: &'a S) -> Self {
+        PauliComplementOracle { set }
+    }
+}
+
+impl<S: AntiCommuteSet> EdgeOracle for PauliComplementOracle<'_, S> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.set.len()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.set.complement_edge(u, v)
+    }
+}
+
+/// A view of an oracle restricted to a subset of vertices, re-indexed to
+/// `0..live.len()` — the per-iteration subgraph `G_ℓ` of Algorithm 1,
+/// represented without copying anything.
+pub struct LiveView<'a, O: EdgeOracle> {
+    oracle: &'a O,
+    live: &'a [u32],
+}
+
+impl<'a, O: EdgeOracle> LiveView<'a, O> {
+    /// Restricts `oracle` to the vertices in `live` (original ids).
+    pub fn new(oracle: &'a O, live: &'a [u32]) -> Self {
+        debug_assert!(live.iter().all(|&v| (v as usize) < oracle.num_vertices()));
+        LiveView { oracle, live }
+    }
+
+    /// The original id of local vertex `i`.
+    #[inline]
+    pub fn original(&self, i: usize) -> u32 {
+        self.live[i]
+    }
+}
+
+impl<O: EdgeOracle> EdgeOracle for LiveView<'_, O> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.live.len()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.oracle
+            .has_edge(self.live[u] as usize, self.live[v] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::{EncodedSet, PauliString};
+
+    fn sample_set() -> EncodedSet {
+        let strings: Vec<PauliString> = ["XX", "YY", "ZI", "IZ", "XY"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        EncodedSet::from_strings(&strings)
+    }
+
+    #[test]
+    fn complement_oracle_inverts_anticommutation() {
+        let set = sample_set();
+        let oracle = PauliComplementOracle::new(&set);
+        assert_eq!(oracle.num_vertices(), 5);
+        for i in 0..5 {
+            assert!(!oracle.has_edge(i, i));
+            for j in 0..5 {
+                if i != j {
+                    assert_eq!(oracle.has_edge(i, j), !set.anticommutes(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn live_view_reindexes() {
+        let set = sample_set();
+        let oracle = PauliComplementOracle::new(&set);
+        let live = vec![0u32, 2, 4];
+        let view = LiveView::new(&oracle, &live);
+        assert_eq!(view.num_vertices(), 3);
+        assert_eq!(view.original(1), 2);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(
+                    view.has_edge(a, b),
+                    oracle.has_edge(live[a] as usize, live[b] as usize)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! The Picasso iteration driver (Algorithm 1).
+
+use crate::assign::ColorLists;
+use crate::config::{ConflictBackend, ListColoringScheme, PicassoConfig};
+use crate::conflict::{self, ConflictBuild};
+use crate::listcolor;
+use crate::oracle::{LiveView, PauliComplementOracle};
+use coloring::UNCOLORED;
+use device::{DeviceError, DeviceSim, DeviceStats};
+use graph::EdgeOracle;
+use pauli::AntiCommuteSet;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Failure modes of a solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The device backend ran out of memory while building a conflict
+    /// graph — the paper's failure mode for its largest instance.
+    DeviceOom(DeviceError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::DeviceOom(e) => write!(f, "conflict graph build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Per-iteration telemetry (the quantities behind Figs. 2/3/5).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IterationStats {
+    /// 1-based iteration number ℓ.
+    pub iteration: usize,
+    /// Live vertices at iteration start (`|V|` of `G_ℓ`).
+    pub live_vertices: usize,
+    /// Palette size `P_ℓ`.
+    pub palette_size: u32,
+    /// List size `L_ℓ`.
+    pub list_size: u32,
+    /// Conflicted vertices `|Vc|`.
+    pub conflict_vertices: usize,
+    /// Conflict edges `|Ec|`.
+    pub conflict_edges: usize,
+    /// Vertices colored on Line 8 (no conflicts).
+    pub colored_unconflicted: usize,
+    /// Vertices colored by Algorithm 2 / the static scheme.
+    pub colored_in_conflict: usize,
+    /// Vertices left for the next iteration (`|Vu|`).
+    pub uncolored_after: usize,
+    /// Seconds in list assignment (Line 6).
+    pub assign_secs: f64,
+    /// Seconds in conflict-graph construction (Line 7).
+    pub conflict_secs: f64,
+    /// Seconds in coloring (Lines 8–9).
+    pub color_secs: f64,
+    /// Device backend: whether the CSR was assembled on-device.
+    pub csr_on_device: Option<bool>,
+}
+
+/// A completed Picasso run.
+#[derive(Clone, Debug)]
+pub struct PicassoResult {
+    /// Final color of every vertex; colors are globally unique across
+    /// iterations (iteration ℓ draws from `[Σ P_k, Σ P_k + P_ℓ)`).
+    pub colors: Vec<u32>,
+    /// Number of distinct colors used (`C`; the application's unitary
+    /// count).
+    pub num_colors: u32,
+    /// Per-iteration telemetry.
+    pub iterations: Vec<IterationStats>,
+    /// Wall-clock seconds for the whole solve.
+    pub total_secs: f64,
+    /// Device counters, when the device backend was used.
+    pub device_stats: Option<DeviceStats>,
+}
+
+impl PicassoResult {
+    /// Largest `|Ec|` across iterations — the peak transient memory
+    /// driver (numerator of the paper's *Maximum Conflicting Edge
+    /// percentage*).
+    pub fn max_conflict_edges(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|s| s.conflict_edges)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of `|Ec|` over iterations (total conflict work processed).
+    pub fn total_conflict_edges(&self) -> usize {
+        self.iterations.iter().map(|s| s.conflict_edges).sum()
+    }
+
+    /// Total seconds spent in list assignment.
+    pub fn assign_secs(&self) -> f64 {
+        self.iterations.iter().map(|s| s.assign_secs).sum()
+    }
+
+    /// Total seconds spent building conflict graphs.
+    pub fn conflict_secs(&self) -> f64 {
+        self.iterations.iter().map(|s| s.conflict_secs).sum()
+    }
+
+    /// Total seconds spent coloring.
+    pub fn color_secs(&self) -> f64 {
+        self.iterations.iter().map(|s| s.color_secs).sum()
+    }
+
+    /// `C / |V| · 100` — the paper's *Color percentage* (shrinkage of
+    /// Pauli strings into unitaries).
+    pub fn color_percentage(&self) -> f64 {
+        if self.colors.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.num_colors as f64 / self.colors.len() as f64
+    }
+}
+
+/// The Picasso solver. Construct with a [`PicassoConfig`], then call
+/// [`Picasso::solve_pauli`] (quantum workloads) or
+/// [`Picasso::solve_oracle`] (any implicit graph).
+#[derive(Clone, Debug)]
+pub struct Picasso {
+    config: PicassoConfig,
+}
+
+impl Picasso {
+    /// Creates a solver.
+    pub fn new(config: PicassoConfig) -> Picasso {
+        Picasso { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PicassoConfig {
+        &self.config
+    }
+
+    /// Colors the complement graph of a Pauli-string set; color classes
+    /// are anticommuting cliques (the unitary partition).
+    pub fn solve_pauli<S: AntiCommuteSet>(&self, set: &S) -> Result<PicassoResult, SolveError> {
+        let oracle = PauliComplementOracle::new(set);
+        let words_bytes = pauli::encode::words_for(set.num_qubits()) * std::mem::size_of::<u64>();
+        self.solve_inner(&oracle, words_bytes)
+    }
+
+    /// Colors an arbitrary implicit graph given by an edge oracle.
+    pub fn solve_oracle<O: EdgeOracle>(&self, oracle: &O) -> Result<PicassoResult, SolveError> {
+        // Nominal one-word-per-vertex device payload for non-Pauli
+        // oracles.
+        self.solve_inner(oracle, std::mem::size_of::<u64>())
+    }
+
+    fn solve_inner<O: EdgeOracle>(
+        &self,
+        oracle: &O,
+        words_bytes_per_vertex: usize,
+    ) -> Result<PicassoResult, SolveError> {
+        let cfg = &self.config;
+        let n = oracle.num_vertices();
+        let start = Instant::now();
+        let mut colors = vec![UNCOLORED; n];
+        let mut live: Vec<u32> = (0..n as u32).collect();
+        let mut next_base = 0u32;
+        let mut iterations = Vec::new();
+
+        let dev = match cfg.backend {
+            ConflictBackend::Device { capacity_bytes } => Some(DeviceSim::new(capacity_bytes)),
+            _ => None,
+        };
+        let multi_dev: Option<Vec<DeviceSim>> = match cfg.backend {
+            ConflictBackend::MultiDevice {
+                devices,
+                capacity_each,
+            } => Some(
+                (0..devices.max(1))
+                    .map(|_| DeviceSim::new(capacity_each))
+                    .collect(),
+            ),
+            _ => None,
+        };
+
+        let mut iter = 0usize;
+        while !live.is_empty() {
+            iter += 1;
+            if iter > cfg.max_iterations {
+                // Safety valve: one fresh color per remaining vertex.
+                for (k, &v) in live.iter().enumerate() {
+                    colors[v as usize] = next_base + k as u32;
+                }
+                live.clear();
+                break;
+            }
+            let m = live.len();
+            let palette = cfg.palette_size(m);
+            let list_size = cfg.list_size(m);
+
+            // Line 6: random list assignment from the fresh palette.
+            let t0 = Instant::now();
+            let lists = ColorLists::assign(m, next_base, palette, list_size, cfg.seed, iter as u64);
+            let assign_secs = t0.elapsed().as_secs_f64();
+
+            // Line 7: conflict graph over the live subgraph.
+            let view = LiveView::new(oracle, &live);
+            let t1 = Instant::now();
+            let build: ConflictBuild = match cfg.backend {
+                ConflictBackend::Sequential => conflict::build_sequential(&view, &lists),
+                ConflictBackend::Parallel => conflict::build_parallel(&view, &lists),
+                ConflictBackend::Device { .. } => {
+                    let input_bpv =
+                        words_bytes_per_vertex + lists.list_size() * std::mem::size_of::<u32>();
+                    conflict::build_device(&view, &lists, dev.as_ref().unwrap(), input_bpv)
+                        .map_err(SolveError::DeviceOom)?
+                }
+                ConflictBackend::MultiDevice { .. } => {
+                    let input_bpv =
+                        words_bytes_per_vertex + lists.list_size() * std::mem::size_of::<u32>();
+                    conflict::build_multi_device(
+                        &view,
+                        &lists,
+                        multi_dev.as_ref().unwrap(),
+                        input_bpv,
+                    )
+                    .map_err(SolveError::DeviceOom)?
+                }
+            };
+            let conflict_secs = t1.elapsed().as_secs_f64();
+            let gc = build.graph;
+
+            // Lines 8-9: color unconflicted vertices, then the conflict
+            // graph.
+            let t2 = Instant::now();
+            let mut conflicted: Vec<u32> = Vec::new();
+            let mut colored_unconflicted = 0usize;
+            for local in 0..m {
+                if gc.degree(local) == 0 {
+                    colors[live[local] as usize] = lists.row(local)[0];
+                    colored_unconflicted += 1;
+                } else {
+                    conflicted.push(local as u32);
+                }
+            }
+            let outcome = match cfg.scheme {
+                ListColoringScheme::DynamicGreedy => listcolor::greedy_list_color(
+                    &gc,
+                    &lists,
+                    &conflicted,
+                    cfg.seed ^ (iter as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                ),
+                ListColoringScheme::Static(h) => listcolor::static_list_color(
+                    &gc,
+                    &lists,
+                    &conflicted,
+                    h,
+                    cfg.seed ^ iter as u64,
+                ),
+            };
+            for &(v, c) in &outcome.assigned {
+                colors[live[v as usize] as usize] = c;
+            }
+            let color_secs = t2.elapsed().as_secs_f64();
+
+            let new_live: Vec<u32> = outcome
+                .uncolored
+                .iter()
+                .map(|&v| live[v as usize])
+                .collect();
+
+            iterations.push(IterationStats {
+                iteration: iter,
+                live_vertices: m,
+                palette_size: palette,
+                list_size,
+                conflict_vertices: conflicted.len(),
+                conflict_edges: build.num_edges,
+                colored_unconflicted,
+                colored_in_conflict: outcome.assigned.len(),
+                uncolored_after: new_live.len(),
+                assign_secs,
+                conflict_secs,
+                color_secs,
+                csr_on_device: build.csr_on_device,
+            });
+
+            live = new_live;
+            next_base += palette;
+        }
+
+        let num_colors = {
+            let mut used: Vec<u32> = colors.clone();
+            used.sort_unstable();
+            used.dedup();
+            used.len() as u32
+        };
+        // Multi-device runs report the summed counters across devices.
+        let device_stats = dev.map(|d| d.stats()).or_else(|| {
+            multi_dev.map(|ds| {
+                let mut total = DeviceStats::default();
+                for d in &ds {
+                    let s = d.stats();
+                    total.used_bytes += s.used_bytes;
+                    total.peak_bytes += s.peak_bytes;
+                    total.h2d_bytes += s.h2d_bytes;
+                    total.d2h_bytes += s.d2h_bytes;
+                    total.kernel_launches += s.kernel_launches;
+                }
+                total
+            })
+        });
+        Ok(PicassoResult {
+            colors,
+            num_colors,
+            iterations,
+            total_secs: start.elapsed().as_secs_f64(),
+            device_stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coloring::verify::validate_oracle_coloring;
+    use pauli::{EncodedSet, PauliString};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_set(n: usize, qubits: usize, seed: u64) -> EncodedSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strings = pauli::string::random_unique_set(n, qubits, &mut rng);
+        EncodedSet::from_strings(&strings)
+    }
+
+    #[test]
+    fn produces_valid_coloring_of_complement_graph() {
+        let set = random_set(150, 10, 1);
+        let result = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(result.colors.len(), 150);
+        let oracle = PauliComplementOracle::new(&set);
+        assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+        assert!(result.num_colors >= 1);
+        assert!(result.num_colors <= 150);
+    }
+
+    #[test]
+    fn color_classes_are_anticommuting_cliques() {
+        let set = random_set(100, 8, 2);
+        let result = Picasso::new(PicassoConfig::normal(5))
+            .solve_pauli(&set)
+            .unwrap();
+        for class in crate::color_classes(&result.colors) {
+            for (a, &u) in class.iter().enumerate() {
+                for &v in class.iter().skip(a + 1) {
+                    assert!(
+                        set.anticommutes(u as usize, v as usize),
+                        "class members {u},{v} must anticommute"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let set = random_set(120, 9, 3);
+        let a = Picasso::new(PicassoConfig::normal(7))
+            .solve_pauli(&set)
+            .unwrap();
+        let b = Picasso::new(PicassoConfig::normal(7))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(a.colors, b.colors);
+        let c = Picasso::new(PicassoConfig::normal(8))
+            .solve_pauli(&set)
+            .unwrap();
+        // Different seed is allowed to differ (and essentially always does).
+        assert!(a.colors != c.colors || a.num_colors == c.num_colors);
+    }
+
+    #[test]
+    fn backends_produce_identical_colorings() {
+        let set = random_set(90, 8, 4);
+        let base = PicassoConfig::normal(11);
+        let seq = Picasso::new(base.with_backend(ConflictBackend::Sequential))
+            .solve_pauli(&set)
+            .unwrap();
+        let par = Picasso::new(base.with_backend(ConflictBackend::Parallel))
+            .solve_pauli(&set)
+            .unwrap();
+        let dev = Picasso::new(base.with_backend(ConflictBackend::Device {
+            capacity_bytes: 32 * 1024 * 1024,
+        }))
+        .solve_pauli(&set)
+        .unwrap();
+        assert_eq!(seq.colors, par.colors, "sequential vs parallel");
+        assert_eq!(seq.colors, dev.colors, "sequential vs device");
+        assert!(dev.device_stats.is_some());
+        assert!(seq.device_stats.is_none());
+    }
+
+    #[test]
+    fn multi_device_backend_matches_others() {
+        let set = random_set(120, 8, 14);
+        let base = PicassoConfig::normal(6);
+        let par = Picasso::new(base).solve_pauli(&set).unwrap();
+        let multi = Picasso::new(base.with_backend(ConflictBackend::MultiDevice {
+            devices: 3,
+            capacity_each: 16 * 1024 * 1024,
+        }))
+        .solve_pauli(&set)
+        .unwrap();
+        assert_eq!(par.colors, multi.colors);
+        let stats = multi.device_stats.expect("aggregated stats");
+        assert!(stats.kernel_launches >= multi.iterations.len() * 3);
+    }
+
+    #[test]
+    fn device_oom_surfaces_as_error() {
+        let set = random_set(200, 8, 5);
+        let cfg = PicassoConfig::normal(1).with_backend(ConflictBackend::Device {
+            capacity_bytes: 4 * 1024,
+        });
+        let err = Picasso::new(cfg).solve_pauli(&set);
+        assert!(matches!(err, Err(SolveError::DeviceOom(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn fresh_palettes_never_reuse_colors_across_iterations() {
+        let set = random_set(150, 8, 6);
+        let result = Picasso::new(PicassoConfig::normal(2))
+            .solve_pauli(&set)
+            .unwrap();
+        // Reconstruct each iteration's palette range and check bounds.
+        let mut base = 0u32;
+        for s in &result.iterations {
+            let hi = base + s.palette_size;
+            // No vertex color from a *later* palette may appear in stats
+            // of earlier ranges; weaker invariant checked: every color is
+            // below the final cumulative palette end.
+            base = hi;
+        }
+        assert!(result.colors.iter().all(|&c| c < base));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let set = random_set(200, 10, 7);
+        let result = Picasso::new(PicassoConfig::normal(4))
+            .solve_pauli(&set)
+            .unwrap();
+        let mut expected_live = 200usize;
+        for s in &result.iterations {
+            assert_eq!(s.live_vertices, expected_live);
+            assert_eq!(
+                s.colored_unconflicted + s.conflict_vertices,
+                s.live_vertices,
+                "iteration {}",
+                s.iteration
+            );
+            assert_eq!(
+                s.colored_in_conflict + s.uncolored_after,
+                s.conflict_vertices,
+                "iteration {}",
+                s.iteration
+            );
+            expected_live = s.uncolored_after;
+        }
+        assert_eq!(expected_live, 0, "all vertices colored at the end");
+        assert!(result.max_conflict_edges() >= 1);
+        assert!(result.color_percentage() > 0.0);
+    }
+
+    #[test]
+    fn single_vertex_and_empty_inputs() {
+        let set = random_set(1, 4, 8);
+        let r = Picasso::new(PicassoConfig::normal(1))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(r.colors.len(), 1);
+        assert_eq!(r.num_colors, 1);
+
+        let empty = EncodedSet::from_strings(&[]);
+        let r = Picasso::new(PicassoConfig::normal(1))
+            .solve_pauli(&empty)
+            .unwrap();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.num_colors, 0);
+        assert!(r.iterations.is_empty());
+    }
+
+    #[test]
+    fn identity_string_gets_private_color_among_nonidentity() {
+        // The identity commutes with everything, so in G' it is adjacent
+        // to every other vertex and must be alone in its class.
+        let mut strings = vec![PauliString::identity(6)];
+        let mut rng = StdRng::seed_from_u64(9);
+        strings.extend(pauli::string::random_unique_set(80, 6, &mut rng));
+        strings.dedup();
+        let set = EncodedSet::from_strings(&strings);
+        let result = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli(&set)
+            .unwrap();
+        let id_color = result.colors[0];
+        for (v, &c) in result.colors.iter().enumerate().skip(1) {
+            assert_ne!(c, id_color, "vertex {v} shares the identity's color");
+        }
+    }
+
+    #[test]
+    fn max_iterations_fallback_still_valid() {
+        let set = random_set(60, 8, 10);
+        let mut cfg = PicassoConfig::normal(1);
+        cfg.max_iterations = 1;
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        let oracle = PauliComplementOracle::new(&set);
+        assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+    }
+
+    #[test]
+    fn static_scheme_also_converges_to_valid_coloring() {
+        let set = random_set(100, 8, 11);
+        let cfg = PicassoConfig::normal(5).with_scheme(ListColoringScheme::Static(
+            coloring::OrderingHeuristic::LargestFirst,
+        ));
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        let oracle = PauliComplementOracle::new(&set);
+        assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+    }
+
+    #[test]
+    fn aggressive_uses_no_more_colors_than_tiny_palette_normal() {
+        // Qualitative shape from Table III: aggressive (small P, huge α)
+        // produces fewer colors than normal.
+        let set = random_set(300, 10, 12);
+        let normal = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli(&set)
+            .unwrap();
+        let aggressive = Picasso::new(PicassoConfig::aggressive(3))
+            .solve_pauli(&set)
+            .unwrap();
+        assert!(
+            aggressive.num_colors <= normal.num_colors,
+            "aggressive {} should not exceed normal {}",
+            aggressive.num_colors,
+            normal.num_colors
+        );
+    }
+}

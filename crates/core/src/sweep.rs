@@ -1,0 +1,106 @@
+//! Grid sweeps over the (P, α) parameter space.
+//!
+//! Used by the Fig. 5 heatmap and as Step 1 of the §VI prediction
+//! methodology (the training-data generator for the ML model).
+
+use crate::config::PicassoConfig;
+use crate::solver::{Picasso, SolveError};
+use pauli::AntiCommuteSet;
+use serde::Serialize;
+
+/// One evaluated grid point.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Palette fraction `P / |V|`.
+    pub palette_fraction: f64,
+    /// List-size multiplier α.
+    pub alpha: f64,
+    /// Final number of colors `C`.
+    pub num_colors: u32,
+    /// Peak per-iteration conflict edges `max_ℓ |Ec|`.
+    pub max_conflict_edges: usize,
+    /// Total conflict edges processed across iterations.
+    pub total_conflict_edges: usize,
+    /// Wall-clock seconds.
+    pub total_secs: f64,
+    /// Iterations to converge.
+    pub iterations: usize,
+}
+
+/// Runs Picasso at every `(fraction, alpha)` combination, returning one
+/// point per combination in row-major (fraction-major) order.
+pub fn grid_sweep<S: AntiCommuteSet>(
+    set: &S,
+    fractions: &[f64],
+    alphas: &[f64],
+    base: PicassoConfig,
+) -> Result<Vec<SweepPoint>, SolveError> {
+    let mut out = Vec::with_capacity(fractions.len() * alphas.len());
+    for &f in fractions {
+        for &a in alphas {
+            let cfg = base.with_palette_fraction(f).with_alpha(a);
+            let result = Picasso::new(cfg).solve_pauli(set)?;
+            out.push(SweepPoint {
+                palette_fraction: f,
+                alpha: a,
+                num_colors: result.num_colors,
+                max_conflict_edges: result.max_conflict_edges(),
+                total_conflict_edges: result.total_conflict_edges(),
+                total_secs: result.total_secs,
+                iterations: result.iterations.len(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::EncodedSet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_set() -> EncodedSet {
+        let mut rng = StdRng::seed_from_u64(5);
+        EncodedSet::from_strings(&pauli::string::random_unique_set(120, 8, &mut rng))
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_in_order() {
+        let set = small_set();
+        let points = grid_sweep(
+            &set,
+            &[0.05, 0.125],
+            &[1.0, 2.0, 3.0],
+            PicassoConfig::normal(1),
+        )
+        .unwrap();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].palette_fraction, 0.05);
+        assert_eq!(points[0].alpha, 1.0);
+        assert_eq!(points[5].palette_fraction, 0.125);
+        assert_eq!(points[5].alpha, 3.0);
+        assert!(points.iter().all(|p| p.num_colors >= 1));
+    }
+
+    #[test]
+    fn smaller_palette_gives_fewer_or_equal_colors() {
+        // The paper's central trade-off (Fig. 5): smaller P -> fewer
+        // colors at more conflict work.
+        let set = small_set();
+        let points = grid_sweep(&set, &[0.03, 0.4], &[3.0], PicassoConfig::normal(2)).unwrap();
+        let small_p = &points[0];
+        let large_p = &points[1];
+        assert!(
+            small_p.num_colors <= large_p.num_colors,
+            "P=3% used {} colors, P=40% used {}",
+            small_p.num_colors,
+            large_p.num_colors
+        );
+        assert!(
+            small_p.total_conflict_edges >= large_p.total_conflict_edges,
+            "smaller palette must do at least as much conflict work"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the Picasso core: backend equivalence, list
+//! discipline and conflict-graph correctness on arbitrary oracles.
+
+use device::DeviceSim;
+use graph::FnOracle;
+use picasso::conflict::{build_device, build_multi_device, build_parallel, build_sequential};
+use picasso::listcolor::greedy_list_color;
+use picasso::ColorLists;
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random symmetric edge predicate parameterized
+/// by a salt, giving arbitrary ~50%-dense oracles.
+fn salted_oracle(n: usize, salt: u64) -> FnOracle<impl Fn(usize, usize) -> bool + Sync> {
+    FnOracle::new(n, move |u, v| {
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        let mut x = salt ^ (a << 32) ^ b;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        x & 1 == 0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All four conflict builders produce the same graph for arbitrary
+    /// oracles, palettes and list sizes.
+    #[test]
+    fn all_backends_build_identical_graphs(
+        n in 2usize..90,
+        salt in any::<u64>(),
+        palette in 2u32..40,
+        list in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let oracle = salted_oracle(n, salt);
+        let lists = ColorLists::assign(n, 5, palette, list, seed, 1);
+        let a = build_sequential(&oracle, &lists);
+        let b = build_parallel(&oracle, &lists);
+        let dev = DeviceSim::new(32 * 1024 * 1024);
+        let c = build_device(&oracle, &lists, &dev, 16).unwrap();
+        let devices: Vec<DeviceSim> = (0..3).map(|_| DeviceSim::new(16 * 1024 * 1024)).collect();
+        let d = build_multi_device(&oracle, &lists, &devices, 16).unwrap();
+        prop_assert_eq!(&a.graph, &b.graph);
+        prop_assert_eq!(&a.graph, &c.graph);
+        prop_assert_eq!(&a.graph, &d.graph);
+        prop_assert_eq!(a.num_edges, d.num_edges);
+    }
+
+    /// Every conflict edge really is an oracle edge with intersecting
+    /// lists, and every non-edge is correctly absent.
+    #[test]
+    fn conflict_graph_is_exact(
+        n in 2usize..60,
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let oracle = salted_oracle(n, salt);
+        let lists = ColorLists::assign(n, 0, (n as u32 / 3).max(2), 3, seed, 2);
+        let built = build_sequential(&oracle, &lists);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                use graph::EdgeOracle as _;
+                let expected = oracle.has_edge(u, v) && lists.intersects(u, v);
+                prop_assert_eq!(built.graph.has_edge(u, v), expected, "({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Algorithm 2 discipline: every assigned color comes from the
+    /// vertex's list, no conflict edge is monochromatic, and
+    /// assigned + dry = active.
+    #[test]
+    fn bucket_list_coloring_discipline(
+        n in 2usize..80,
+        salt in any::<u64>(),
+        palette in 2u32..20,
+        seed in any::<u64>(),
+    ) {
+        let oracle = salted_oracle(n, salt);
+        let lists = ColorLists::assign(n, 0, palette, 3, seed, 1);
+        let built = build_sequential(&oracle, &lists);
+        let active: Vec<u32> = (0..n as u32)
+            .filter(|&v| built.graph.degree(v as usize) > 0)
+            .collect();
+        let out = greedy_list_color(&built.graph, &lists, &active, seed);
+        prop_assert_eq!(out.assigned.len() + out.uncolored.len(), active.len());
+        let mut colors = vec![u32::MAX; n];
+        for &(v, c) in &out.assigned {
+            prop_assert!(lists.row(v as usize).contains(&c));
+            colors[v as usize] = c;
+        }
+        for (u, v) in built.graph.edges() {
+            let (cu, cv) = (colors[u as usize], colors[v as usize]);
+            if cu != u32::MAX && cv != u32::MAX {
+                prop_assert_ne!(cu, cv);
+            }
+        }
+    }
+}

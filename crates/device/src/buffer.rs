@@ -1,0 +1,110 @@
+//! RAII device buffers.
+
+use crate::sim::DeviceState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A typed allocation on the simulated device. Dropping the buffer
+/// releases its bytes back to the budget.
+///
+/// The backing store is host memory (there is no real device), but all
+/// budget accounting flows through [`crate::DeviceSim`].
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    state: Arc<DeviceState>,
+    data: Vec<T>,
+    bytes: usize,
+}
+
+impl<T: Clone + Default> DeviceBuffer<T> {
+    pub(crate) fn new(state: Arc<DeviceState>, len: usize, bytes: usize) -> DeviceBuffer<T> {
+        DeviceBuffer {
+            state,
+            data: vec![T::default(); len],
+            bytes,
+        }
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocation size in bytes (what was charged to the budget).
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Read access to the device data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Write access to the device data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.state.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl<T> std::ops::Deref for DeviceBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DeviceSim;
+
+    #[test]
+    fn deref_round_trip() {
+        let dev = DeviceSim::new(1 << 16);
+        let mut buf = dev.alloc::<u32>(8).unwrap();
+        buf[3] = 42;
+        assert_eq!(buf[3], 42);
+        assert_eq!(buf.len(), 8);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.iter().sum::<u32>(), 42);
+    }
+
+    #[test]
+    fn drop_releases_budget_exactly() {
+        let dev = DeviceSim::new(1000);
+        let b1 = dev.alloc::<u8>(300).unwrap();
+        let b2 = dev.alloc::<u8>(300).unwrap();
+        assert_eq!(dev.used_bytes(), 600);
+        drop(b1);
+        assert_eq!(dev.used_bytes(), 300);
+        drop(b2);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_length_buffer() {
+        let dev = DeviceSim::new(64);
+        let buf = dev.alloc::<u64>(0).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(buf.size_bytes(), 0);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+}

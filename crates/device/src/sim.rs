@@ -1,0 +1,290 @@
+//! The device state machine: budgeted allocation, transfers, kernels.
+
+use crate::buffer::DeviceBuffer;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced by the simulated device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation did not fit in the remaining budget — the same
+    /// failure mode that stops the paper's largest instance on the A100.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Shared device bookkeeping (buffers hold an `Arc` to it so drops can
+/// release their bytes).
+#[derive(Debug)]
+pub(crate) struct DeviceState {
+    pub(crate) capacity: usize,
+    pub(crate) used: AtomicUsize,
+    pub(crate) peak: AtomicUsize,
+    pub(crate) h2d_bytes: AtomicUsize,
+    pub(crate) d2h_bytes: AtomicUsize,
+    pub(crate) kernel_launches: AtomicUsize,
+    pub(crate) alloc_lock: Mutex<()>,
+}
+
+/// Counters snapshot for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Bytes currently allocated.
+    pub used_bytes: usize,
+    /// High-water mark of allocated bytes.
+    pub peak_bytes: usize,
+    /// Total bytes copied host → device.
+    pub h2d_bytes: usize,
+    /// Total bytes copied device → host.
+    pub d2h_bytes: usize,
+    /// Number of kernel launches.
+    pub kernel_launches: usize,
+}
+
+/// A simulated accelerator with a fixed memory capacity.
+#[derive(Clone)]
+pub struct DeviceSim {
+    state: Arc<DeviceState>,
+}
+
+impl DeviceSim {
+    /// Creates a device with `capacity` bytes of memory.
+    pub fn new(capacity: usize) -> DeviceSim {
+        DeviceSim {
+            state: Arc::new(DeviceState {
+                capacity,
+                used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+                h2d_bytes: AtomicUsize::new(0),
+                d2h_bytes: AtomicUsize::new(0),
+                kernel_launches: AtomicUsize::new(0),
+                alloc_lock: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.state.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> usize {
+        self.state.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available_bytes(&self) -> usize {
+        self.state.capacity - self.used_bytes()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            used_bytes: self.used_bytes(),
+            peak_bytes: self.state.peak.load(Ordering::Relaxed),
+            h2d_bytes: self.state.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.state.d2h_bytes.load(Ordering::Relaxed),
+            kernel_launches: self.state.kernel_launches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates an uninitialized (zeroed) buffer of `len` elements,
+    /// failing with [`DeviceError::OutOfMemory`] if it does not fit.
+    pub fn alloc<T: Clone + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = len * std::mem::size_of::<T>();
+        // Serialize the check-and-reserve so concurrent allocations cannot
+        // overshoot the budget.
+        let _guard = self.state.alloc_lock.lock();
+        let used = self.state.used.load(Ordering::Relaxed);
+        let available = self.state.capacity - used;
+        if bytes > available {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        let now = used + bytes;
+        self.state.used.store(now, Ordering::Relaxed);
+        self.state.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(DeviceBuffer::new(Arc::clone(&self.state), len, bytes))
+    }
+
+    /// Allocates a buffer and fills it from host data, counting the
+    /// host→device transfer.
+    pub fn upload<T: Clone + Default>(&self, data: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let mut buf = self.alloc::<T>(data.len())?;
+        buf.as_mut_slice().clone_from_slice(data);
+        self.state
+            .h2d_bytes
+            .fetch_add(std::mem::size_of_val(data), Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// Copies a device buffer back to the host, counting the transfer.
+    pub fn download<T: Clone + Default>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        self.state
+            .d2h_bytes
+            .fetch_add(buf.size_bytes(), Ordering::Relaxed);
+        buf.as_slice().to_vec()
+    }
+
+    /// Records a host→device transfer without materializing host data —
+    /// used when the "upload" is of data the simulation keeps elsewhere.
+    pub fn note_h2d(&self, bytes: usize) {
+        self.state.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a device→host transfer of `bytes`.
+    pub fn note_d2h(&self, bytes: usize) {
+        self.state.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Launches a "kernel": `grid` logical threads executed over the
+    /// rayon pool. The closure receives the thread index, exactly like a
+    /// flattened CUDA grid.
+    pub fn launch<F: Fn(usize) + Sync>(&self, grid: usize, kernel: F) {
+        use rayon::prelude::*;
+        self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        // The closure keeps `kernel` borrowed (only `&F: Send` is needed),
+        // so `F` itself does not have to be `Send`.
+        #[allow(clippy::redundant_closure)]
+        (0..grid).into_par_iter().for_each(|tid| kernel(tid));
+    }
+
+    /// Launches a block-structured kernel: the grid is cut into
+    /// `num_blocks` contiguous ranges, one rayon task per block — the
+    /// shape used by the conflict-graph kernel so each block can keep a
+    /// local edge staging buffer.
+    pub fn launch_blocks<F: Fn(usize, std::ops::Range<usize>) + Sync>(
+        &self,
+        grid: usize,
+        num_blocks: usize,
+        kernel: F,
+    ) {
+        use rayon::prelude::*;
+        self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        let num_blocks = num_blocks.max(1);
+        let block = grid.div_ceil(num_blocks);
+        (0..num_blocks).into_par_iter().for_each(|b| {
+            let lo = b * block;
+            let hi = ((b + 1) * block).min(grid);
+            if lo < hi {
+                kernel(b, lo..hi);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_respects_capacity() {
+        let dev = DeviceSim::new(1024);
+        let a = dev.alloc::<u8>(512).unwrap();
+        assert_eq!(dev.used_bytes(), 512);
+        let err = dev.alloc::<u8>(1024).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 1024,
+                available: 512
+            }
+        );
+        drop(a);
+        assert_eq!(dev.used_bytes(), 0);
+        assert!(dev.alloc::<u8>(1024).is_ok());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let dev = DeviceSim::new(4096);
+        {
+            let _a = dev.alloc::<u8>(3000).unwrap();
+        }
+        let _b = dev.alloc::<u8>(100).unwrap();
+        assert_eq!(dev.stats().peak_bytes, 3000);
+    }
+
+    #[test]
+    fn transfers_are_counted() {
+        let dev = DeviceSim::new(1 << 20);
+        let buf = dev.upload(&[1u32, 2, 3, 4]).unwrap();
+        assert_eq!(dev.stats().h2d_bytes, 16);
+        let back = dev.download(&buf);
+        assert_eq!(back, vec![1, 2, 3, 4]);
+        assert_eq!(dev.stats().d2h_bytes, 16);
+    }
+
+    #[test]
+    fn typed_allocation_sizes() {
+        let dev = DeviceSim::new(1000);
+        let _b = dev.alloc::<u64>(100).unwrap();
+        assert_eq!(dev.used_bytes(), 800);
+        assert!(dev.alloc::<u64>(26).is_err(), "208 B > 200 B remaining");
+    }
+
+    #[test]
+    fn kernel_launch_covers_grid() {
+        use std::sync::atomic::AtomicUsize;
+        let dev = DeviceSim::new(1024);
+        let hits = AtomicUsize::new(0);
+        dev.launch(1000, |_tid| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(dev.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn block_launch_partitions_exactly() {
+        let dev = DeviceSim::new(1024);
+        let seen = Mutex::new(vec![false; 103]);
+        dev.launch_blocks(103, 7, |_b, range| {
+            let mut s = seen.lock();
+            for i in range {
+                assert!(!s[i], "index {i} covered twice");
+                s[i] = true;
+            }
+        });
+        assert!(seen.lock().iter().all(|&x| x));
+    }
+
+    #[test]
+    fn concurrent_allocations_never_overshoot() {
+        use rayon::prelude::*;
+        let dev = DeviceSim::new(10_000);
+        let results: Vec<_> = (0..64)
+            .into_par_iter()
+            .map(|_| dev.alloc::<u8>(400))
+            .collect();
+        let succeeded = results.iter().filter(|r| r.is_ok()).count();
+        // 25 × 400 = 10 000: at most 25 can succeed.
+        assert!(succeeded <= 25, "{succeeded} allocations overshot capacity");
+        assert!(dev.used_bytes() <= 10_000);
+    }
+}

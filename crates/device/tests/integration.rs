@@ -1,0 +1,75 @@
+//! Device-simulation integration: a realistic upload → kernel → download
+//! pipeline with budget churn and OOM recovery.
+
+use device::{DeviceError, DeviceSim};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn pipeline_computes_and_accounts() {
+    let dev = DeviceSim::new(1 << 20);
+    let input: Vec<u32> = (0..1000).collect();
+    let buf = dev.upload(&input).unwrap();
+
+    // Kernel: sum of squares via grid threads.
+    let acc = AtomicU64::new(0);
+    dev.launch(buf.len(), |tid| {
+        let v = buf[tid] as u64;
+        acc.fetch_add(v * v, Ordering::Relaxed);
+    });
+    let expected: u64 = (0..1000u64).map(|v| v * v).sum();
+    assert_eq!(acc.load(Ordering::Relaxed), expected);
+
+    let back = dev.download(&buf);
+    assert_eq!(back, input);
+
+    let stats = dev.stats();
+    assert_eq!(stats.h2d_bytes, 4000);
+    assert_eq!(stats.d2h_bytes, 4000);
+    assert_eq!(stats.kernel_launches, 1);
+}
+
+#[test]
+fn budget_churn_never_leaks() {
+    let dev = DeviceSim::new(10_000);
+    for round in 0..50 {
+        let a = dev.alloc::<u8>(4000).unwrap();
+        let b = dev.alloc::<u8>(4000).unwrap();
+        assert_eq!(dev.used_bytes(), 8000, "round {round}");
+        drop(a);
+        let c = dev.alloc::<u8>(5000).unwrap();
+        assert_eq!(dev.used_bytes(), 9000);
+        drop(b);
+        drop(c);
+        assert_eq!(dev.used_bytes(), 0);
+    }
+    assert_eq!(dev.stats().peak_bytes, 9000);
+}
+
+#[test]
+fn oom_is_recoverable() {
+    let dev = DeviceSim::new(1000);
+    let hold = dev.alloc::<u8>(900).unwrap();
+    match dev.alloc::<u8>(200) {
+        Err(DeviceError::OutOfMemory {
+            requested,
+            available,
+        }) => {
+            assert_eq!(requested, 200);
+            assert_eq!(available, 100);
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    drop(hold);
+    // After freeing, the same request succeeds: failed allocations must
+    // not poison the budget.
+    assert!(dev.alloc::<u8>(200).is_ok());
+}
+
+#[test]
+fn clone_shares_the_budget() {
+    let dev = DeviceSim::new(1000);
+    let dev2 = dev.clone();
+    let _a = dev.alloc::<u8>(600).unwrap();
+    assert_eq!(dev2.used_bytes(), 600);
+    assert!(dev2.alloc::<u8>(600).is_err());
+}

@@ -1,0 +1,157 @@
+//! CSR construction from unordered COO edge lists.
+//!
+//! Mirrors the construction step of the paper's Algorithm 3: count
+//! per-vertex edge counts, exclusive prefix sum into offsets, scatter
+//! arcs, sort adjacency slices. The parallel variant uses atomic counters
+//! for the scatter and rayon for the per-slice sort, and produces a graph
+//! identical to the sequential build (the paper stresses its GPU path is
+//! deterministic).
+
+use crate::csr::CsrGraph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sequential CSR build from unique undirected edges (`u != v`; no
+/// duplicate `{u, v}` pairs — the conflict-kernel emits each pair once).
+pub fn csr_from_coo_sequential(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut counts = vec![0usize; n + 1];
+    for &(u, v) in edges {
+        debug_assert!(u != v, "self loop {u}");
+        counts[u as usize + 1] += 1;
+        counts[v as usize + 1] += 1;
+    }
+    // Exclusive prefix sum.
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts;
+    let mut cursor = offsets.clone();
+    let mut adj = vec![0u32; edges.len() * 2];
+    for &(u, v) in edges {
+        adj[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+        adj[cursor[v as usize]] = u;
+        cursor[v as usize] += 1;
+    }
+    for v in 0..n {
+        adj[offsets[v]..offsets[v + 1]].sort_unstable();
+    }
+    CsrGraph::from_parts(offsets, adj)
+}
+
+/// Parallel CSR build; same contract and output as the sequential one.
+pub fn csr_from_coo_parallel(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    edges.par_iter().for_each(|&(u, v)| {
+        debug_assert!(u != v, "self loop {u}");
+        counts[u as usize].fetch_add(1, Ordering::Relaxed);
+        counts[v as usize].fetch_add(1, Ordering::Relaxed);
+    });
+    let mut offsets = vec![0usize; n + 1];
+    for v in 0..n {
+        offsets[v + 1] = offsets[v] + counts[v].load(Ordering::Relaxed);
+    }
+    let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+    let adj_len = edges.len() * 2;
+    let mut adj = vec![0u32; adj_len];
+    {
+        // Scatter through raw pointers; each slot is written exactly once
+        // because the per-vertex cursors hand out disjoint indices.
+        struct SendPtr(*mut u32);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let ptr = SendPtr(adj.as_mut_ptr());
+        let ptr_ref = &ptr;
+        edges.par_iter().for_each(|&(u, v)| {
+            let iu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+            let iv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
+            unsafe {
+                *ptr_ref.0.add(iu) = v;
+                *ptr_ref.0.add(iv) = u;
+            }
+        });
+    }
+    // Sort each adjacency slice in parallel by slicing the arena.
+    let mut slices: Vec<&mut [u32]> = Vec::with_capacity(n);
+    let mut rest = adj.as_mut_slice();
+    let mut prev = 0usize;
+    for v in 0..n {
+        let len = offsets[v + 1] - prev;
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+        prev = offsets[v + 1];
+    }
+    slices.par_iter_mut().for_each(|s| s.sort_unstable());
+    CsrGraph::from_parts(offsets, adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(m);
+        while edges.len() < m {
+            let u = rng.random_range(0..n as u32);
+            let v = rng.random_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push(key);
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn sequential_build_is_valid() {
+        let edges = random_edges(50, 200, 1);
+        let g = csr_from_coo_sequential(50, &edges);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_edges(), 200);
+        for &(u, v) in &edges {
+            assert!(g.has_edge(u as usize, v as usize));
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        for seed in 0..5 {
+            let edges = random_edges(120, 800, seed);
+            let a = csr_from_coo_sequential(120, &edges);
+            let b = csr_from_coo_parallel(120, &edges);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = csr_from_coo_parallel(10, &[]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = csr_from_coo_parallel(2, &[(0, 1)]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = csr_from_coo_sequential(100, &[(3, 97)]);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.degree(50), 0);
+        assert!(g.validate().is_ok());
+    }
+}

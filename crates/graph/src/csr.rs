@@ -1,0 +1,231 @@
+//! Compressed Sparse Row graph storage.
+
+/// An undirected graph in CSR form: each edge `{u, v}` is stored twice,
+/// once in each endpoint's adjacency slice. Adjacency slices are sorted,
+/// enabling `O(log d)` edge queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    adj: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from raw CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1`, be non-decreasing and end at
+    /// `adj.len()`; each adjacency slice must be sorted. Verified by
+    /// [`CsrGraph::validate`] in debug builds.
+    pub fn from_parts(offsets: Vec<usize>, adj: Vec<u32>) -> CsrGraph {
+        let g = CsrGraph { offsets, adj };
+        debug_assert!(g.validate().is_ok(), "malformed CSR: {:?}", g.validate());
+        g
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> CsrGraph {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Edge query by binary search over the smaller endpoint's slice.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.num_vertices() || v >= self.num_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree d̄.
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            self.adj.len() as f64 / n as f64
+        }
+    }
+
+    /// Bytes of heap memory held by the CSR arrays — the quantity that
+    /// blows up for the explicit-graph baselines in Table IV.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.adj.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Structural well-formedness check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have length n + 1 >= 1".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.adj.len() {
+            return Err(format!(
+                "offsets end {} != adj len {}",
+                self.offsets.last().unwrap(),
+                self.adj.len()
+            ));
+        }
+        let n = self.num_vertices();
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets decrease at {v}"));
+            }
+            let nbrs = self.neighbors(v);
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {v} not strictly sorted"));
+            }
+            for &u in nbrs {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if u as usize == v {
+                    return Err(format!("self loop at {v}"));
+                }
+            }
+        }
+        // Symmetry: each arc must have its mirror.
+        for v in 0..n {
+            for &u in self.neighbors(v) {
+                if self
+                    .neighbors(u as usize)
+                    .binary_search(&(v as u32))
+                    .is_err()
+                {
+                    return Err(format!("arc {v}->{u} missing mirror"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_coo_sequential;
+
+    fn triangle() -> CsrGraph {
+        csr_from_coo_sequential(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_false() {
+        let g = triangle();
+        assert!(!g.has_edge(0, 99));
+        assert!(!g.has_edge(99, 0));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            adj: vec![1],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = CsrGraph {
+            offsets: vec![0, 1],
+            adj: vec![0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unsorted_adjacency() {
+        let g = CsrGraph {
+            offsets: vec![0, 2, 3, 4],
+            adj: vec![2, 1, 0, 0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn heap_bytes_nonzero_for_nonempty() {
+        assert!(triangle().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Graph substrate for the Picasso reproduction.
+//!
+//! Two kinds of graphs appear in the paper:
+//!
+//! * **implicit** graphs whose edges are derived on demand (the Pauli
+//!   compatibility graph Picasso colors) — abstracted by [`EdgeOracle`],
+//! * **explicit** CSR graphs — the per-iteration conflict graphs Picasso
+//!   materializes, and the full graphs the baselines (ColPack-style
+//!   greedy, Jones–Plassmann, speculative) must load whole, which is
+//!   exactly the memory behaviour Table IV contrasts.
+//!
+//! The CSR builder mirrors Algorithm 3's construction: count per-vertex
+//! degrees, exclusive prefix sum, then scatter — available sequentially
+//! and in a rayon-parallel variant that produces an identical graph.
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod oracle;
+pub mod stats;
+
+pub use builder::{csr_from_coo_parallel, csr_from_coo_sequential};
+pub use csr::CsrGraph;
+pub use gen::{complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph};
+pub use oracle::{ComplementView, EdgeOracle, FnOracle};

@@ -1,0 +1,150 @@
+//! Implicit-graph abstraction.
+//!
+//! [`EdgeOracle`] is the only view of the input graph the Picasso core
+//! ever sees: a vertex count plus a pairwise edge query. The paper's point
+//! is that this is *all* that is needed — the graph itself is never
+//! stored.
+
+use crate::csr::CsrGraph;
+
+/// A graph defined by a pairwise edge predicate.
+pub trait EdgeOracle: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Whether `{u, v}` is an edge. Must be symmetric and false for
+    /// `u == v`.
+    fn has_edge(&self, u: usize, v: usize) -> bool;
+}
+
+impl EdgeOracle for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+}
+
+/// The complement of another oracle: edges where the inner graph has
+/// none. Used in tests to cross-check Picasso's implicit complement
+/// handling against explicit graphs.
+pub struct ComplementView<'a, O: EdgeOracle> {
+    inner: &'a O,
+}
+
+impl<'a, O: EdgeOracle> ComplementView<'a, O> {
+    /// Wraps an oracle.
+    pub fn new(inner: &'a O) -> Self {
+        ComplementView { inner }
+    }
+}
+
+impl<O: EdgeOracle> EdgeOracle for ComplementView<'_, O> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && !self.inner.has_edge(u, v)
+    }
+}
+
+/// An oracle defined by a closure, for tests and synthetic workloads.
+pub struct FnOracle<F: Fn(usize, usize) -> bool + Sync> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(usize, usize) -> bool + Sync> FnOracle<F> {
+    /// Wraps `f` as the edge predicate of a graph on `n` vertices.
+    /// The predicate is consulted only for `u != v` and should be
+    /// symmetric.
+    pub fn new(n: usize, f: F) -> Self {
+        FnOracle { n, f }
+    }
+}
+
+impl<F: Fn(usize, usize) -> bool + Sync> EdgeOracle for FnOracle<F> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && (self.f)(u, v)
+    }
+}
+
+/// Materializes an oracle into an explicit CSR graph by exhaustive pair
+/// enumeration — O(n²) queries; for tests and baseline comparisons where
+/// the paper, too, must build the whole graph.
+pub fn materialize<O: EdgeOracle>(oracle: &O) -> CsrGraph {
+    let n = oracle.num_vertices();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if oracle.has_edge(u, v) {
+                edges.push((u as u32, v as u32));
+            }
+        }
+    }
+    crate::builder::csr_from_coo_sequential(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_coo_sequential;
+
+    #[test]
+    fn csr_oracle_agrees_with_csr_queries() {
+        let g = csr_from_coo_sequential(4, &[(0, 1), (2, 3), (1, 2)]);
+        let o: &dyn EdgeOracle = &g;
+        assert_eq!(o.num_vertices(), 4);
+        assert!(o.has_edge(0, 1));
+        assert!(!o.has_edge(0, 3));
+    }
+
+    #[test]
+    fn complement_inverts_edges() {
+        let g = csr_from_coo_sequential(4, &[(0, 1), (2, 3)]);
+        let c = ComplementView::new(&g);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u == v {
+                    assert!(!c.has_edge(u, v));
+                } else {
+                    assert_eq!(c.has_edge(u, v), !g.has_edge(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity() {
+        let g = csr_from_coo_sequential(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let c1 = ComplementView::new(&g);
+        let back = materialize(&ComplementView::new(&c1));
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn fn_oracle_never_reports_self_loops() {
+        let o = FnOracle::new(5, |_, _| true);
+        assert!(!o.has_edge(2, 2));
+        assert!(o.has_edge(0, 1));
+    }
+
+    #[test]
+    fn materialize_round_trips_csr() {
+        let g = csr_from_coo_sequential(6, &[(0, 5), (1, 4), (2, 3), (0, 1)]);
+        assert_eq!(materialize(&g), g);
+    }
+}

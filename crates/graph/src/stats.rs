@@ -1,0 +1,77 @@
+//! Degree and density statistics used by experiment reporting.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// |V|.
+    pub num_vertices: usize,
+    /// |E| (undirected).
+    pub num_edges: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Average degree d̄.
+    pub avg_degree: f64,
+    /// |E| / (n choose 2).
+    pub density: f64,
+}
+
+/// Computes summary statistics.
+pub fn stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    let possible = if n >= 2 {
+        (n * (n - 1) / 2) as f64
+    } else {
+        1.0
+    };
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        avg_degree: g.avg_degree(),
+        density: g.num_edges() as f64 / possible,
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete_graph, star_graph};
+
+    #[test]
+    fn complete_graph_stats() {
+        let s = stats(&complete_graph(10));
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 45);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.avg_degree, 9.0);
+        assert_eq!(s.density, 1.0);
+    }
+
+    #[test]
+    fn star_histogram() {
+        let h = degree_histogram(&star_graph(7));
+        assert_eq!(h[1], 6);
+        assert_eq!(h[6], 1);
+        assert_eq!(h.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let s = stats(&CsrGraph::empty(0));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_edges, 0);
+        let s1 = stats(&CsrGraph::empty(1));
+        assert_eq!(s1.density, 0.0);
+    }
+}

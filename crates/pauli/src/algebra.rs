@@ -1,0 +1,101 @@
+//! Symbolic Pauli-string algebra with phase tracking.
+//!
+//! The Jordan–Wigner transform in the `qchem` crate multiplies ladder
+//! operators expressed as short Pauli sums; the workhorse is the
+//! position-wise product of two strings with an accumulated `i^k` phase.
+
+use crate::op::Phase;
+use crate::string::PauliString;
+
+/// Multiplies two Pauli strings: `a * b = phase * c`.
+///
+/// The phase is exact (a power of `i`), accumulated from the single-qubit
+/// multiplication table. Panics if the strings have different lengths.
+pub fn mul_strings(a: &PauliString, b: &PauliString) -> (Phase, PauliString) {
+    assert_eq!(a.len(), b.len(), "string length mismatch");
+    let mut phase = Phase::ONE;
+    let mut out = PauliString::identity(a.len());
+    for (i, (&pa, &pb)) in a.ops().iter().zip(b.ops().iter()).enumerate() {
+        let (ph, p) = pa.mul(pb);
+        phase = phase.mul(ph);
+        out.ops_mut()[i] = p;
+    }
+    (phase, out)
+}
+
+/// Returns whether two strings commute (`true`) or anticommute (`false`),
+/// derived from the product phases: `ab = (-1)^k ba` where `k` is the
+/// number of anticommuting positions.
+pub fn commutes(a: &PauliString, b: &PauliString) -> bool {
+    !a.anticommutes_naive(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn product_of_identical_strings_is_identity() {
+        let s: PauliString = "XYZI".parse().unwrap();
+        let (phase, p) = mul_strings(&s, &s);
+        assert_eq!(phase, Phase::ONE);
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn known_product() {
+        // (X ⊗ Y) * (Y ⊗ Y) = (XY) ⊗ (YY) = iZ ⊗ I.
+        let a: PauliString = "XY".parse().unwrap();
+        let b: PauliString = "YY".parse().unwrap();
+        let (phase, p) = mul_strings(&a, &b);
+        assert_eq!(phase, Phase::PLUS_I);
+        assert_eq!(p.to_string(), "ZI");
+    }
+
+    #[test]
+    fn product_matches_dense_matrices() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let n = rng.random_range(1..=4);
+            let a = PauliString::random(n, &mut rng);
+            let b = PauliString::random(n, &mut rng);
+            let (phase, c) = mul_strings(&a, &b);
+            let dense_ab = a.to_dense().mul(&b.to_dense());
+            // phase * C as dense
+            let mut ok = true;
+            let dc = c.to_dense();
+            let ph = phase.to_complex();
+            let dim = dc.dim();
+            for r in 0..dim {
+                for col in 0..dim {
+                    let want = ph * dc.at(r, col);
+                    if !dense_ab.at(r, col).approx_eq(want, 1e-9) {
+                        ok = false;
+                    }
+                }
+            }
+            assert!(ok, "{a} * {b} != {phase:?} {c}");
+        }
+    }
+
+    #[test]
+    fn commutation_via_phase_relation() {
+        // ab = ±ba: strings commute iff the two product phases agree.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..50 {
+            let a = PauliString::random(6, &mut rng);
+            let b = PauliString::random(6, &mut rng);
+            let (pab, _) = mul_strings(&a, &b);
+            let (pba, _) = mul_strings(&b, &a);
+            let same = pab == pba;
+            assert_eq!(commutes(&a, &b), same);
+            if !same {
+                // The phases must differ by exactly -1.
+                assert_eq!(pab.to_complex(), pba.to_complex() * Complex::new(-1.0, 0.0));
+            }
+        }
+    }
+}

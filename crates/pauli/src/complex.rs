@@ -1,0 +1,194 @@
+//! Minimal complex-number arithmetic.
+//!
+//! A hand-rolled `Complex` keeps the workspace free of external numeric
+//! dependencies; only the handful of operations needed by Pauli algebra and
+//! the Jordan–Wigner transform are provided.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `i^k` for `k mod 4`, the only phases arising in Pauli products.
+    #[inline]
+    pub fn i_pow(k: u8) -> Self {
+        match k & 3 {
+            0 => Complex::ONE,
+            1 => Complex::I,
+            2 => Complex::new(-1.0, 0.0),
+            _ => Complex::new(0.0, -1.0),
+        }
+    }
+
+    /// True when both components are within `tol` of the other value.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// True when the modulus is within `tol` of zero.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(2.0, -3.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z, Complex::new(-2.0, 3.0));
+    }
+
+    #[test]
+    fn i_squares_to_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn i_pow_cycles_mod_four() {
+        for k in 0u8..16 {
+            assert_eq!(Complex::i_pow(k), Complex::i_pow(k & 3));
+        }
+        assert_eq!(Complex::i_pow(0), Complex::ONE);
+        assert_eq!(Complex::i_pow(1), Complex::I);
+        assert_eq!(Complex::i_pow(2), Complex::new(-1.0, 0.0));
+        assert_eq!(Complex::i_pow(3), Complex::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_distributive() {
+        let a = Complex::new(1.5, -0.5);
+        let b = Complex::new(-2.0, 0.25);
+        let c = Complex::new(0.75, 3.0);
+        assert!((a * b).approx_eq(b * a, 1e-12));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-12));
+    }
+
+    #[test]
+    fn scale_matches_real_multiplication() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.scale(2.5), Complex::real(2.5) * z);
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's 3-bit *inverse one-hot* packed encoding (§IV-A).
+//!
+//! Each Pauli operator maps to three bits — σx→`110`, σy→`101`, σz→`011`,
+//! I→`000` — chosen so that for any pair of operators the bitwise AND has
+//! **odd popcount exactly when the pair anticommutes**:
+//!
+//! * `I & anything = 000` (popcount 0, even — commutes),
+//! * equal non-identity operators share two set bits (even — commutes),
+//! * distinct non-identity operators share exactly one set bit (odd —
+//!   anticommutes).
+//!
+//! Two strings then anticommute iff the total popcount of the AND of their
+//! encodings is odd (Eq. 5 extended to strings), which reduces the check to
+//! a handful of `AND` + `POPCNT` word operations — the paper reports a
+//! 1.4–2.0× speedup over character comparison, reproduced in the
+//! `encoding` bench.
+
+use crate::op::Pauli;
+use crate::oracle::AntiCommuteSet;
+use crate::string::PauliString;
+
+/// Operators packed per 64-bit word. 21 × 3 = 63 bits are used so no
+/// operator ever straddles a word boundary.
+pub const OPS_PER_WORD: usize = 21;
+
+/// The 3-bit code of a single operator.
+#[inline]
+pub const fn op_code(p: Pauli) -> u64 {
+    match p {
+        Pauli::I => 0b000,
+        Pauli::X => 0b110,
+        Pauli::Y => 0b101,
+        Pauli::Z => 0b011,
+    }
+}
+
+/// Decodes a 3-bit code back to the operator. Panics on invalid codes.
+#[inline]
+pub fn op_from_code(code: u64) -> Pauli {
+    match code {
+        0b000 => Pauli::I,
+        0b110 => Pauli::X,
+        0b101 => Pauli::Y,
+        0b011 => Pauli::Z,
+        other => panic!("invalid 3-bit Pauli code {other:#b}"),
+    }
+}
+
+/// Number of 64-bit words needed for an `n`-qubit string.
+#[inline]
+pub const fn words_for(num_qubits: usize) -> usize {
+    num_qubits.div_ceil(OPS_PER_WORD)
+}
+
+/// A set of Pauli strings stored as packed 3-bit codes in a flat,
+/// cache-friendly word array (stride = `words_per_string`).
+///
+/// This is the memory layout the conflict-graph kernels iterate over: the
+/// input copied to the (simulated) GPU in Algorithm 3 is exactly this
+/// array plus the color lists.
+#[derive(Clone, Debug)]
+pub struct EncodedSet {
+    num_strings: usize,
+    num_qubits: usize,
+    words_per_string: usize,
+    words: Vec<u64>,
+}
+
+impl EncodedSet {
+    /// Encodes a slice of equal-length strings.
+    ///
+    /// Panics if the strings do not all share one length.
+    pub fn from_strings(strings: &[PauliString]) -> EncodedSet {
+        let num_qubits = strings.first().map_or(0, |s| s.len());
+        assert!(
+            strings.iter().all(|s| s.len() == num_qubits),
+            "all Pauli strings must have equal length"
+        );
+        let words_per_string = words_for(num_qubits).max(1);
+        let mut words = vec![0u64; strings.len() * words_per_string];
+        for (i, s) in strings.iter().enumerate() {
+            let row = &mut words[i * words_per_string..(i + 1) * words_per_string];
+            encode_into(s, row);
+        }
+        EncodedSet {
+            num_strings: strings.len(),
+            num_qubits,
+            words_per_string,
+            words,
+        }
+    }
+
+    /// Number of strings in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.num_strings
+    }
+
+    /// True when the set holds no strings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_strings == 0
+    }
+
+    /// Qubit count `N` shared by all strings.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Words per string (the row stride).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.words_per_string
+    }
+
+    /// The packed words of string `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.words[i * self.words_per_string..(i + 1) * self.words_per_string]
+    }
+
+    /// Decodes every string back to symbolic form (test/ablation use).
+    pub fn decode_all(&self) -> Vec<PauliString> {
+        (0..self.num_strings).map(|i| self.decode(i)).collect()
+    }
+
+    /// Decodes string `i` back to symbolic form.
+    pub fn decode(&self, i: usize) -> PauliString {
+        let row = self.row(i);
+        let mut ops = Vec::with_capacity(self.num_qubits);
+        for q in 0..self.num_qubits {
+            let word = row[q / OPS_PER_WORD];
+            let shift = 3 * (q % OPS_PER_WORD);
+            ops.push(op_from_code((word >> shift) & 0b111));
+        }
+        PauliString::new(ops)
+    }
+
+    /// AND + popcount-parity anticommutation check between rows `i` and
+    /// `j`. This is the hot inner loop of the whole system.
+    #[inline]
+    pub fn anticommutes_encoded(&self, i: usize, j: usize) -> bool {
+        let a = self.row(i);
+        let b = self.row(j);
+        anticommutes_rows(a, b)
+    }
+
+    /// Bytes of heap memory held by the packed array.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Packs one string into a pre-sized word row.
+pub fn encode_into(s: &PauliString, row: &mut [u64]) {
+    for w in row.iter_mut() {
+        *w = 0;
+    }
+    for (q, &p) in s.ops().iter().enumerate() {
+        let shift = 3 * (q % OPS_PER_WORD);
+        row[q / OPS_PER_WORD] |= op_code(p) << shift;
+    }
+}
+
+/// Word-level anticommutation of two packed rows: odd total popcount of
+/// the bitwise AND means the strings anticommute.
+#[inline]
+pub fn anticommutes_rows(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ones = 0u32;
+    for (&wa, &wb) in a.iter().zip(b.iter()) {
+        ones += (wa & wb).count_ones();
+    }
+    ones & 1 == 1
+}
+
+impl AntiCommuteSet for EncodedSet {
+    #[inline]
+    fn len(&self) -> usize {
+        self.num_strings
+    }
+
+    #[inline]
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    #[inline]
+    fn anticommutes(&self, i: usize, j: usize) -> bool {
+        self.anticommutes_encoded(i, j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_op_codes_have_expected_overlap_parity() {
+        use Pauli::*;
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let overlap = (op_code(a) & op_code(b)).count_ones();
+                let odd = overlap % 2 == 1;
+                assert_eq!(odd, a.anticommutes_with(b), "{a:?} & {b:?}");
+            }
+        }
+        // The exact codes from the paper.
+        assert_eq!(op_code(X), 0b110);
+        assert_eq!(op_code(Y), 0b101);
+        assert_eq!(op_code(Z), 0b011);
+        assert_eq!(op_code(I), 0b000);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1, 5, 20, 21, 22, 42, 43, 64] {
+            let strings: Vec<PauliString> =
+                (0..10).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = EncodedSet::from_strings(&strings);
+            assert_eq!(set.num_qubits(), n);
+            for (i, s) in strings.iter().enumerate() {
+                assert_eq!(&set.decode(i), s, "round trip at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stride_spans_word_boundaries() {
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(21), 1);
+        assert_eq!(words_for(22), 2);
+        assert_eq!(words_for(42), 2);
+        assert_eq!(words_for(43), 3);
+    }
+
+    #[test]
+    fn encoded_matches_naive_on_random_strings() {
+        let mut rng = StdRng::seed_from_u64(99);
+        // Deliberately cross the 21-op word boundary.
+        for n in [4, 12, 21, 24, 30, 45] {
+            let strings: Vec<PauliString> =
+                (0..24).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = EncodedSet::from_strings(&strings);
+            for i in 0..strings.len() {
+                for j in 0..strings.len() {
+                    assert_eq!(
+                        set.anticommutes_encoded(i, j),
+                        strings[i].anticommutes_naive(&strings[j]),
+                        "n={n} i={i} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = EncodedSet::from_strings(&[]);
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small: Vec<PauliString> = (0..10).map(|_| PauliString::random(24, &mut rng)).collect();
+        let large: Vec<PauliString> = (0..1000)
+            .map(|_| PauliString::random(24, &mut rng))
+            .collect();
+        let a = EncodedSet::from_strings(&small).heap_bytes();
+        let b = EncodedSet::from_strings(&large).heap_bytes();
+        assert!(
+            b >= a * 50,
+            "1000 strings should take ~100x the bytes of 10"
+        );
+    }
+
+    #[test]
+    fn random_range_sanity() {
+        // Guard against RNG API misuse: codes are always in range.
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let c: u8 = rng.random_range(0u8..4);
+            assert!(c < 4);
+        }
+    }
+}

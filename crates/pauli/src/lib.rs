@@ -1,0 +1,37 @@
+//! Pauli-string algebra and anticommutation oracles for the Picasso
+//! reproduction.
+//!
+//! This crate provides every Pauli-level primitive the paper relies on:
+//!
+//! * exact 2×2 complex Pauli matrices and dense Kronecker products, used to
+//!   *verify* the fast oracles against the textbook definition of
+//!   anticommutation (Eq. 3 of the paper),
+//! * [`PauliString`] — a tensor product of single-qubit Pauli operators —
+//!   with symbolic multiplication and phase tracking (needed by the
+//!   Jordan–Wigner transform in `qchem`),
+//! * the paper's 3-bit *inverse one-hot* packed encoding
+//!   ([`EncodedSet`], §IV-A: σx=110, σy=101, σz=011, I=000; AND + popcount
+//!   parity), a 2-bit symplectic encoding ([`SymplecticSet`]) used as an
+//!   ablation baseline, and a naive character-comparison oracle,
+//! * the [`AntiCommuteSet`] trait unifying all three so the coloring core
+//!   can enumerate (complement-)graph edges *without ever materializing the
+//!   graph* — the property that gives Picasso its sublinear space bound.
+
+pub mod algebra;
+pub mod complex;
+pub mod encode;
+pub mod matrix;
+pub mod op;
+pub mod oracle;
+pub mod string;
+pub mod sum;
+pub mod symplectic;
+
+pub use complex::Complex;
+pub use encode::EncodedSet;
+pub use matrix::{DenseMatrix, Matrix2};
+pub use op::{Pauli, Phase};
+pub use oracle::{AntiCommuteSet, NaiveSet};
+pub use string::PauliString;
+pub use sum::PauliSum;
+pub use symplectic::SymplecticSet;

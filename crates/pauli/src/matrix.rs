@@ -1,0 +1,283 @@
+//! Exact dense complex matrices.
+//!
+//! These are *verification* tools, not performance primitives: property
+//! tests use Kronecker products of 2×2 Pauli matrices to check the fast
+//! bit-encoded anticommutation oracles against the literal definition
+//! `{A, B} = AB + BA = 0` from Eq. 3 of the paper.
+
+use crate::complex::Complex;
+
+/// A 2×2 complex matrix in row-major order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Matrix2 {
+    /// Entries `[a00, a01, a10, a11]`.
+    pub m: [Complex; 4],
+}
+
+impl Matrix2 {
+    /// The 2×2 identity.
+    pub fn identity() -> Matrix2 {
+        Matrix2 {
+            m: [Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::ONE],
+        }
+    }
+
+    /// σ_x = [[0, 1], [1, 0]].
+    pub fn sigma_x() -> Matrix2 {
+        Matrix2 {
+            m: [Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO],
+        }
+    }
+
+    /// σ_y = [[0, -i], [i, 0]].
+    pub fn sigma_y() -> Matrix2 {
+        Matrix2 {
+            m: [
+                Complex::ZERO,
+                Complex::new(0.0, -1.0),
+                Complex::I,
+                Complex::ZERO,
+            ],
+        }
+    }
+
+    /// σ_z = [[1, 0], [0, -1]].
+    pub fn sigma_z() -> Matrix2 {
+        Matrix2 {
+            m: [
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::new(-1.0, 0.0),
+            ],
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    // An inherent `mul` taking &self by reference is clearer here than
+    // implementing `std::ops::Mul` for a by-value Copy type.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(&self, rhs: &Matrix2) -> Matrix2 {
+        let a = &self.m;
+        let b = &rhs.m;
+        Matrix2 {
+            m: [
+                a[0] * b[0] + a[1] * b[2],
+                a[0] * b[1] + a[1] * b[3],
+                a[2] * b[0] + a[3] * b[2],
+                a[2] * b[1] + a[3] * b[3],
+            ],
+        }
+    }
+
+    /// Matrix sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix2) -> Matrix2 {
+        let mut m = self.m;
+        for (x, y) in m.iter_mut().zip(rhs.m.iter()) {
+            *x += *y;
+        }
+        Matrix2 { m }
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, s: Complex) -> Matrix2 {
+        let mut m = self.m;
+        for x in m.iter_mut() {
+            *x *= s;
+        }
+        Matrix2 { m }
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Matrix2 {
+        Matrix2 {
+            m: [
+                self.m[0].conj(),
+                self.m[2].conj(),
+                self.m[1].conj(),
+                self.m[3].conj(),
+            ],
+        }
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, rhs: &Matrix2, tol: f64) -> bool {
+        self.m
+            .iter()
+            .zip(rhs.m.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// True when all entries are within `tol` of zero.
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.m.iter().all(|z| z.is_zero(tol))
+    }
+}
+
+/// A square dense complex matrix of runtime dimension.
+///
+/// Only used at test scale (dimension ≤ 2^6 or so); the production oracles
+/// never build matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl DenseMatrix {
+    /// The n×n identity.
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut data = vec![Complex::ZERO; n * n];
+        for i in 0..n {
+            data[i * n + i] = Complex::ONE;
+        }
+        DenseMatrix { n, data }
+    }
+
+    /// Promotes a 2×2 matrix.
+    pub fn from_matrix2(m: &Matrix2) -> DenseMatrix {
+        DenseMatrix {
+            n: 2,
+            data: m.m.to_vec(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Complex {
+        self.data[r * self.n + c]
+    }
+
+    /// Matrix product. Panics if dimensions disagree.
+    pub fn mul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let n = self.n;
+        let mut data = vec![Complex::ZERO; n * n];
+        for r in 0..n {
+            for k in 0..n {
+                let a = self.at(r, k);
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for c in 0..n {
+                    data[r * n + c] += a * rhs.at(k, c);
+                }
+            }
+        }
+        DenseMatrix { n, data }
+    }
+
+    /// Matrix sum. Panics if dimensions disagree.
+    pub fn add(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| *a + *b)
+            .collect();
+        DenseMatrix { n: self.n, data }
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let n = self.n * rhs.n;
+        let mut data = vec![Complex::ZERO; n * n];
+        for ar in 0..self.n {
+            for ac in 0..self.n {
+                let a = self.at(ar, ac);
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for br in 0..rhs.n {
+                    for bc in 0..rhs.n {
+                        let r = ar * rhs.n + br;
+                        let c = ac * rhs.n + bc;
+                        data[r * n + c] = a * rhs.at(br, bc);
+                    }
+                }
+            }
+        }
+        DenseMatrix { n, data }
+    }
+
+    /// True when every entry is within `tol` of zero.
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.data.iter().all(|z| z.is_zero(tol))
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, rhs: &DenseMatrix, tol: f64) -> bool {
+        self.n == rhs.n
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_matrices_are_involutions() {
+        for m in [Matrix2::sigma_x(), Matrix2::sigma_y(), Matrix2::sigma_z()] {
+            assert!(m.mul(&m).approx_eq(&Matrix2::identity(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn pauli_matrices_are_hermitian() {
+        for m in [
+            Matrix2::identity(),
+            Matrix2::sigma_x(),
+            Matrix2::sigma_y(),
+            Matrix2::sigma_z(),
+        ] {
+            assert!(m.adjoint().approx_eq(&m, 1e-12));
+        }
+    }
+
+    #[test]
+    fn xy_equals_i_z() {
+        let xy = Matrix2::sigma_x().mul(&Matrix2::sigma_y());
+        let iz = Matrix2::sigma_z().scale(Complex::I);
+        assert!(xy.approx_eq(&iz, 1e-12));
+    }
+
+    #[test]
+    fn dense_identity_multiplication() {
+        let x = DenseMatrix::from_matrix2(&Matrix2::sigma_x());
+        let id = DenseMatrix::identity(2);
+        assert!(x.mul(&id).approx_eq(&x, 1e-12));
+        assert!(id.mul(&x).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_identity() {
+        let a = DenseMatrix::identity(2);
+        let b = DenseMatrix::identity(4);
+        let k = a.kron(&b);
+        assert_eq!(k.dim(), 8);
+        assert!(k.approx_eq(&DenseMatrix::identity(8), 1e-12));
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = DenseMatrix::from_matrix2(&Matrix2::sigma_x());
+        let b = DenseMatrix::from_matrix2(&Matrix2::sigma_y());
+        let c = DenseMatrix::from_matrix2(&Matrix2::sigma_z());
+        let d = DenseMatrix::from_matrix2(&Matrix2::sigma_x());
+        let lhs = a.kron(&b).mul(&c.kron(&d));
+        let rhs = a.mul(&c).kron(&b.mul(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+}

@@ -1,0 +1,224 @@
+//! Single-qubit Pauli operators and their multiplication table.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix2;
+use serde::{Deserialize, Serialize};
+
+/// A single-qubit Pauli operator (including the identity).
+///
+/// The discriminants are chosen so that `Pauli` can double as a 2-bit code;
+/// the paper's 3-bit inverse one-hot code lives in [`crate::encode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Pauli {
+    /// The 2×2 identity matrix.
+    I = 0,
+    /// σ_x.
+    X = 1,
+    /// σ_y.
+    Y = 2,
+    /// σ_z.
+    Z = 3,
+}
+
+/// A power of the imaginary unit, `i^exp` with `exp` taken mod 4.
+///
+/// Pauli products only ever produce phases from `{1, i, -1, -i}`, so an
+/// exponent is the exact (and cheap) representation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Phase {
+    exp: u8,
+}
+
+impl Phase {
+    /// The trivial phase `+1`.
+    pub const ONE: Phase = Phase { exp: 0 };
+    /// The phase `i`.
+    pub const PLUS_I: Phase = Phase { exp: 1 };
+    /// The phase `-1`.
+    pub const MINUS_ONE: Phase = Phase { exp: 2 };
+    /// The phase `-i`.
+    pub const MINUS_I: Phase = Phase { exp: 3 };
+
+    /// Builds a phase from an exponent of `i` (reduced mod 4).
+    #[inline]
+    pub const fn from_exp(exp: u8) -> Phase {
+        Phase { exp: exp & 3 }
+    }
+
+    /// The exponent `k` such that the phase equals `i^k`, in `0..4`.
+    #[inline]
+    pub const fn exp(self) -> u8 {
+        self.exp
+    }
+
+    /// Phase composition: `i^a * i^b = i^(a+b)`.
+    #[inline]
+    pub const fn mul(self, other: Phase) -> Phase {
+        Phase {
+            exp: (self.exp + other.exp) & 3,
+        }
+    }
+
+    /// The complex value of this phase.
+    #[inline]
+    pub fn to_complex(self) -> Complex {
+        Complex::i_pow(self.exp)
+    }
+}
+
+impl Pauli {
+    /// All four operators in discriminant order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Parses one of `I`, `X`, `Y`, `Z` (case-insensitive).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// The canonical single-character name.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+
+    /// Reconstructs an operator from its 2-bit discriminant.
+    #[inline]
+    pub fn from_code(code: u8) -> Pauli {
+        match code & 3 {
+            0 => Pauli::I,
+            1 => Pauli::X,
+            2 => Pauli::Y,
+            _ => Pauli::Z,
+        }
+    }
+
+    /// The exact 2×2 matrix representation (Eq. 4 of the paper).
+    pub fn matrix(self) -> Matrix2 {
+        match self {
+            Pauli::I => Matrix2::identity(),
+            Pauli::X => Matrix2::sigma_x(),
+            Pauli::Y => Matrix2::sigma_y(),
+            Pauli::Z => Matrix2::sigma_z(),
+        }
+    }
+
+    /// Single-qubit anticommutation (Eq. 5): two operators anticommute iff
+    /// they are distinct and neither is the identity.
+    #[inline]
+    pub fn anticommutes_with(self, other: Pauli) -> bool {
+        self != other && self != Pauli::I && other != Pauli::I
+    }
+
+    /// Product of two single-qubit Paulis: `a * b = phase * c`.
+    ///
+    /// Encodes the table `XY = iZ`, `YZ = iX`, `ZX = iY` and the reversed
+    /// products with phase `-i`; like operators square to the identity.
+    // Returns a (phase, operator) pair, so `std::ops::Mul` (whose output
+    // would have to be a bare `Pauli`) is not the right trait.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn mul(self, other: Pauli) -> (Phase, Pauli) {
+        use Pauli::*;
+        match (self, other) {
+            (I, p) | (p, I) => (Phase::ONE, p),
+            (a, b) if a == b => (Phase::ONE, I),
+            (X, Y) => (Phase::PLUS_I, Z),
+            (Y, X) => (Phase::MINUS_I, Z),
+            (Y, Z) => (Phase::PLUS_I, X),
+            (Z, Y) => (Phase::MINUS_I, X),
+            (Z, X) => (Phase::PLUS_I, Y),
+            (X, Z) => (Phase::MINUS_I, Y),
+            _ => unreachable!("all Pauli pairs covered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('x'), Some(Pauli::X));
+        assert_eq!(Pauli::from_char('Q'), None);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_code(p as u8), p);
+        }
+    }
+
+    #[test]
+    fn anticommutation_table() {
+        use Pauli::*;
+        // Identity commutes with everything.
+        for p in Pauli::ALL {
+            assert!(!I.anticommutes_with(p));
+            assert!(!p.anticommutes_with(I));
+            assert!(!p.anticommutes_with(p));
+        }
+        // Distinct non-identity pairs anticommute.
+        for a in [X, Y, Z] {
+            for b in [X, Y, Z] {
+                assert_eq!(a.anticommutes_with(b), a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_table_matches_matrices() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let (phase, c) = a.mul(b);
+                let lhs = a.matrix().mul(&b.matrix());
+                let rhs = c.matrix().scale(phase.to_complex());
+                assert!(
+                    lhs.approx_eq(&rhs, 1e-12),
+                    "{a:?} * {b:?} should be {phase:?} {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anticommutation_matches_matrix_anticommutator() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                let anti = a
+                    .matrix()
+                    .mul(&b.matrix())
+                    .add(&b.matrix().mul(&a.matrix()));
+                assert_eq!(
+                    a.anticommutes_with(b),
+                    anti.is_zero(1e-12),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_composition() {
+        assert_eq!(Phase::PLUS_I.mul(Phase::PLUS_I), Phase::MINUS_ONE);
+        assert_eq!(Phase::MINUS_I.mul(Phase::PLUS_I), Phase::ONE);
+        assert_eq!(Phase::MINUS_ONE.mul(Phase::MINUS_ONE), Phase::ONE);
+        assert_eq!(Phase::from_exp(7), Phase::MINUS_I);
+    }
+}

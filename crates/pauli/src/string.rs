@@ -1,0 +1,279 @@
+//! Pauli strings: tensor products of single-qubit Pauli operators.
+
+use crate::matrix::DenseMatrix;
+use crate::op::Pauli;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A Pauli string of fixed length `N` — the vertex type of the paper's
+/// graphs (one string per Pauli term of the Hamiltonian / ansatz).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PauliString {
+    ops: Vec<Pauli>,
+}
+
+/// Error produced when parsing a Pauli string from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// The character that is not one of `IXYZ`.
+    pub found: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Pauli character {:?} at position {}",
+            self.found, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl PauliString {
+    /// Builds a string from explicit operators.
+    pub fn new(ops: Vec<Pauli>) -> PauliString {
+        PauliString { ops }
+    }
+
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> PauliString {
+        PauliString {
+            ops: vec![Pauli::I; n],
+        }
+    }
+
+    /// Number of qubits (string length `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for the zero-qubit string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operators, position by position.
+    #[inline]
+    pub fn ops(&self) -> &[Pauli] {
+        &self.ops
+    }
+
+    /// Mutable access, used by the symbolic algebra in [`crate::algebra`].
+    #[inline]
+    pub(crate) fn ops_mut(&mut self) -> &mut [Pauli] {
+        &mut self.ops
+    }
+
+    /// The operator at qubit `i`.
+    #[inline]
+    pub fn op(&self, i: usize) -> Pauli {
+        self.ops[i]
+    }
+
+    /// Replaces the operator at qubit `i`.
+    #[inline]
+    pub fn set_op(&mut self, i: usize, p: Pauli) {
+        self.ops[i] = p;
+    }
+
+    /// Number of non-identity positions (the *weight* of the string).
+    pub fn weight(&self) -> usize {
+        self.ops.iter().filter(|&&p| p != Pauli::I).count()
+    }
+
+    /// True when every position is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|&p| p == Pauli::I)
+    }
+
+    /// Character-comparison anticommutation check (the paper's baseline
+    /// before bit encoding): two strings anticommute iff the number of
+    /// positions holding *distinct non-identity* operators is odd.
+    pub fn anticommutes_naive(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "string length mismatch");
+        let mismatches = self
+            .ops
+            .iter()
+            .zip(other.ops.iter())
+            .filter(|(a, b)| a.anticommutes_with(**b))
+            .count();
+        mismatches % 2 == 1
+    }
+
+    /// The full 2^N × 2^N matrix via Kronecker products. Test-scale only.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut acc = DenseMatrix::identity(1);
+        for p in &self.ops {
+            acc = acc.kron(&DenseMatrix::from_matrix2(&p.matrix()));
+        }
+        acc
+    }
+
+    /// Samples a uniformly random string over `{I, X, Y, Z}^n`.
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> PauliString {
+        let ops = (0..n)
+            .map(|_| Pauli::from_code(rng.random_range(0u8..4)))
+            .collect();
+        PauliString { ops }
+    }
+
+    /// Samples a random *non-identity* string over `{I, X, Y, Z}^n`.
+    pub fn random_nonidentity<R: Rng + ?Sized>(n: usize, rng: &mut R) -> PauliString {
+        loop {
+            let s = Self::random(n, rng);
+            if !s.is_identity() {
+                return s;
+            }
+        }
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        for (position, c) in s.chars().enumerate() {
+            match Pauli::from_char(c) {
+                Some(p) => ops.push(p),
+                None => return Err(ParsePauliError { position, found: c }),
+            }
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.ops {
+            write!(f, "{}", p.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+/// Generates `count` distinct random Pauli strings on `n` qubits.
+///
+/// Panics if `count` exceeds the number of distinct strings `4^n`.
+pub fn random_unique_set<R: Rng + ?Sized>(
+    count: usize,
+    num_qubits: usize,
+    rng: &mut R,
+) -> Vec<PauliString> {
+    let space = 4f64.powi(num_qubits as i32);
+    assert!(
+        (count as f64) <= space,
+        "cannot draw {count} distinct strings from a space of {space}"
+    );
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let s = PauliString::random(num_qubits, rng);
+        if seen.insert(s.clone()) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for text in ["IXYZ", "XXXX", "I", "ZYXZYX"] {
+            let s: PauliString = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_characters() {
+        let err = "IXQZ".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.found, 'Q');
+    }
+
+    #[test]
+    fn weight_counts_non_identity() {
+        let s: PauliString = "IXIZ".parse().unwrap();
+        assert_eq!(s.weight(), 2);
+        assert!(!s.is_identity());
+        assert!(PauliString::identity(5).is_identity());
+    }
+
+    #[test]
+    fn paper_h2_example_pairs() {
+        // From Fig. 1 of the paper (H2/sto-3g): spot-check a few pairs.
+        let p1: PauliString = "XYXY".parse().unwrap();
+        let p2: PauliString = "YYXY".parse().unwrap();
+        // Differ only at position 0 with X vs Y: one anticommuting
+        // position, odd, so the strings anticommute.
+        assert!(p1.anticommutes_naive(&p2));
+
+        let p0: PauliString = "IIII".parse().unwrap();
+        // Identity commutes with everything.
+        assert!(!p0.anticommutes_naive(&p1));
+
+        let p3: PauliString = "XXXY".parse().unwrap();
+        let p4: PauliString = "YXXY".parse().unwrap();
+        // XXXY vs YXXY: one anticommuting position (X vs Y) -> anticommute.
+        assert!(p3.anticommutes_naive(&p4));
+        // XYXY vs YXXY: positions 0 (X/Y) and 1 (Y/X) -> even -> commute.
+        assert!(!p1.anticommutes_naive(&p4));
+    }
+
+    #[test]
+    fn naive_matches_dense_anticommutator_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let n = rng.random_range(1..=4);
+            let a = PauliString::random(n, &mut rng);
+            let b = PauliString::random(n, &mut rng);
+            let ab = a.to_dense().mul(&b.to_dense());
+            let ba = b.to_dense().mul(&a.to_dense());
+            let anti = ab.add(&ba);
+            assert_eq!(a.anticommutes_naive(&b), anti.is_zero(1e-9), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn anticommutation_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = PauliString::random(8, &mut rng);
+            let b = PauliString::random(8, &mut rng);
+            assert_eq!(a.anticommutes_naive(&b), b.anticommutes_naive(&a));
+        }
+    }
+
+    #[test]
+    fn nothing_anticommutes_with_itself() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let a = PauliString::random(6, &mut rng);
+            assert!(!a.anticommutes_naive(&a));
+        }
+    }
+
+    #[test]
+    fn random_unique_set_is_unique_and_sized() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let set = random_unique_set(100, 5, &mut rng);
+        assert_eq!(set.len(), 100);
+        let uniq: std::collections::HashSet<_> = set.iter().collect();
+        assert_eq!(uniq.len(), 100);
+        assert!(set.iter().all(|s| s.len() == 5));
+    }
+}

@@ -1,0 +1,204 @@
+//! Linear combinations of Pauli strings with complex coefficients.
+//!
+//! [`PauliSum`] is the symbolic workspace of the Jordan–Wigner transform:
+//! ladder operators become 2-term sums, operator products multiply sums
+//! term-by-term, and Hermitian combinations cancel imaginary parts.
+
+use crate::algebra::mul_strings;
+use crate::complex::Complex;
+use crate::string::PauliString;
+use std::collections::HashMap;
+
+/// Coefficients below this magnitude are treated as numerical zero.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// A sparse linear combination `Σ_k c_k P_k` over distinct Pauli strings.
+#[derive(Clone, Debug, Default)]
+pub struct PauliSum {
+    terms: HashMap<PauliString, Complex>,
+    num_qubits: usize,
+}
+
+impl PauliSum {
+    /// The empty (zero) operator on `num_qubits` qubits.
+    pub fn zero(num_qubits: usize) -> PauliSum {
+        PauliSum {
+            terms: HashMap::new(),
+            num_qubits,
+        }
+    }
+
+    /// The identity operator with coefficient `c`.
+    pub fn scalar(num_qubits: usize, c: Complex) -> PauliSum {
+        let mut s = PauliSum::zero(num_qubits);
+        s.add_term(PauliString::identity(num_qubits), c);
+        s
+    }
+
+    /// A single-term operator `c * P`.
+    pub fn single(string: PauliString, c: Complex) -> PauliSum {
+        let mut s = PauliSum::zero(string.len());
+        s.add_term(string, c);
+        s
+    }
+
+    /// Number of qubits each term acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of stored terms (including any that are numerically zero
+    /// until [`PauliSum::prune`] is called).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `c * P` into the sum, merging with an existing identical string.
+    pub fn add_term(&mut self, string: PauliString, c: Complex) {
+        debug_assert_eq!(string.len(), self.num_qubits);
+        let entry = self.terms.entry(string).or_insert(Complex::ZERO);
+        *entry += c;
+    }
+
+    /// Adds every term of `other` into `self`.
+    pub fn add_sum(&mut self, other: &PauliSum) {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        for (s, c) in &other.terms {
+            self.add_term(s.clone(), *c);
+        }
+    }
+
+    /// Multiplies every coefficient by `c`.
+    pub fn scale(&mut self, c: Complex) {
+        for v in self.terms.values_mut() {
+            *v *= c;
+        }
+    }
+
+    /// Operator product `self * rhs`, expanding term-by-term with exact
+    /// phases.
+    pub fn mul(&self, rhs: &PauliSum) -> PauliSum {
+        assert_eq!(self.num_qubits, rhs.num_qubits, "qubit count mismatch");
+        let mut out = PauliSum::zero(self.num_qubits);
+        for (a, ca) in &self.terms {
+            for (b, cb) in &rhs.terms {
+                let (phase, p) = mul_strings(a, b);
+                out.add_term(p, *ca * *cb * phase.to_complex());
+            }
+        }
+        out
+    }
+
+    /// Drops terms whose coefficient magnitude is below `tol`.
+    pub fn prune(&mut self, tol: f64) {
+        self.terms.retain(|_, c| !c.is_zero(tol));
+    }
+
+    /// Iterates over `(string, coefficient)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PauliString, &Complex)> {
+        self.terms.iter()
+    }
+
+    /// True when, after pruning at `tol`, every coefficient is real —
+    /// i.e. the operator is Hermitian (each Pauli string is Hermitian, so
+    /// Hermiticity of the sum is exactly realness of the coefficients).
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.terms
+            .iter()
+            .all(|(_, c)| c.is_zero(tol) || c.im.abs() <= tol)
+    }
+
+    /// Extracts the strings with non-negligible coefficients, sorted for
+    /// determinism, discarding the coefficients. This is the vertex set the
+    /// coloring pipeline consumes.
+    pub fn strings_sorted(&self, tol: f64) -> Vec<PauliString> {
+        let mut v: Vec<PauliString> = self
+            .terms
+            .iter()
+            .filter(|(_, c)| !c.is_zero(tol))
+            .map(|(s, _)| s.clone())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn terms_merge_on_add() {
+        let mut sum = PauliSum::zero(2);
+        sum.add_term(ps("XY"), Complex::real(1.0));
+        sum.add_term(ps("XY"), Complex::real(2.0));
+        sum.add_term(ps("ZZ"), Complex::I);
+        assert_eq!(sum.num_terms(), 2);
+    }
+
+    #[test]
+    fn cancellation_then_prune() {
+        let mut sum = PauliSum::zero(2);
+        sum.add_term(ps("XY"), Complex::real(1.0));
+        sum.add_term(ps("XY"), Complex::real(-1.0));
+        assert_eq!(sum.num_terms(), 1);
+        sum.prune(DEFAULT_TOL);
+        assert!(sum.is_empty());
+    }
+
+    #[test]
+    fn product_expands_with_phases() {
+        // (X)(Y) = iZ on one qubit.
+        let x = PauliSum::single(ps("X"), Complex::ONE);
+        let y = PauliSum::single(ps("Y"), Complex::ONE);
+        let xy = x.mul(&y);
+        assert_eq!(xy.num_terms(), 1);
+        let (s, c) = xy.iter().next().unwrap();
+        assert_eq!(s.to_string(), "Z");
+        assert!(c.approx_eq(Complex::I, 1e-12));
+    }
+
+    #[test]
+    fn square_of_hermitian_combination() {
+        // (X + Y)^2 = 2I since XY + YX = 0.
+        let mut s = PauliSum::zero(1);
+        s.add_term(ps("X"), Complex::ONE);
+        s.add_term(ps("Y"), Complex::ONE);
+        let mut sq = s.mul(&s);
+        sq.prune(DEFAULT_TOL);
+        assert_eq!(sq.num_terms(), 1);
+        let (p, c) = sq.iter().next().unwrap();
+        assert!(p.is_identity());
+        assert!(c.approx_eq(Complex::real(2.0), 1e-12));
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        let mut h = PauliSum::zero(2);
+        h.add_term(ps("XY"), Complex::real(0.5));
+        h.add_term(ps("ZI"), Complex::real(-1.5));
+        assert!(h.is_hermitian(DEFAULT_TOL));
+        h.add_term(ps("YY"), Complex::new(0.0, 0.25));
+        assert!(!h.is_hermitian(DEFAULT_TOL));
+    }
+
+    #[test]
+    fn strings_sorted_is_deterministic_and_filtered() {
+        let mut h = PauliSum::zero(2);
+        h.add_term(ps("ZZ"), Complex::real(1.0));
+        h.add_term(ps("XX"), Complex::real(1.0));
+        h.add_term(ps("YY"), Complex::real(1e-15));
+        let v = h.strings_sorted(DEFAULT_TOL);
+        assert_eq!(v.len(), 2);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+}

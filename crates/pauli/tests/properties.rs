@@ -1,0 +1,128 @@
+//! Property-based tests for the Pauli algebra and encodings.
+//!
+//! The central claims verified here, each against the exact matrix model:
+//! 1. the character-comparison oracle equals the textbook anticommutator,
+//! 2. the 3-bit inverse one-hot oracle equals the character oracle,
+//! 3. the symplectic oracle equals the character oracle,
+//! 4. string multiplication phases are exact.
+
+use pauli::encode::EncodedSet;
+use pauli::oracle::AntiCommuteSet;
+use pauli::symplectic::SymplecticSet;
+use pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(arb_pauli(), n).prop_map(PauliString::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Naive oracle == dense-matrix anticommutator, for sizes where the
+    /// 2^n matrices are cheap.
+    #[test]
+    fn naive_equals_matrix_model(
+        n in 1usize..=4,
+        seed in any::<u64>()
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = PauliString::random(n, &mut rng);
+        let b = PauliString::random(n, &mut rng);
+        let anti = a.to_dense().mul(&b.to_dense()).add(&b.to_dense().mul(&a.to_dense()));
+        prop_assert_eq!(a.anticommutes_naive(&b), anti.is_zero(1e-9));
+    }
+
+    /// 3-bit packed oracle == naive oracle across word boundaries.
+    #[test]
+    fn encoded_equals_naive(
+        strings in proptest::collection::vec(arb_string(23), 2..12)
+    ) {
+        let set = EncodedSet::from_strings(&strings);
+        for i in 0..strings.len() {
+            for j in 0..strings.len() {
+                prop_assert_eq!(
+                    set.anticommutes(i, j),
+                    strings[i].anticommutes_naive(&strings[j])
+                );
+            }
+        }
+    }
+
+    /// Symplectic oracle == naive oracle.
+    #[test]
+    fn symplectic_equals_naive(
+        strings in proptest::collection::vec(arb_string(17), 2..12)
+    ) {
+        let set = SymplecticSet::from_strings(&strings);
+        for i in 0..strings.len() {
+            for j in 0..strings.len() {
+                prop_assert_eq!(
+                    set.anticommutes(i, j),
+                    strings[i].anticommutes_naive(&strings[j])
+                );
+            }
+        }
+    }
+
+    /// Encode/decode round trip at arbitrary lengths.
+    #[test]
+    fn encoding_round_trips(
+        n in 1usize..70,
+        seed in any::<u64>()
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = PauliString::random(n, &mut rng);
+        let enc = EncodedSet::from_strings(std::slice::from_ref(&s));
+        prop_assert_eq!(enc.decode(0), s.clone());
+        let sym = SymplecticSet::from_strings(std::slice::from_ref(&s));
+        prop_assert_eq!(sym.decode(0), s);
+    }
+
+    /// Anticommutation is symmetric and irreflexive for every oracle.
+    #[test]
+    fn oracle_symmetry_and_irreflexivity(
+        strings in proptest::collection::vec(arb_string(9), 2..10)
+    ) {
+        let set = EncodedSet::from_strings(&strings);
+        for i in 0..strings.len() {
+            prop_assert!(!set.anticommutes(i, i));
+            for j in 0..strings.len() {
+                prop_assert_eq!(set.anticommutes(i, j), set.anticommutes(j, i));
+                prop_assert_eq!(set.complement_edge(i, j), set.complement_edge(j, i));
+            }
+        }
+    }
+
+    /// Product phase exactness: (a*b) then (b*a) differ by (-1)^{anticommute}.
+    #[test]
+    fn product_phase_antisymmetry(
+        n in 1usize..12,
+        seed in any::<u64>()
+    ) {
+        use rand::{SeedableRng, rngs::StdRng};
+        use pauli::algebra::mul_strings;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = PauliString::random(n, &mut rng);
+        let b = PauliString::random(n, &mut rng);
+        let (pab, cab) = mul_strings(&a, &b);
+        let (pba, cba) = mul_strings(&b, &a);
+        prop_assert_eq!(cab, cba);
+        if a.anticommutes_naive(&b) {
+            prop_assert_eq!(pab.exp().abs_diff(pba.exp()), 2);
+        } else {
+            prop_assert_eq!(pab, pba);
+        }
+    }
+}

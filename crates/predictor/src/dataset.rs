@@ -1,0 +1,175 @@
+//! Training-set assembly: Steps 1–4 of the paper's §VI methodology.
+//!
+//! For each molecule, a `(P′, α)` grid sweep yields `(C, |Ec|)` per
+//! point; for each trade-off weight β the point minimizing the
+//! bi-objective of Eq. 7 becomes one training sample
+//! `(β, |V|, |E|) → (P′, α)`.
+
+use picasso::SweepPoint;
+use serde::Serialize;
+
+/// One labeled sample of the parameter-prediction task.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct TrainingSample {
+    /// Trade-off weight β from Eq. 7.
+    pub beta: f64,
+    /// Graph vertex count.
+    pub num_vertices: f64,
+    /// Graph edge count.
+    pub num_edges: f64,
+    /// Optimal palette percent `P′` for this (graph, β).
+    pub palette_percent: f64,
+    /// Optimal α for this (graph, β).
+    pub alpha: f64,
+}
+
+impl TrainingSample {
+    /// The model's raw feature vector. `|V|` and `|E|` enter as log10,
+    /// since the instances span orders of magnitude.
+    pub fn features(&self) -> [f64; 3] {
+        Self::raw_features(self.beta, self.num_vertices as u64, self.num_edges as u64)
+    }
+
+    /// Feature transform shared by training and inference.
+    pub fn raw_features(beta: f64, num_vertices: u64, num_edges: u64) -> [f64; 3] {
+        [
+            beta,
+            (num_vertices.max(1) as f64).log10(),
+            (num_edges.max(1) as f64).log10(),
+        ]
+    }
+
+    /// The target vector `(P′, α)`.
+    pub fn targets(&self) -> Vec<f64> {
+        vec![self.palette_percent, self.alpha]
+    }
+}
+
+/// Step 2–3: for each β, select the sweep point minimizing
+/// `β·Ĉ + (1−β)·|Êc|` where `Ĉ` and `|Êc|` are normalized to `[0, 1]`
+/// within the sweep (the two raw objectives live on wildly different
+/// scales; the paper's Fig. 5 heatmaps are normalized the same way).
+pub fn optimal_points_per_beta(
+    sweep: &[SweepPoint],
+    num_vertices: u64,
+    num_edges: u64,
+    betas: &[f64],
+) -> Vec<TrainingSample> {
+    assert!(!sweep.is_empty(), "empty sweep");
+    let max_c = sweep.iter().map(|p| p.num_colors).max().unwrap().max(1) as f64;
+    let max_ec = sweep
+        .iter()
+        .map(|p| p.max_conflict_edges)
+        .max()
+        .unwrap()
+        .max(1) as f64;
+    betas
+        .iter()
+        .map(|&beta| {
+            let best = sweep
+                .iter()
+                .min_by(|a, b| {
+                    let fa = beta * a.num_colors as f64 / max_c
+                        + (1.0 - beta) * a.max_conflict_edges as f64 / max_ec;
+                    let fb = beta * b.num_colors as f64 / max_c
+                        + (1.0 - beta) * b.max_conflict_edges as f64 / max_ec;
+                    fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            TrainingSample {
+                beta,
+                num_vertices: num_vertices as f64,
+                num_edges: num_edges as f64,
+                palette_percent: best.palette_fraction * 100.0,
+                alpha: best.alpha,
+            }
+        })
+        .collect()
+}
+
+/// The β grid the paper sweeps: 0.1, 0.2, …, 0.9.
+pub fn paper_betas() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+/// The paper's `P′` grid: 1%, 2.5%, 5%, 7.5%, …, 20% (as fractions).
+pub fn paper_palette_fractions() -> Vec<f64> {
+    let mut v = vec![0.01];
+    let mut p = 2.5;
+    while p <= 20.0 + 1e-9 {
+        v.push(p / 100.0);
+        p += 2.5;
+    }
+    v
+}
+
+/// The paper's α grid: 0.5, 1.0, …, 4.5.
+pub fn paper_alphas() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 * 0.5).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_sweep() -> Vec<SweepPoint> {
+        // Small palettes -> few colors but many conflicts; large palettes
+        // -> many colors, few conflicts.
+        [
+            (0.01, 50u32, 100_000usize),
+            (0.10, 200, 10_000),
+            (0.20, 400, 1_000),
+        ]
+        .iter()
+        .map(|&(f, c, e)| SweepPoint {
+            palette_fraction: f,
+            alpha: 2.0,
+            num_colors: c,
+            max_conflict_edges: e,
+            total_conflict_edges: e * 2,
+            total_secs: 0.1,
+            iterations: 3,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn beta_extremes_pick_the_right_corners() {
+        let sweep = fake_sweep();
+        let samples = optimal_points_per_beta(&sweep, 1000, 500_000, &[0.01, 0.99]);
+        // Tiny beta: conflicts dominate -> largest palette (few conflicts).
+        assert_eq!(samples[0].palette_percent, 20.0);
+        // Huge beta: colors dominate -> smallest palette (few colors).
+        assert_eq!(samples[1].palette_percent, 1.0);
+    }
+
+    #[test]
+    fn one_sample_per_beta() {
+        let sweep = fake_sweep();
+        let betas = paper_betas();
+        let samples = optimal_points_per_beta(&sweep, 1000, 500_000, &betas);
+        assert_eq!(samples.len(), 9);
+        for (s, &b) in samples.iter().zip(betas.iter()) {
+            assert_eq!(s.beta, b);
+            assert_eq!(s.num_vertices, 1000.0);
+        }
+    }
+
+    #[test]
+    fn paper_grids_match_section_vi() {
+        let p = paper_palette_fractions();
+        assert_eq!(p[0], 0.01);
+        assert!((p[1] - 0.025).abs() < 1e-12);
+        assert!((p.last().unwrap() - 0.20).abs() < 1e-12);
+        assert_eq!(paper_alphas().len(), 9);
+        assert_eq!(paper_betas().len(), 9);
+    }
+
+    #[test]
+    fn features_use_log_scale() {
+        let f = TrainingSample::raw_features(0.5, 1000, 1_000_000);
+        assert_eq!(f[0], 0.5);
+        assert!((f[1] - 3.0).abs() < 1e-12);
+        assert!((f[2] - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Bootstrap-aggregated random forests.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Forest hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Depth cap per tree.
+    pub max_depth: usize,
+    /// Features examined per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Master seed; per-tree seeds are derived deterministically.
+    pub seed: u64,
+}
+
+impl RandomForestConfig {
+    /// The paper's reported best model: 100 trees, max depth 20.
+    pub fn paper_default(seed: u64) -> RandomForestConfig {
+        RandomForestConfig {
+            n_estimators: 100,
+            max_depth: 20,
+            max_features: None,
+            min_samples_leaf: 1,
+            seed,
+        }
+    }
+}
+
+/// A fitted forest: the mean of bootstrap-trained CART trees.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_outputs: usize,
+}
+
+impl RandomForest {
+    /// Fits `n_estimators` trees, each on a bootstrap resample, in
+    /// parallel. Deterministic for a given config.
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], config: RandomForestConfig) -> RandomForest {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "cannot fit a forest on zero samples");
+        let n = x.len();
+        let n_outputs = y[0].len();
+        let trees: Vec<DecisionTree> = (0..config.n_estimators)
+            .into_par_iter()
+            .map(|t| {
+                let tree_seed = config
+                    .seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(t as u64);
+                let mut rng = StdRng::seed_from_u64(tree_seed);
+                // Bootstrap: n draws with replacement.
+                let (bx, by): (Vec<Vec<f64>>, Vec<Vec<f64>>) = (0..n)
+                    .map(|_| {
+                        let i = rng.random_range(0..n);
+                        (x[i].clone(), y[i].clone())
+                    })
+                    .unzip();
+                DecisionTree::fit(
+                    &bx,
+                    &by,
+                    TreeConfig {
+                        max_depth: config.max_depth,
+                        min_samples_split: 2,
+                        min_samples_leaf: config.min_samples_leaf,
+                        max_features: config.max_features,
+                        seed: tree_seed ^ 0xABCD,
+                    },
+                )
+            })
+            .collect();
+        RandomForest { trees, n_outputs }
+    }
+
+    /// Mean prediction over all trees.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_outputs];
+        for tree in &self.trees {
+            let p = tree.predict(x);
+            for (a, v) in acc.iter_mut().zip(p.iter()) {
+                *a += v;
+            }
+        }
+        let k = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= k;
+        }
+        acc
+    }
+
+    /// Batch prediction.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.par_iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn wavy_data(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<Vec<f64>> = x
+            .iter()
+            .map(|v| vec![(6.0 * v[0]).sin() + 0.5 * v[0]])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_function_well() {
+        let (x, y) = wavy_data(300);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            RandomForestConfig {
+                n_estimators: 30,
+                max_depth: 10,
+                max_features: None,
+                min_samples_leaf: 2,
+                seed: 3,
+            },
+        );
+        let preds = forest.predict_batch(&x);
+        let r2 = r2_score(&y, &preds);
+        assert!(r2 > 0.95, "r2 {r2}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = wavy_data(100);
+        let cfg = RandomForestConfig {
+            n_estimators: 10,
+            max_depth: 8,
+            max_features: Some(1),
+            min_samples_leaf: 1,
+            seed: 9,
+        };
+        let a = RandomForest::fit(&x, &y, cfg);
+        let b = RandomForest::fit(&x, &y, cfg);
+        for xi in &x {
+            assert_eq!(a.predict(xi), b.predict(xi));
+        }
+    }
+
+    #[test]
+    fn averaging_smooths_single_tree_variance() {
+        // On held-out noise-free data, a 40-tree forest should be no
+        // worse than a single bootstrap tree.
+        let (x, y) = wavy_data(200);
+        let (train_x, test_x) = x.split_at(150);
+        let (train_y, test_y) = y.split_at(150);
+        let single = RandomForest::fit(
+            train_x,
+            train_y,
+            RandomForestConfig {
+                n_estimators: 1,
+                max_depth: 10,
+                max_features: None,
+                min_samples_leaf: 1,
+                seed: 1,
+            },
+        );
+        let forest = RandomForest::fit(
+            train_x,
+            train_y,
+            RandomForestConfig {
+                n_estimators: 40,
+                max_depth: 10,
+                max_features: None,
+                min_samples_leaf: 1,
+                seed: 1,
+            },
+        );
+        let r2_single = r2_score(&test_y.to_vec(), &single.predict_batch(test_x));
+        let r2_forest = r2_score(&test_y.to_vec(), &forest.predict_batch(test_x));
+        assert!(
+            r2_forest >= r2_single - 0.02,
+            "forest {r2_forest} much worse than single tree {r2_single}"
+        );
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = RandomForestConfig::paper_default(0);
+        assert_eq!(cfg.n_estimators, 100);
+        assert_eq!(cfg.max_depth, 20);
+    }
+}

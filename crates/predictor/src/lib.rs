@@ -1,0 +1,138 @@
+//! ML prediction of Picasso's `(P′, α)` parameters (§VI of the paper).
+//!
+//! The paper trains regressors mapping `(β, |V|, |E|)` to the
+//! grid-search-optimal `(P′, α)` that minimizes the bi-objective
+//! `β·C + (1−β)·|Ec|` (Eq. 7). Its best model is a random forest
+//! (100 trees, depth 20) with MAPE ≈ 0.19 and R² ≈ 0.88; linear models
+//! (ridge/lasso) underperform.
+//!
+//! Everything is implemented from scratch here:
+//!
+//! * [`tree`] — CART regression trees (variance-reduction splits,
+//!   multi-output leaves, feature subsampling),
+//! * [`forest`] — seeded bootstrap random forests fitted in parallel,
+//! * [`linear`] — ridge (normal equations) and lasso (coordinate
+//!   descent) baselines,
+//! * [`metrics`] — MAPE, R², MSE,
+//! * [`dataset`] — Steps 1–4 of the paper's methodology: sweep the
+//!   `(P′, α)` grid per molecule, extract the per-β optima, assemble the
+//!   training set,
+//! * [`PalettePredictor`] — the user-facing Step 6 API: given a new
+//!   graph's `(β, |V|, |E|)`, predict `(P′, α)`.
+
+pub mod dataset;
+pub mod forest;
+pub mod linear;
+pub mod metrics;
+pub mod scaler;
+pub mod tree;
+
+pub use dataset::{optimal_points_per_beta, TrainingSample};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use linear::{LassoRegression, RidgeRegression};
+pub use metrics::{mape, mse, r2_score};
+pub use scaler::StandardScaler;
+pub use tree::{DecisionTree, TreeConfig};
+
+use serde::Serialize;
+
+/// The end-to-end parameter predictor: a random forest over standardized
+/// `(β, log₁₀|V|, log₁₀|E|)` features predicting `(P′ percent, α)`.
+#[derive(Clone, Debug)]
+pub struct PalettePredictor {
+    forest: RandomForest,
+    scaler: StandardScaler,
+}
+
+/// A prediction of Picasso's two tuning parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ParamPrediction {
+    /// Palette size as a percentage of `|V|`.
+    pub palette_percent: f64,
+    /// List-size multiplier α.
+    pub alpha: f64,
+}
+
+impl PalettePredictor {
+    /// Fits the forest on training samples (Step 5).
+    pub fn fit(samples: &[TrainingSample], config: RandomForestConfig) -> PalettePredictor {
+        assert!(!samples.is_empty(), "cannot fit on an empty training set");
+        let x_raw: Vec<[f64; 3]> = samples.iter().map(|s| s.features()).collect();
+        let y: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| vec![s.palette_percent, s.alpha])
+            .collect();
+        let scaler = StandardScaler::fit(&x_raw);
+        let x: Vec<Vec<f64>> = x_raw.iter().map(|f| scaler.transform(f)).collect();
+        let forest = RandomForest::fit(&x, &y, config);
+        PalettePredictor { forest, scaler }
+    }
+
+    /// Predicts `(P′, α)` for a new graph and trade-off β (Step 6).
+    pub fn predict(&self, beta: f64, num_vertices: u64, num_edges: u64) -> ParamPrediction {
+        let features = TrainingSample::raw_features(beta, num_vertices, num_edges);
+        let x = self.scaler.transform(&features);
+        let y = self.forest.predict(&x);
+        ParamPrediction {
+            palette_percent: y[0].max(0.1),
+            alpha: y[1].max(0.1),
+        }
+    }
+
+    /// The underlying forest (for inspection / evaluation).
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_samples() -> Vec<TrainingSample> {
+        // A plausible monotone pattern: higher beta (care about colors)
+        // -> smaller palette, larger alpha.
+        let mut out = Vec::new();
+        for i in 0..60 {
+            let beta = 0.1 + 0.8 * (i % 9) as f64 / 8.0;
+            let v = 1000.0 * (1 + i % 7) as f64;
+            let e = v * v / 4.0;
+            out.push(TrainingSample {
+                beta,
+                num_vertices: v,
+                num_edges: e,
+                palette_percent: 15.0 - 10.0 * beta,
+                alpha: 0.5 + 4.0 * beta,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn fit_predict_round_trip_is_sane() {
+        let samples = synthetic_samples();
+        let model = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(1));
+        let lo = model.predict(0.1, 3000, 2_250_000);
+        let hi = model.predict(0.9, 3000, 2_250_000);
+        // Learned trend: larger beta -> smaller palette, larger alpha.
+        assert!(
+            hi.palette_percent < lo.palette_percent,
+            "beta=0.9 {:?} vs beta=0.1 {:?}",
+            hi,
+            lo
+        );
+        assert!(hi.alpha > lo.alpha);
+        // Outputs clamped positive.
+        assert!(hi.palette_percent > 0.0 && hi.alpha > 0.0);
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let samples = synthetic_samples();
+        let a = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(7));
+        let b = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(7));
+        let pa = a.predict(0.5, 5000, 6_000_000);
+        let pb = b.predict(0.5, 5000, 6_000_000);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,293 @@
+//! Linear baselines: ridge (closed form) and lasso (coordinate descent).
+//!
+//! The paper reports that linear predictors underperform the random
+//! forest on the `(β, V, E) → (P′, α)` task; these implementations let
+//! the evaluation binary reproduce that comparison.
+
+/// Solves the square system `A·w = b` by Gaussian elimination with
+/// partial pivoting. `A` is row-major `n×n`.
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if a[r * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = r;
+            }
+        }
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            b.swap(col, pivot);
+        }
+        let d = a[col * n + col];
+        assert!(d.abs() > 1e-12, "singular system (regularize more)");
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = a[r * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= factor * a[col * n + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..n {
+            acc -= a[col * n + c] * w[c];
+        }
+        w[col] = acc / a[col * n + col];
+    }
+    w
+}
+
+/// Ridge regression `min ‖Xw − y‖² + λ‖w‖²` (bias unpenalized), solved
+/// via the normal equations — exact for the few-feature problems here.
+#[derive(Clone, Debug)]
+pub struct RidgeRegression {
+    /// Weights per output: `[k][d + 1]`, bias last.
+    weights: Vec<Vec<f64>>,
+    n_features: usize,
+}
+
+impl RidgeRegression {
+    /// Fits one ridge model per output column.
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], lambda: f64) -> RidgeRegression {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        let k = y[0].len();
+        let da = d + 1; // augmented with bias
+
+        // X'X (augmented) and X'y per output.
+        let mut xtx = vec![0.0; da * da];
+        for row in x {
+            for i in 0..da {
+                let xi = if i < d { row[i] } else { 1.0 };
+                for j in 0..da {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    xtx[i * da + j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            xtx[i * da + i] += lambda; // don't penalize the bias
+        }
+
+        let mut weights = Vec::with_capacity(k);
+        for o in 0..k {
+            let mut xty = vec![0.0; da];
+            for (row, yr) in x.iter().zip(y.iter()) {
+                for i in 0..da {
+                    let xi = if i < d { row[i] } else { 1.0 };
+                    xty[i] += xi * yr[o];
+                }
+            }
+            weights.push(solve(xtx.clone(), xty, da));
+        }
+        let _ = n;
+        RidgeRegression {
+            weights,
+            n_features: d,
+        }
+    }
+
+    /// Predicts all outputs for one feature row.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features);
+        self.weights
+            .iter()
+            .map(|w| {
+                w[..self.n_features]
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + w[self.n_features]
+            })
+            .collect()
+    }
+
+    /// Batch prediction.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Lasso regression via cyclic coordinate descent with soft thresholding.
+#[derive(Clone, Debug)]
+pub struct LassoRegression {
+    weights: Vec<Vec<f64>>, // [k][d], plus bias at the end
+    n_features: usize,
+}
+
+impl LassoRegression {
+    /// Fits one lasso model per output (features should be standardized
+    /// for the penalty to be meaningful).
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], lambda: f64, iterations: usize) -> LassoRegression {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let d = x[0].len();
+        let k = y[0].len();
+
+        // Column squared norms.
+        let col_sq: Vec<f64> = (0..d)
+            .map(|j| x.iter().map(|r| r[j] * r[j]).sum::<f64>().max(1e-12))
+            .collect();
+
+        let mut weights = Vec::with_capacity(k);
+        for o in 0..k {
+            let ys: Vec<f64> = y.iter().map(|r| r[o]).collect();
+            let mut w = vec![0.0; d];
+            let mut bias = ys.iter().sum::<f64>() / n as f64;
+            let mut residual: Vec<f64> = x
+                .iter()
+                .zip(ys.iter())
+                .map(|(r, &yv)| yv - bias - r.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f64>())
+                .collect();
+            for _ in 0..iterations {
+                for j in 0..d {
+                    // rho = x_j' (residual + x_j w_j)
+                    let mut rho = 0.0;
+                    for (r, res) in x.iter().zip(residual.iter()) {
+                        rho += r[j] * (res + r[j] * w[j]);
+                    }
+                    let new_w = soft_threshold(rho, lambda) / col_sq[j];
+                    let delta = new_w - w[j];
+                    if delta != 0.0 {
+                        for (r, res) in x.iter().zip(residual.iter_mut()) {
+                            *res -= r[j] * delta;
+                        }
+                        w[j] = new_w;
+                    }
+                }
+                // Re-center the bias.
+                let mean_res = residual.iter().sum::<f64>() / n as f64;
+                if mean_res.abs() > 1e-12 {
+                    bias += mean_res;
+                    for res in &mut residual {
+                        *res -= mean_res;
+                    }
+                }
+            }
+            w.push(bias);
+            weights.push(w);
+        }
+        LassoRegression {
+            weights,
+            n_features: d,
+        }
+    }
+
+    /// Predicts all outputs for one feature row.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features);
+        self.weights
+            .iter()
+            .map(|w| {
+                w[..self.n_features]
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + w[self.n_features]
+            })
+            .collect()
+    }
+
+    /// Batch prediction.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// The learned coefficient vector for output `o` (without bias).
+    pub fn coefficients(&self, o: usize) -> &[f64] {
+        &self.weights[o][..self.n_features]
+    }
+}
+
+#[inline]
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // y0 = 2 x0 - 3 x1 + 5; y1 = -x0 + 0.5 x1 - 1.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let a = (i % 10) as f64 / 3.0;
+            let b = (i / 10) as f64 - 2.5;
+            x.push(vec![a, b]);
+            y.push(vec![2.0 * a - 3.0 * b + 5.0, -a + 0.5 * b - 1.0]);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn ridge_recovers_linear_relationship() {
+        let (x, y) = linear_data();
+        let model = RidgeRegression::fit(&x, &y, 1e-6);
+        let p = model.predict(&[1.0, 1.0]);
+        assert!((p[0] - 4.0).abs() < 1e-6, "y0(1,1)=4, got {}", p[0]);
+        assert!((p[1] - (-1.5)).abs() < 1e-6, "y1(1,1)=-1.5, got {}", p[1]);
+    }
+
+    #[test]
+    fn ridge_regularization_shrinks_weights() {
+        let (x, y) = linear_data();
+        let loose = RidgeRegression::fit(&x, &y, 1e-6);
+        let tight = RidgeRegression::fit(&x, &y, 1e4);
+        let norm = |m: &RidgeRegression| m.weights[0][..2].iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    fn lasso_fits_and_sparsifies() {
+        let (x, y) = linear_data();
+        // With a strong penalty irrelevant coefficients go to zero.
+        let mut xs = x.clone();
+        for row in &mut xs {
+            row.push(0.001 * (row[0] - row[1])); // nearly-dead feature
+        }
+        let model = LassoRegression::fit(&xs, &y, 5.0, 300);
+        let coef = model.coefficients(0);
+        assert_eq!(coef.len(), 3);
+        assert!(
+            coef[2].abs() < 0.5,
+            "dead feature should be shrunk, got {}",
+            coef[2]
+        );
+        // Still roughly predictive.
+        let p = model.predict(&[1.0, 1.0, 0.0]);
+        assert!((p[0] - 4.0).abs() < 1.5, "got {}", p[0]);
+    }
+
+    #[test]
+    fn solver_handles_permuted_pivots() {
+        // A system that requires pivoting: first diagonal entry is 0.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![3.0, 7.0];
+        let w = solve(a, b, 2);
+        assert!((w[0] - 7.0).abs() < 1e-12);
+        assert!((w[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Regression quality metrics: the MAPE and R² the paper reports.
+
+/// Mean absolute percentage error over all outputs and samples, as a
+/// fraction (the paper's 0.19 means 19%). Entries with |truth| < `1e-9`
+/// are skipped to avoid division blow-ups.
+pub fn mape(truth: &[Vec<f64>], pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (t, p) in truth.iter().zip(pred.iter()) {
+        assert_eq!(t.len(), p.len());
+        for (tv, pv) in t.iter().zip(p.iter()) {
+            if tv.abs() > 1e-9 {
+                total += ((tv - pv) / tv).abs();
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Coefficient of determination, pooled over all outputs:
+/// `1 − SS_res / SS_tot`.
+pub fn r2_score(truth: &[Vec<f64>], pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    assert!(!truth.is_empty());
+    let k = truth[0].len();
+    let n = truth.len() as f64;
+    let mut means = vec![0.0; k];
+    for t in truth {
+        for (m, v) in means.iter_mut().zip(t.iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (t, p) in truth.iter().zip(pred.iter()) {
+        for o in 0..k {
+            ss_res += (t[o] - p[o]).powi(2);
+            ss_tot += (t[o] - means[o]).powi(2);
+        }
+    }
+    if ss_tot <= 1e-18 {
+        if ss_res <= 1e-18 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean squared error pooled over all outputs.
+pub fn mse(truth: &[Vec<f64>], pred: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (t, p) in truth.iter().zip(pred.iter()) {
+        for (tv, pv) in t.iter().zip(p.iter()) {
+            total += (tv - pv).powi(2);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(r2_score(&y, &y), 1.0);
+        assert_eq!(mse(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        let truth = vec![vec![10.0], vec![20.0]];
+        let pred = vec![vec![9.0], vec![22.0]];
+        // (0.1 + 0.1) / 2 = 0.1
+        assert!((mape(&truth, &pred) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let truth = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let pred = vec![vec![2.0], vec![2.0], vec![2.0]];
+        assert!(r2_score(&truth, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative_for_bad_models() {
+        let truth = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let pred = vec![vec![30.0], vec![-10.0], vec![99.0]];
+        assert!(r2_score(&truth, &pred) < 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let truth = vec![vec![0.0, 10.0]];
+        let pred = vec![vec![5.0, 11.0]];
+        assert!((mape(&truth, &pred) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let truth = vec![vec![1.0], vec![2.0]];
+        let pred = vec![vec![2.0], vec![4.0]];
+        assert!((mse(&truth, &pred) - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Feature standardization (zero mean, unit variance).
+
+/// A fitted standard scaler for fixed-width feature rows.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits on raw feature rows.
+    pub fn fit(rows: &[[f64; 3]]) -> StandardScaler {
+        assert!(!rows.is_empty());
+        let d = 3;
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r.iter()) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for r in rows {
+            for j in 0..d {
+                stds[j] += (r[j] - means[j]).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered only
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes one row.
+    pub fn transform(&self, row: &[f64; 3]) -> Vec<f64> {
+        row.iter()
+            .zip(self.means.iter().zip(self.stds.iter()))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let rows: Vec<[f64; 3]> = (0..100)
+            .map(|i| [i as f64, 2.0 * i as f64 + 5.0, 7.0])
+            .collect();
+        let scaler = StandardScaler::fit(&rows);
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        for j in 0..2 {
+            let mean: f64 =
+                transformed.iter().map(|t| t[j]).sum::<f64>() / transformed.len() as f64;
+            let var: f64 = transformed
+                .iter()
+                .map(|t| (t[j] - mean).powi(2))
+                .sum::<f64>()
+                / transformed.len() as f64;
+            assert!(mean.abs() < 1e-9, "feature {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "feature {j} var {var}");
+        }
+        // Constant feature maps to exactly zero.
+        assert!(transformed.iter().all(|t| t[2].abs() < 1e-12));
+    }
+}

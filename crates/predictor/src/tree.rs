@@ -1,0 +1,376 @@
+//! CART regression trees with multi-output leaves.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Tree hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split (`None` = all): the
+    /// de-correlation knob of random forests.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> TreeConfig {
+        TreeConfig {
+            max_depth: 20,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_outputs: usize,
+}
+
+/// Sum of squared errors of a sample set around its own mean, summed over
+/// outputs — the impurity CART minimizes.
+fn sse(idx: &[u32], y: &[Vec<f64>], k: usize) -> f64 {
+    let n = idx.len() as f64;
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    // Output-major accumulation: `o` ranges over output columns, not a
+    // sliceable container, so a range loop is the natural shape here.
+    #[allow(clippy::needless_range_loop)]
+    for o in 0..k {
+        let (mut s, mut s2) = (0.0, 0.0);
+        for &i in idx {
+            let v = y[i as usize][o];
+            s += v;
+            s2 += v * v;
+        }
+        total += s2 - s * s / n;
+    }
+    total
+}
+
+fn mean_vector(idx: &[u32], y: &[Vec<f64>], k: usize) -> Vec<f64> {
+    let mut m = vec![0.0; k];
+    for &i in idx {
+        for o in 0..k {
+            m[o] += y[i as usize][o];
+        }
+    }
+    let n = idx.len().max(1) as f64;
+    for v in &mut m {
+        *v /= n;
+    }
+    m
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x` (n rows of `d` features) and `y` (n rows of `k`
+    /// outputs).
+    pub fn fit(x: &[Vec<f64>], y: &[Vec<f64>], config: TreeConfig) -> DecisionTree {
+        assert_eq!(x.len(), y.len(), "x/y row mismatch");
+        assert!(!x.is_empty(), "cannot fit a tree on zero samples");
+        let d = x[0].len();
+        let k = y[0].len();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: d,
+            n_outputs: k,
+        };
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        tree.build(x, y, idx, 0, &config, &mut rng);
+        tree
+    }
+
+    /// Recursively builds a subtree; returns the node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        idx: Vec<u32>,
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let k = self.n_outputs;
+        let parent_sse = sse(&idx, y, k);
+        let stop = depth >= config.max_depth
+            || idx.len() < config.min_samples_split
+            || parent_sse <= 1e-12;
+        if !stop {
+            if let Some((feature, threshold, left_idx, right_idx)) =
+                self.best_split(x, y, &idx, config, rng)
+            {
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: Vec::new() }); // placeholder
+                let left = self.build(x, y, left_idx, depth + 1, config, rng);
+                let right = self.build(x, y, right_idx, depth + 1, config, rng);
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                return slot;
+            }
+        }
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: mean_vector(&idx, y, k),
+        });
+        slot
+    }
+
+    /// Exhaustive best-split search over (a random subset of) features.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[Vec<f64>],
+        idx: &[u32],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64, Vec<u32>, Vec<u32>)> {
+        let d = self.n_features;
+        let k = self.n_outputs;
+        let mut features: Vec<usize> = (0..d).collect();
+        if let Some(mf) = config.max_features {
+            features.shuffle(rng);
+            features.truncate(mf.clamp(1, d));
+            features.sort_unstable(); // deterministic evaluation order
+        }
+
+        let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+        let mut sorted = idx.to_vec();
+        for &f in &features {
+            sorted.sort_unstable_by(|&a, &b| {
+                x[a as usize][f]
+                    .partial_cmp(&x[b as usize][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Prefix statistics per output for O(1) SSE at each cut.
+            let n = sorted.len();
+            let mut pref_s = vec![0.0; k];
+            let mut pref_s2 = vec![0.0; k];
+            let mut tot_s = vec![0.0; k];
+            let mut tot_s2 = vec![0.0; k];
+            for &i in &sorted {
+                for o in 0..k {
+                    let v = y[i as usize][o];
+                    tot_s[o] += v;
+                    tot_s2[o] += v * v;
+                }
+            }
+            for cut in 1..n {
+                let prev = sorted[cut - 1] as usize;
+                for o in 0..k {
+                    let v = y[prev][o];
+                    pref_s[o] += v;
+                    pref_s2[o] += v * v;
+                }
+                // Can't split between equal feature values.
+                let lo = x[prev][f];
+                let hi = x[sorted[cut] as usize][f];
+                if lo == hi {
+                    continue;
+                }
+                if cut < config.min_samples_leaf || n - cut < config.min_samples_leaf {
+                    continue;
+                }
+                let (nl, nr) = (cut as f64, (n - cut) as f64);
+                let mut split_sse = 0.0;
+                for o in 0..k {
+                    let ls = pref_s[o];
+                    let ls2 = pref_s2[o];
+                    let rs = tot_s[o] - ls;
+                    let rs2 = tot_s2[o] - ls2;
+                    split_sse += (ls2 - ls * ls / nl) + (rs2 - rs * rs / nr);
+                }
+                let threshold = 0.5 * (lo + hi);
+                if best.is_none_or(|(b, _, _)| split_sse < b) {
+                    best = Some((split_sse, f, threshold));
+                }
+            }
+        }
+
+        let (_, feature, threshold) = best?;
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for &i in idx {
+            if x[i as usize][feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            return None;
+        }
+        Some((feature, threshold, left, right))
+    }
+
+    /// Predicts the output vector for one feature row.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features, "feature dimension mismatch");
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return value.clone(),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        // y = 1 if x0 > 0.5 else 0 — one split suffices.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 0.0]).collect();
+        let y: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i as f64 / 100.0 > 0.5 { 1.0 } else { 0.0 }])
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (x, y) = step_data();
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default());
+        for (xi, yi) in x.iter().zip(y.iter()) {
+            assert_eq!(tree.predict(xi), *yi);
+        }
+        // One split + two leaves.
+        assert_eq!(tree.num_nodes(), 3);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn depth_zero_gives_global_mean() {
+        let (x, y) = step_data();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, cfg);
+        let p = tree.predict(&[0.1, 0.0]);
+        assert!((p[0] - 0.49).abs() < 0.02, "mean ~0.49, got {}", p[0]);
+    }
+
+    #[test]
+    fn multi_output_leaves() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i as f64) * 2.0, 100.0 - i as f64])
+            .collect();
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default());
+        let p = tree.predict(&[25.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p[0] - 50.0).abs() < 3.0);
+        assert!((p[1] - 75.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn constant_targets_are_one_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![vec![7.0]; 20];
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict(&[3.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (x, y) = step_data();
+        let cfg = TreeConfig {
+            min_samples_leaf: 30,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, cfg);
+        // Splits at <30 or >70 are forbidden; the 0.5 step is still legal.
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let (x, y) = step_data();
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            seed: 5,
+            ..TreeConfig::default()
+        };
+        let a = DecisionTree::fit(&x, &y, cfg);
+        let b = DecisionTree::fit(&x, &y, cfg);
+        for xi in &x {
+            assert_eq!(a.predict(xi), b.predict(xi));
+        }
+    }
+
+    #[test]
+    fn noisy_linear_fit_reduces_error() {
+        // Tree should beat predicting the mean on y = 3x.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let y: Vec<Vec<f64>> = x.iter().map(|v| vec![3.0 * v[0]]).collect();
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default());
+        let mse: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(xi, yi)| (tree.predict(xi)[0] - yi[0]).powi(2))
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Predictor integration: the §VI pipeline on tiny real workloads.
+
+use pauli::EncodedSet;
+use picasso::{grid_sweep, PicassoConfig};
+use predictor::dataset::{optimal_points_per_beta, paper_betas};
+use predictor::{
+    mape, r2_score, LassoRegression, PalettePredictor, RandomForestConfig, RidgeRegression,
+    TrainingSample,
+};
+use qchem::{generate_pauli_set, BasisSet, Dimensionality};
+
+fn corpus_for(terms: usize, seed: u64) -> (Vec<TrainingSample>, u64, u64) {
+    let strings = generate_pauli_set(3, Dimensionality::OneD, BasisSet::Sto3g, terms, seed);
+    let set = EncodedSet::from_strings(&strings);
+    let edges = pauli::oracle::count_edges(&set).complement;
+    let sweep = grid_sweep(
+        &set,
+        &[0.02, 0.10, 0.25],
+        &[0.5, 2.0, 4.0],
+        PicassoConfig::normal(1),
+    )
+    .unwrap();
+    (
+        optimal_points_per_beta(&sweep, strings.len() as u64, edges, &paper_betas()),
+        strings.len() as u64,
+        edges,
+    )
+}
+
+#[test]
+fn end_to_end_train_and_predict() {
+    let mut train = Vec::new();
+    for (terms, seed) in [(120usize, 1u64), (200, 2), (300, 3)] {
+        train.extend(corpus_for(terms, seed).0);
+    }
+    assert_eq!(train.len(), 27); // 3 molecules x 9 betas
+
+    let model = PalettePredictor::fit(&train, RandomForestConfig::paper_default(5));
+    let (test, v, e) = corpus_for(250, 9);
+
+    // Predictions stay within the swept parameter ranges.
+    for s in &test {
+        let p = model.predict(s.beta, v, e);
+        assert!(
+            p.palette_percent >= 1.0 && p.palette_percent <= 30.0,
+            "{p:?}"
+        );
+        assert!(p.alpha >= 0.1 && p.alpha <= 5.0, "{p:?}");
+    }
+}
+
+#[test]
+fn forest_beats_linear_models_on_this_task() {
+    // The paper's §VI model ranking, at miniature scale.
+    let mut train = Vec::new();
+    for (terms, seed) in [(100usize, 1u64), (160, 2), (240, 3), (320, 4)] {
+        train.extend(corpus_for(terms, seed).0);
+    }
+    let (test, _, _) = corpus_for(200, 8);
+
+    let x_tr: Vec<Vec<f64>> = train.iter().map(|s| s.features().to_vec()).collect();
+    let y_tr: Vec<Vec<f64>> = train.iter().map(|s| s.targets()).collect();
+    let x_te: Vec<Vec<f64>> = test.iter().map(|s| s.features().to_vec()).collect();
+    let y_te: Vec<Vec<f64>> = test.iter().map(|s| s.targets()).collect();
+
+    let model = PalettePredictor::fit(&train, RandomForestConfig::paper_default(1));
+    let rf_pred: Vec<Vec<f64>> = test
+        .iter()
+        .map(|s| {
+            let p = model.predict(s.beta, s.num_vertices as u64, s.num_edges as u64);
+            vec![p.palette_percent, p.alpha]
+        })
+        .collect();
+    let ridge = RidgeRegression::fit(&x_tr, &y_tr, 1.0).predict_batch(&x_te);
+    let lasso = LassoRegression::fit(&x_tr, &y_tr, 0.5, 150).predict_batch(&x_te);
+
+    let rf_mape = mape(&y_te, &rf_pred);
+    assert!(
+        rf_mape <= mape(&y_te, &ridge) + 0.05 && rf_mape <= mape(&y_te, &lasso) + 0.05,
+        "forest MAPE {rf_mape} vs ridge {} / lasso {}",
+        mape(&y_te, &ridge),
+        mape(&y_te, &lasso)
+    );
+    // And the forest is a genuinely useful model on the training set.
+    let rf_train: Vec<Vec<f64>> = train
+        .iter()
+        .map(|s| {
+            let p = model.predict(s.beta, s.num_vertices as u64, s.num_edges as u64);
+            vec![p.palette_percent, p.alpha]
+        })
+        .collect();
+    assert!(r2_score(&y_tr, &rf_train) > 0.6);
+}

@@ -1,0 +1,165 @@
+//! Basis sets and the spin-orbital model.
+//!
+//! The paper's qubit counts fix the spin-orbital count per hydrogen atom:
+//! H6/sto-3g is 12 qubits (2 per H), H4/6-31g is 16 (4 per H) and
+//! H4/6-311g is 24 (6 per H). Spin orbitals are laid out atom-major with
+//! alternating spin: orbital `p` sits on atom `p / per_h`, has spin
+//! `p % 2` and contracted shell `(p % per_h) / 2`.
+
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian basis set, reduced to the one property that matters for the
+/// workload shape: how many spin orbitals it places on each H atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BasisSet {
+    /// STO-3G: one spatial orbital per H → 2 spin orbitals.
+    Sto3g,
+    /// 6-31G: two spatial orbitals per H → 4 spin orbitals.
+    G631,
+    /// 6-311G: three spatial orbitals per H → 6 spin orbitals.
+    G6311,
+}
+
+impl BasisSet {
+    /// Spin orbitals contributed per hydrogen atom.
+    pub fn spin_orbitals_per_h(self) -> usize {
+        match self {
+            BasisSet::Sto3g => 2,
+            BasisSet::G631 => 4,
+            BasisSet::G6311 => 6,
+        }
+    }
+
+    /// The conventional lowercase name used in dataset labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            BasisSet::Sto3g => "sto3g",
+            BasisSet::G631 => "631g",
+            BasisSet::G6311 => "6311g",
+        }
+    }
+
+    /// Parses a dataset-label name.
+    pub fn parse(s: &str) -> Option<BasisSet> {
+        match s {
+            "sto3g" | "sto-3g" => Some(BasisSet::Sto3g),
+            "631g" | "6-31g" => Some(BasisSet::G631),
+            "6311g" | "6-311g" => Some(BasisSet::G6311),
+            _ => None,
+        }
+    }
+}
+
+/// Maps spin orbitals to atoms, spins and shells for a given molecule.
+#[derive(Clone, Copy, Debug)]
+pub struct OrbitalLayout {
+    per_h: usize,
+    n_atoms: usize,
+}
+
+impl OrbitalLayout {
+    /// Creates the layout for `n_atoms` hydrogens in `basis`.
+    pub fn new(n_atoms: usize, basis: BasisSet) -> OrbitalLayout {
+        OrbitalLayout {
+            per_h: basis.spin_orbitals_per_h(),
+            n_atoms,
+        }
+    }
+
+    /// Total spin orbitals — the qubit count after Jordan–Wigner.
+    pub fn num_spin_orbitals(self) -> usize {
+        self.per_h * self.n_atoms
+    }
+
+    /// Number of atoms in the molecule.
+    pub fn num_atoms(self) -> usize {
+        self.n_atoms
+    }
+
+    /// Spin orbitals per hydrogen atom.
+    pub fn orbitals_per_atom(self) -> usize {
+        self.per_h
+    }
+
+    /// The atom hosting spin orbital `p`.
+    #[inline]
+    pub fn atom(self, p: usize) -> usize {
+        debug_assert!(p < self.num_spin_orbitals());
+        p / self.per_h
+    }
+
+    /// Spin of orbital `p`: 0 = alpha, 1 = beta (alternating).
+    #[inline]
+    pub fn spin(self, p: usize) -> usize {
+        p % 2
+    }
+
+    /// Contracted shell of orbital `p` within its atom (0 = tightest).
+    #[inline]
+    pub fn shell(self, p: usize) -> usize {
+        (p % self.per_h) / 2
+    }
+
+    /// Shell diffuseness factor in `(0, 1]`: outer shells couple more
+    /// weakly, mimicking the decay of contracted-Gaussian overlaps.
+    #[inline]
+    pub fn shell_factor(self, p: usize) -> f64 {
+        1.0 / (1.0 + self.shell(p) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_qubit_counts() {
+        // Every (molecule, basis) pair in Table II.
+        let cases = [
+            (6, BasisSet::Sto3g, 12),  // H6 sto3g
+            (4, BasisSet::G631, 16),   // H4 631g
+            (4, BasisSet::G6311, 24),  // H4 6311g
+            (8, BasisSet::Sto3g, 16),  // H8 sto3g
+            (6, BasisSet::G631, 24),   // H6 631g
+            (10, BasisSet::Sto3g, 20), // H10 sto3g
+        ];
+        for (atoms, basis, qubits) in cases {
+            assert_eq!(
+                OrbitalLayout::new(atoms, basis).num_spin_orbitals(),
+                qubits,
+                "H{atoms} {}",
+                basis.name()
+            );
+        }
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for b in [BasisSet::Sto3g, BasisSet::G631, BasisSet::G6311] {
+            assert_eq!(BasisSet::parse(b.name()), Some(b));
+        }
+        assert_eq!(BasisSet::parse("def2-tzvp"), None);
+    }
+
+    #[test]
+    fn layout_indexing() {
+        let lay = OrbitalLayout::new(4, BasisSet::G6311); // 24 orbitals, 6/atom
+        assert_eq!(lay.atom(0), 0);
+        assert_eq!(lay.atom(5), 0);
+        assert_eq!(lay.atom(6), 1);
+        assert_eq!(lay.atom(23), 3);
+        assert_eq!(lay.spin(0), 0);
+        assert_eq!(lay.spin(1), 1);
+        assert_eq!(lay.shell(0), 0);
+        assert_eq!(lay.shell(1), 0);
+        assert_eq!(lay.shell(2), 1);
+        assert_eq!(lay.shell(5), 2);
+    }
+
+    #[test]
+    fn shell_factors_decay() {
+        let lay = OrbitalLayout::new(2, BasisSet::G6311);
+        assert!(lay.shell_factor(0) > lay.shell_factor(2));
+        assert!(lay.shell_factor(2) > lay.shell_factor(4));
+    }
+}

@@ -1,0 +1,149 @@
+//! Hydrogen-cluster geometries: the 1D / 2D / 3D arrangements of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Spatial arrangement of the Hₙ system, mirroring the paper's `1D`, `2D`
+/// and `3D` dataset variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dimensionality {
+    /// Linear chain.
+    OneD,
+    /// Near-square planar sheet.
+    TwoD,
+    /// Compact cubic-lattice cluster.
+    ThreeD,
+}
+
+impl Dimensionality {
+    /// Short label used in dataset names (`1D` / `2D` / `3D`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Dimensionality::OneD => "1D",
+            Dimensionality::TwoD => "2D",
+            Dimensionality::ThreeD => "3D",
+        }
+    }
+}
+
+/// Atom positions of a molecular system, in units of the H–H spacing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Geometry {
+    positions: Vec<[f64; 3]>,
+}
+
+impl Geometry {
+    /// Builds an Hₙ system in the requested arrangement with unit nearest-
+    /// neighbour spacing scaled by `spacing`.
+    pub fn hydrogen(n_atoms: usize, dim: Dimensionality, spacing: f64) -> Geometry {
+        assert!(n_atoms > 0, "need at least one atom");
+        let mut positions = Vec::with_capacity(n_atoms);
+        match dim {
+            Dimensionality::OneD => {
+                for i in 0..n_atoms {
+                    positions.push([i as f64 * spacing, 0.0, 0.0]);
+                }
+            }
+            Dimensionality::TwoD => {
+                let cols = (n_atoms as f64).sqrt().ceil() as usize;
+                for i in 0..n_atoms {
+                    let r = i / cols;
+                    let c = i % cols;
+                    positions.push([c as f64 * spacing, r as f64 * spacing, 0.0]);
+                }
+            }
+            Dimensionality::ThreeD => {
+                let side = (n_atoms as f64).cbrt().ceil() as usize;
+                for i in 0..n_atoms {
+                    let x = i % side;
+                    let y = (i / side) % side;
+                    let z = i / (side * side);
+                    positions.push([x as f64 * spacing, y as f64 * spacing, z as f64 * spacing]);
+                }
+            }
+        }
+        Geometry { positions }
+    }
+
+    /// Number of atoms.
+    pub fn num_atoms(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of atom `a`.
+    pub fn position(&self, a: usize) -> [f64; 3] {
+        self.positions[a]
+    }
+
+    /// Euclidean distance between two atoms.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let pa = self.positions[a];
+        let pb = self.positions[b];
+        let dx = pa[0] - pb[0];
+        let dy = pa[1] - pb[1];
+        let dz = pa[2] - pb[2];
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Largest pairwise distance in the system (its spatial diameter).
+    pub fn diameter(&self) -> f64 {
+        let n = self.num_atoms();
+        let mut best: f64 = 0.0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                best = best.max(self.distance(a, b));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_collinear_with_unit_spacing() {
+        let g = Geometry::hydrogen(6, Dimensionality::OneD, 1.0);
+        assert_eq!(g.num_atoms(), 6);
+        for i in 0..5 {
+            assert!((g.distance(i, i + 1) - 1.0).abs() < 1e-12);
+        }
+        assert!((g.diameter() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sheet_is_planar_and_compact() {
+        let g = Geometry::hydrogen(6, Dimensionality::TwoD, 1.0);
+        assert_eq!(g.num_atoms(), 6);
+        assert!(g.positions.iter().all(|p| p[2] == 0.0));
+        // A 3x2 sheet has diameter sqrt(2^2 + 1^2).
+        assert!(g.diameter() < 5.0, "sheet must be more compact than chain");
+    }
+
+    #[test]
+    fn cluster_is_most_compact() {
+        let chain = Geometry::hydrogen(8, Dimensionality::OneD, 1.0).diameter();
+        let sheet = Geometry::hydrogen(8, Dimensionality::TwoD, 1.0).diameter();
+        let cube = Geometry::hydrogen(8, Dimensionality::ThreeD, 1.0).diameter();
+        assert!(cube < sheet, "3D ({cube}) should beat 2D ({sheet})");
+        assert!(sheet < chain, "2D ({sheet}) should beat 1D ({chain})");
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let g = Geometry::hydrogen(10, Dimensionality::ThreeD, 0.74);
+        for a in 0..10 {
+            for b in 0..10 {
+                assert_eq!(g.distance(a, b), g.distance(b, a));
+            }
+            assert_eq!(g.distance(a, a), 0.0);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Dimensionality::OneD.label(), "1D");
+        assert_eq!(Dimensionality::TwoD.label(), "2D");
+        assert_eq!(Dimensionality::ThreeD.label(), "3D");
+    }
+}

@@ -1,0 +1,187 @@
+//! The Jordan–Wigner transform, from scratch.
+//!
+//! Fermionic ladder operators map to Pauli sums with Z-strings enforcing
+//! antisymmetry:
+//!
+//! ```text
+//! a_p  = (1/2) Z_0 … Z_{p-1} (X_p + i Y_p)
+//! a†_p = (1/2) Z_0 … Z_{p-1} (X_p − i Y_p)
+//! ```
+//!
+//! Products of these sums (via [`pauli::PauliSum::mul`]) expand any
+//! second-quantized operator into Pauli strings with exact `i^k` phases.
+
+use pauli::{Complex, Pauli, PauliString, PauliSum};
+
+/// Builds the Z-chain-dressed string `Z_0 … Z_{p-1} σ_p` on `n` qubits.
+fn chain_string(p: usize, op: Pauli, n: usize) -> PauliString {
+    assert!(p < n, "orbital index {p} out of range for {n} qubits");
+    let mut s = PauliString::identity(n);
+    for q in 0..p {
+        s.set_op(q, Pauli::Z);
+    }
+    s.set_op(p, op);
+    s
+}
+
+/// Jordan–Wigner image of the annihilation operator `a_p` on `n` qubits.
+pub fn annihilation(p: usize, n: usize) -> PauliSum {
+    let mut sum = PauliSum::zero(n);
+    sum.add_term(chain_string(p, Pauli::X, n), Complex::real(0.5));
+    sum.add_term(chain_string(p, Pauli::Y, n), Complex::new(0.0, 0.5));
+    sum
+}
+
+/// Jordan–Wigner image of the creation operator `a†_p` on `n` qubits.
+pub fn creation(p: usize, n: usize) -> PauliSum {
+    let mut sum = PauliSum::zero(n);
+    sum.add_term(chain_string(p, Pauli::X, n), Complex::real(0.5));
+    sum.add_term(chain_string(p, Pauli::Y, n), Complex::new(0.0, -0.5));
+    sum
+}
+
+/// The number operator `a†_p a_p = (I − Z_p) / 2`.
+pub fn number_operator(p: usize, n: usize) -> PauliSum {
+    let mut sum = creation(p, n).mul(&annihilation(p, n));
+    sum.prune(pauli::sum::DEFAULT_TOL);
+    sum
+}
+
+/// The Hermitian single excitation `a†_p a_q + a†_q a_p` (for `p == q`
+/// this is just the number operator, not doubled).
+pub fn single_excitation(p: usize, q: usize, n: usize) -> PauliSum {
+    if p == q {
+        return number_operator(p, n);
+    }
+    let mut t = creation(p, n).mul(&annihilation(q, n));
+    let t_dag = creation(q, n).mul(&annihilation(p, n));
+    t.add_sum(&t_dag);
+    t.prune(pauli::sum::DEFAULT_TOL);
+    t
+}
+
+/// The Hermitian double excitation
+/// `a†_p a†_q a_r a_s + a†_s a†_r a_q a_p`.
+pub fn double_excitation(p: usize, q: usize, r: usize, s: usize, n: usize) -> PauliSum {
+    let t = creation(p, n)
+        .mul(&creation(q, n))
+        .mul(&annihilation(r, n))
+        .mul(&annihilation(s, n));
+    let t_dag = creation(s, n)
+        .mul(&creation(r, n))
+        .mul(&annihilation(q, n))
+        .mul(&annihilation(p, n));
+    let mut sum = t;
+    sum.add_sum(&t_dag);
+    sum.prune(pauli::sum::DEFAULT_TOL);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pauli::sum::DEFAULT_TOL;
+
+    /// `{a_p, a†_q} = δ_pq` — the canonical anticommutation relation,
+    /// verified symbolically through the Pauli algebra.
+    #[test]
+    fn canonical_anticommutation_relations() {
+        let n = 4;
+        for p in 0..n {
+            for q in 0..n {
+                let mut anti = annihilation(p, n).mul(&creation(q, n));
+                anti.add_sum(&creation(q, n).mul(&annihilation(p, n)));
+                anti.prune(DEFAULT_TOL);
+                if p == q {
+                    // Must equal the identity.
+                    assert_eq!(anti.num_terms(), 1, "p={p}");
+                    let (s, c) = anti.iter().next().unwrap();
+                    assert!(s.is_identity());
+                    assert!(c.approx_eq(Complex::ONE, 1e-12));
+                } else {
+                    assert!(anti.is_empty(), "{{a_{p}, a†_{q}}} must vanish");
+                }
+            }
+        }
+    }
+
+    /// `{a_p, a_q} = 0` for all p, q.
+    #[test]
+    fn annihilators_anticommute() {
+        let n = 4;
+        for p in 0..n {
+            for q in 0..n {
+                let mut anti = annihilation(p, n).mul(&annihilation(q, n));
+                anti.add_sum(&annihilation(q, n).mul(&annihilation(p, n)));
+                anti.prune(DEFAULT_TOL);
+                assert!(anti.is_empty(), "{{a_{p}, a_{q}}} must vanish");
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_is_half_i_minus_z() {
+        let n = 3;
+        let num = number_operator(1, n);
+        assert_eq!(num.num_terms(), 2);
+        for (s, c) in num.iter() {
+            if s.is_identity() {
+                assert!(c.approx_eq(Complex::real(0.5), 1e-12));
+            } else {
+                assert_eq!(s.to_string(), "IZI");
+                assert!(c.approx_eq(Complex::real(-0.5), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn single_excitation_is_hermitian_with_expected_strings() {
+        let n = 3;
+        let exc = single_excitation(0, 2, n);
+        assert!(exc.is_hermitian(DEFAULT_TOL));
+        // a†_0 a_2 + h.c. = (X Z X + Y Z Y) / 2.
+        assert_eq!(exc.num_terms(), 2);
+        let strings: std::collections::BTreeSet<String> =
+            exc.iter().map(|(s, _)| s.to_string()).collect();
+        assert!(strings.contains("XZX"));
+        assert!(strings.contains("YZY"));
+        for (_, c) in exc.iter() {
+            assert!(c.approx_eq(Complex::real(0.5), 1e-12));
+        }
+    }
+
+    #[test]
+    fn double_excitation_is_hermitian_and_even_weight() {
+        let n = 6;
+        let exc = double_excitation(0, 1, 3, 4, n);
+        assert!(exc.is_hermitian(DEFAULT_TOL));
+        assert!(!exc.is_empty());
+        // JW images of particle-conserving quartic terms act on the four
+        // orbitals with X/Y and dress intermediates with Z; every string
+        // has even weight on the X/Y positions.
+        for (s, _) in exc.iter() {
+            let xy_count = s
+                .ops()
+                .iter()
+                .filter(|&&p| p == Pauli::X || p == Pauli::Y)
+                .count();
+            assert_eq!(xy_count % 2, 0, "string {s} has odd X/Y weight");
+        }
+    }
+
+    #[test]
+    fn double_excitation_produces_eight_strings() {
+        // The textbook pqrs double excitation expands to 8 Pauli strings.
+        let exc = double_excitation(0, 1, 2, 3, 4);
+        assert_eq!(exc.num_terms(), 8);
+    }
+
+    #[test]
+    fn pauli_exclusion_collapses_repeated_creation() {
+        // a†_p a†_p = 0.
+        let n = 3;
+        let mut sq = creation(1, n).mul(&creation(1, n));
+        sq.prune(DEFAULT_TOL);
+        assert!(sq.is_empty());
+    }
+}

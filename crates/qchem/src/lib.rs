@@ -1,0 +1,35 @@
+//! Synthetic molecular-Hamiltonian workloads for the Picasso reproduction.
+//!
+//! The paper's datasets are Pauli-string sets derived from Hₙ hydrogen
+//! systems (n = 4, 6, 8, 10) in 1D/2D/3D arrangements over the sto-3g,
+//! 6-31g and 6-311g basis sets (Table II). Real electronic-structure
+//! integrals require a quantum-chemistry package we cannot ship, so this
+//! crate builds the closest synthetic equivalent from scratch:
+//!
+//! 1. [`geometry`] — explicit Hₙ atom arrangements (chain / sheet /
+//!    compact cluster),
+//! 2. [`basis`] — spin-orbital counts per basis set chosen to match the
+//!    paper's qubit counts exactly (sto-3g: 2, 6-31g: 4, 6-311g: 6 per H),
+//! 3. [`integrals`] — deterministic distance-decaying one-/two-electron
+//!    integrals with the physical index symmetries and spin conservation,
+//! 4. [`jw`] — a from-scratch Jordan–Wigner transform of ladder-operator
+//!    expressions into [`pauli::PauliSum`]s,
+//! 5. [`hamiltonian`] — assembly of the O(N⁴) second-quantized Hamiltonian
+//!    plus ansatz-style excitation products used to reach a target term
+//!    count (the paper's sets also include wave-function-ansatz terms that
+//!    scale as O(N⁷⁻⁸)),
+//! 6. [`registry`] — the 18 Table II instances with their paper-reported
+//!    sizes and a `scale` knob for laptop-class runs.
+
+pub mod basis;
+pub mod geometry;
+pub mod hamiltonian;
+pub mod integrals;
+pub mod jw;
+pub mod registry;
+
+pub use basis::BasisSet;
+pub use geometry::{Dimensionality, Geometry};
+pub use hamiltonian::{build_hamiltonian, generate_pauli_set};
+pub use integrals::Integrals;
+pub use registry::{MoleculeSpec, Tier, TABLE2};

@@ -1,0 +1,316 @@
+//! The Table II dataset registry.
+//!
+//! All 18 molecule instances from the paper with their reported sizes, a
+//! tier classification (the paper's Small ≤ 10 B edges, Medium ≤ 1 T,
+//! Large > 1 T), and scaled generation for laptop-class machines.
+
+use crate::basis::BasisSet;
+use crate::geometry::Dimensionality;
+use crate::hamiltonian::generate_pauli_set;
+use pauli::PauliString;
+use serde::Serialize;
+
+/// Dataset size tier, per the paper's classification by edge count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Tier {
+    /// ≤ 10 billion edges — the instances every baseline can still color.
+    Small,
+    /// ≤ 1 trillion edges.
+    Medium,
+    /// > 1 trillion edges.
+    Large,
+}
+
+/// One Table II row: molecule, basis, geometry and the paper's reported
+/// problem size.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MoleculeSpec {
+    /// Dataset label, e.g. `"H6 3D sto3g"`.
+    pub name: &'static str,
+    /// Number of hydrogen atoms.
+    pub n_atoms: usize,
+    /// Spatial arrangement.
+    pub dim: Dimensionality,
+    /// Basis set.
+    pub basis: BasisSet,
+    /// Qubits (= spin orbitals) reported by the paper.
+    pub qubits: usize,
+    /// Pauli-term count reported in Table II.
+    pub paper_terms: u64,
+    /// Edge count reported in Table II.
+    pub paper_edges: u64,
+}
+
+use Dimensionality::{OneD, ThreeD, TwoD};
+
+/// The 18 instances of Table II, in the paper's (size-sorted) order.
+pub const TABLE2: [MoleculeSpec; 18] = [
+    MoleculeSpec {
+        name: "H6 3D sto3g",
+        n_atoms: 6,
+        dim: ThreeD,
+        basis: BasisSet::Sto3g,
+        qubits: 12,
+        paper_terms: 8_721,
+        paper_edges: 19_178_632,
+    },
+    MoleculeSpec {
+        name: "H6 2D sto3g",
+        n_atoms: 6,
+        dim: TwoD,
+        basis: BasisSet::Sto3g,
+        qubits: 12,
+        paper_terms: 18_137,
+        paper_edges: 82_641_188,
+    },
+    MoleculeSpec {
+        name: "H6 1D sto3g",
+        n_atoms: 6,
+        dim: OneD,
+        basis: BasisSet::Sto3g,
+        qubits: 12,
+        paper_terms: 19_025,
+        paper_edges: 90_853_544,
+    },
+    MoleculeSpec {
+        name: "H4 2D 631g",
+        n_atoms: 4,
+        dim: TwoD,
+        basis: BasisSet::G631,
+        qubits: 16,
+        paper_terms: 22_529,
+        paper_edges: 127_024_320,
+    },
+    MoleculeSpec {
+        name: "H4 3D 631g",
+        n_atoms: 4,
+        dim: ThreeD,
+        basis: BasisSet::G631,
+        qubits: 16,
+        paper_terms: 34_481,
+        paper_edges: 297_303_496,
+    },
+    MoleculeSpec {
+        name: "H4 1D 631g",
+        n_atoms: 4,
+        dim: OneD,
+        basis: BasisSet::G631,
+        qubits: 16,
+        paper_terms: 42_449,
+        paper_edges: 450_624_984,
+    },
+    MoleculeSpec {
+        name: "H4 2D 6311g",
+        n_atoms: 4,
+        dim: TwoD,
+        basis: BasisSet::G6311,
+        qubits: 24,
+        paper_terms: 154_641,
+        paper_edges: 5_979_614_600,
+    },
+    MoleculeSpec {
+        name: "H4 3D 6311g",
+        n_atoms: 4,
+        dim: ThreeD,
+        basis: BasisSet::G6311,
+        qubits: 24,
+        paper_terms: 245_089,
+        paper_edges: 15_017_722_736,
+    },
+    MoleculeSpec {
+        name: "H8 2D sto3g",
+        n_atoms: 8,
+        dim: TwoD,
+        basis: BasisSet::Sto3g,
+        qubits: 16,
+        paper_terms: 271_489,
+        paper_edges: 18_513_622_112,
+    },
+    MoleculeSpec {
+        name: "H8 1D sto3g",
+        n_atoms: 8,
+        dim: OneD,
+        basis: BasisSet::Sto3g,
+        qubits: 16,
+        paper_terms: 274_625,
+        paper_edges: 18_944_162_720,
+    },
+    MoleculeSpec {
+        name: "H4 1D 6311g",
+        n_atoms: 4,
+        dim: OneD,
+        basis: BasisSet::G6311,
+        qubits: 24,
+        paper_terms: 312_817,
+        paper_edges: 24_464_823_272,
+    },
+    MoleculeSpec {
+        name: "H8 3D sto3g",
+        n_atoms: 8,
+        dim: ThreeD,
+        basis: BasisSet::Sto3g,
+        qubits: 16,
+        paper_terms: 419_457,
+        paper_edges: 44_149_092_736,
+    },
+    MoleculeSpec {
+        name: "H6 3D 631g",
+        n_atoms: 6,
+        dim: ThreeD,
+        basis: BasisSet::G631,
+        qubits: 24,
+        paper_terms: 554_713,
+        paper_edges: 77_027_619_060,
+    },
+    MoleculeSpec {
+        name: "H10 3D sto3g",
+        n_atoms: 10,
+        dim: ThreeD,
+        basis: BasisSet::Sto3g,
+        qubits: 20,
+        paper_terms: 1_274_073,
+        paper_edges: 410_446_230_804,
+    },
+    MoleculeSpec {
+        name: "H6 2D 631g",
+        n_atoms: 6,
+        dim: TwoD,
+        basis: BasisSet::G631,
+        qubits: 24,
+        paper_terms: 2_027_273,
+        paper_edges: 1_028_164_570_684,
+    },
+    MoleculeSpec {
+        name: "H6 1D 631g",
+        n_atoms: 6,
+        dim: OneD,
+        basis: BasisSet::G631,
+        qubits: 24,
+        paper_terms: 2_066_489,
+        paper_edges: 1_068_358_440_628,
+    },
+    MoleculeSpec {
+        name: "H10 2D sto3g",
+        n_atoms: 10,
+        dim: TwoD,
+        basis: BasisSet::Sto3g,
+        qubits: 20,
+        paper_terms: 2_093_345,
+        paper_edges: 1_108_417_973_696,
+    },
+    MoleculeSpec {
+        name: "H10 1D sto3g",
+        n_atoms: 10,
+        dim: OneD,
+        basis: BasisSet::Sto3g,
+        qubits: 20,
+        paper_terms: 2_101_361,
+        paper_edges: 1_116_895_244_280,
+    },
+];
+
+impl MoleculeSpec {
+    /// The paper's tier boundaries: Small ≤ 10 B edges, Medium ≤ 1 T.
+    pub fn tier(&self) -> Tier {
+        if self.paper_edges <= 10_000_000_000 {
+            Tier::Small
+        } else if self.paper_edges <= 1_000_000_000_000 {
+            Tier::Medium
+        } else {
+            Tier::Large
+        }
+    }
+
+    /// Target Pauli-term count at a given scale, floored at 32 so tiny
+    /// scales still produce a meaningful instance.
+    pub fn target_terms(&self, scale: f64) -> usize {
+        ((self.paper_terms as f64 * scale).round() as usize).max(32)
+    }
+
+    /// Generates the scaled Pauli-string set for this instance.
+    pub fn generate(&self, scale: f64, seed: u64) -> Vec<PauliString> {
+        generate_pauli_set(
+            self.n_atoms,
+            self.dim,
+            self.basis,
+            self.target_terms(scale),
+            seed,
+        )
+    }
+
+    /// Looks a spec up by its dataset label.
+    pub fn by_name(name: &str) -> Option<&'static MoleculeSpec> {
+        TABLE2.iter().find(|m| m.name == name)
+    }
+
+    /// All instances of a tier, in Table II order.
+    pub fn tier_members(tier: Tier) -> Vec<&'static MoleculeSpec> {
+        TABLE2.iter().filter(|m| m.tier() == tier).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::OrbitalLayout;
+
+    #[test]
+    fn qubit_counts_are_consistent_with_layout() {
+        for spec in &TABLE2 {
+            let lay = OrbitalLayout::new(spec.n_atoms, spec.basis);
+            assert_eq!(
+                lay.num_spin_orbitals(),
+                spec.qubits,
+                "{} qubit mismatch",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn tier_split_matches_paper() {
+        // The paper's small set has exactly 7 instances (Tables III/IV),
+        // the large set exactly 4 (the >1T instances).
+        let small = MoleculeSpec::tier_members(Tier::Small);
+        let medium = MoleculeSpec::tier_members(Tier::Medium);
+        let large = MoleculeSpec::tier_members(Tier::Large);
+        assert_eq!(small.len(), 7);
+        assert_eq!(medium.len(), 7);
+        assert_eq!(large.len(), 4);
+        assert_eq!(small.len() + medium.len() + large.len(), TABLE2.len());
+        assert_eq!(small[0].name, "H6 3D sto3g");
+        assert_eq!(large[3].name, "H10 1D sto3g");
+    }
+
+    #[test]
+    fn specs_sorted_by_edges() {
+        for w in TABLE2.windows(2) {
+            assert!(
+                w[0].paper_edges <= w[1].paper_edges,
+                "registry must stay in Table II size order"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let spec = MoleculeSpec::by_name("H4 2D 6311g").unwrap();
+        assert_eq!(spec.qubits, 24);
+        assert_eq!(spec.paper_terms, 154_641);
+        assert!(MoleculeSpec::by_name("He 1D").is_none());
+    }
+
+    #[test]
+    fn scaled_generation_has_right_size_and_width() {
+        let spec = MoleculeSpec::by_name("H6 3D sto3g").unwrap();
+        let set = spec.generate(0.02, 1); // ~174 strings
+        assert_eq!(set.len(), spec.target_terms(0.02));
+        assert!(set.iter().all(|s| s.len() == spec.qubits));
+    }
+
+    #[test]
+    fn tiny_scale_floors_at_32() {
+        let spec = MoleculeSpec::by_name("H6 3D sto3g").unwrap();
+        assert_eq!(spec.target_terms(1e-9), 32);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the Jordan–Wigner transform: the canonical
+//! anticommutation algebra must hold for arbitrary orbital indices, and
+//! every physical operator must come out Hermitian.
+
+use pauli::sum::DEFAULT_TOL;
+use pauli::Complex;
+use proptest::prelude::*;
+use qchem::jw;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// {a_p, a†_q} = δ_pq on arbitrary (p, q, n).
+    #[test]
+    fn car_holds(n in 1usize..8, p_raw in 0usize..8, q_raw in 0usize..8) {
+        let p = p_raw % n;
+        let q = q_raw % n;
+        let mut anti = jw::annihilation(p, n).mul(&jw::creation(q, n));
+        anti.add_sum(&jw::creation(q, n).mul(&jw::annihilation(p, n)));
+        anti.prune(DEFAULT_TOL);
+        if p == q {
+            prop_assert_eq!(anti.num_terms(), 1);
+            let (s, c) = anti.iter().next().unwrap();
+            prop_assert!(s.is_identity());
+            prop_assert!(c.approx_eq(Complex::ONE, 1e-12));
+        } else {
+            prop_assert!(anti.is_empty());
+        }
+    }
+
+    /// {a†_p, a†_q} = 0 on arbitrary indices.
+    #[test]
+    fn creators_anticommute(n in 1usize..8, p_raw in 0usize..8, q_raw in 0usize..8) {
+        let p = p_raw % n;
+        let q = q_raw % n;
+        let mut anti = jw::creation(p, n).mul(&jw::creation(q, n));
+        anti.add_sum(&jw::creation(q, n).mul(&jw::creation(p, n)));
+        anti.prune(DEFAULT_TOL);
+        prop_assert!(anti.is_empty());
+    }
+
+    /// Number operators are idempotent: (a†_p a_p)² = a†_p a_p.
+    #[test]
+    fn number_operator_idempotent(n in 1usize..8, p_raw in 0usize..8) {
+        let p = p_raw % n;
+        let num = jw::number_operator(p, n);
+        let mut sq = num.mul(&num);
+        sq.prune(DEFAULT_TOL);
+        // Compare term sets.
+        let mut lhs: Vec<String> = sq.iter().map(|(s, c)| format!("{s}:{:.6}", c.re)).collect();
+        let mut rhs: Vec<String> = num.iter().map(|(s, c)| format!("{s}:{:.6}", c.re)).collect();
+        lhs.sort();
+        rhs.sort();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Single and double excitations are Hermitian for any index tuple.
+    #[test]
+    fn excitations_hermitian(
+        n in 2usize..8,
+        a in 0usize..8, b in 0usize..8, c in 0usize..8, d in 0usize..8,
+    ) {
+        let (p, q, r, s) = (a % n, b % n, c % n, d % n);
+        prop_assert!(jw::single_excitation(p, q, n).is_hermitian(1e-9));
+        prop_assert!(jw::double_excitation(p, q, r, s, n).is_hermitian(1e-9));
+    }
+
+    /// Number operators on different orbitals commute.
+    #[test]
+    fn number_operators_commute(n in 2usize..7, p_raw in 0usize..8, q_raw in 0usize..8) {
+        let p = p_raw % n;
+        let q = q_raw % n;
+        let npq = jw::number_operator(p, n).mul(&jw::number_operator(q, n));
+        let nqp = jw::number_operator(q, n).mul(&jw::number_operator(p, n));
+        let mut diff = npq;
+        let mut neg = nqp;
+        neg.scale(Complex::real(-1.0));
+        diff.add_sum(&neg);
+        diff.prune(DEFAULT_TOL);
+        prop_assert!(diff.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! A miniature Fig. 5: sweep (P, α) on one molecule and print the
+//! quality/work trade-off surface.
+//!
+//! ```sh
+//! cargo run --release --example parameter_sweep
+//! ```
+
+use pauli::EncodedSet;
+use picasso::{grid_sweep, PicassoConfig};
+use qchem::MoleculeSpec;
+
+fn main() {
+    let spec = MoleculeSpec::by_name("H4 2D 631g").unwrap();
+    let strings = spec.generate(0.05, 1); // ~1.1k vertices
+    let set = EncodedSet::from_strings(&strings);
+    println!("sweeping {} at |V| = {}…\n", spec.name, strings.len());
+
+    let fractions = [0.01, 0.05, 0.10, 0.20];
+    let alphas = [0.5, 1.5, 3.0, 4.5];
+    let points = grid_sweep(&set, &fractions, &alphas, PicassoConfig::normal(3)).unwrap();
+
+    println!(
+        "{:>5} {:>5} {:>8} {:>10} {:>9} {:>6}",
+        "P%", "a", "colors", "max|Ec|", "time(s)", "iters"
+    );
+    for p in &points {
+        println!(
+            "{:>5.1} {:>5.1} {:>8} {:>10} {:>9.3} {:>6}",
+            p.palette_fraction * 100.0,
+            p.alpha,
+            p.num_colors,
+            p.max_conflict_edges,
+            p.total_secs,
+            p.iterations
+        );
+    }
+
+    // Narrate the paper's trade-off using the sweep's corners.
+    let few_colors = points.iter().min_by_key(|p| p.num_colors).unwrap();
+    let little_work = points.iter().min_by_key(|p| p.max_conflict_edges).unwrap();
+    println!(
+        "\nfewest colors:   P={:.1}% a={:.1} -> {} colors, {} conflict edges",
+        few_colors.palette_fraction * 100.0,
+        few_colors.alpha,
+        few_colors.num_colors,
+        few_colors.max_conflict_edges
+    );
+    println!(
+        "least work:      P={:.1}% a={:.1} -> {} colors, {} conflict edges",
+        little_work.palette_fraction * 100.0,
+        little_work.alpha,
+        little_work.num_colors,
+        little_work.max_conflict_edges
+    );
+}

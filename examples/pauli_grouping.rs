@@ -1,0 +1,50 @@
+//! The full application pipeline of the paper's introduction: synthesize
+//! a molecular Hamiltonian, Jordan–Wigner it into Pauli strings, and
+//! shrink them into a compact set of unitaries via Picasso.
+//!
+//! ```sh
+//! cargo run --release --example pauli_grouping [n_atoms] [terms]
+//! ```
+
+use coloring::verify::validate_oracle_coloring;
+use pauli::oracle::count_edges;
+use pauli::EncodedSet;
+use picasso::{PauliComplementOracle, Picasso, PicassoConfig};
+use qchem::{generate_pauli_set, BasisSet, Dimensionality};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_atoms: usize = args.next().map_or(4, |a| a.parse().expect("n_atoms"));
+    let terms: usize = args.next().map_or(2000, |a| a.parse().expect("terms"));
+
+    println!("synthesizing H{n_atoms} (2D, 6-31G) with {terms} Pauli terms…");
+    let strings = generate_pauli_set(n_atoms, Dimensionality::TwoD, BasisSet::G631, terms, 7);
+    let set = EncodedSet::from_strings(&strings);
+    println!("  {} strings on {} qubits", strings.len(), set.num_qubits());
+
+    let counts = count_edges(&set);
+    println!(
+        "  compatibility graph G': {} edges ({:.1}% dense) — never materialized",
+        counts.complement,
+        100.0 * counts.complement_density()
+    );
+
+    for (label, cfg) in [
+        ("normal (P=12.5%, a=2) ", PicassoConfig::normal(1)),
+        ("aggressive (P=3%, a=30)", PicassoConfig::aggressive(1)),
+    ] {
+        let result = Picasso::new(cfg).solve_pauli(&set).expect("solve");
+        let oracle = PauliComplementOracle::new(&set);
+        validate_oracle_coloring(&oracle, &result.colors).expect("valid coloring");
+        println!(
+            "  {label}: {} unitaries ({:.1}% of terms), {} iters, max |Ec| {} ({:.2}% of |E'|), {:.2}s",
+            result.num_colors,
+            result.color_percentage(),
+            result.iterations.len(),
+            result.max_conflict_edges(),
+            100.0 * result.max_conflict_edges() as f64 / counts.complement.max(1) as f64,
+            result.total_secs,
+        );
+    }
+    println!("colorings validated against the anticommutation oracle ✓");
+}

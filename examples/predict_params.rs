@@ -1,0 +1,74 @@
+//! §VI end to end: build a training corpus from parameter sweeps, fit
+//! the random-forest predictor, and use it to configure Picasso for an
+//! unseen molecule.
+//!
+//! ```sh
+//! cargo run --release --example predict_params
+//! ```
+
+use pauli::oracle::count_edges;
+use pauli::EncodedSet;
+use picasso::{grid_sweep, Picasso, PicassoConfig};
+use predictor::dataset::{optimal_points_per_beta, paper_betas};
+use predictor::{PalettePredictor, RandomForestConfig, TrainingSample};
+use qchem::MoleculeSpec;
+
+const TRAIN: [&str; 4] = ["H6 3D sto3g", "H6 2D sto3g", "H6 1D sto3g", "H4 2D 631g"];
+const TEST: &str = "H4 3D 631g";
+const SCALE: f64 = 0.02;
+
+fn main() {
+    let fractions = [0.01, 0.05, 0.10, 0.20];
+    let alphas = [0.5, 1.5, 3.0, 4.5];
+
+    // Steps 1-4: sweep each training molecule, extract per-beta optima.
+    let mut corpus: Vec<TrainingSample> = Vec::new();
+    for name in TRAIN {
+        let spec = MoleculeSpec::by_name(name).unwrap();
+        let strings = spec.generate(SCALE, 1);
+        let set = EncodedSet::from_strings(&strings);
+        let edges = count_edges(&set).complement;
+        println!("sweeping {name} (|V|={}, |E'|={edges})…", strings.len());
+        let sweep = grid_sweep(&set, &fractions, &alphas, PicassoConfig::normal(1)).unwrap();
+        corpus.extend(optimal_points_per_beta(
+            &sweep,
+            strings.len() as u64,
+            edges,
+            &paper_betas(),
+        ));
+    }
+    println!("corpus: {} samples", corpus.len());
+
+    // Step 5: train the forest.
+    let model = PalettePredictor::fit(&corpus, RandomForestConfig::paper_default(1));
+
+    // Step 6: predict for an unseen molecule at two trade-offs and run
+    // Picasso with the predicted parameters.
+    let spec = MoleculeSpec::by_name(TEST).unwrap();
+    let strings = spec.generate(SCALE, 2);
+    let set = EncodedSet::from_strings(&strings);
+    let edges = count_edges(&set).complement;
+    println!(
+        "\nnew molecule: {TEST} (|V|={}, |E'|={edges})",
+        strings.len()
+    );
+
+    for beta in [0.2, 0.8] {
+        let p = model.predict(beta, strings.len() as u64, edges);
+        println!(
+            "beta={beta}: predicted P' = {:.2}%, alpha = {:.2}",
+            p.palette_percent, p.alpha
+        );
+        let cfg = PicassoConfig::normal(9)
+            .with_palette_fraction(p.palette_percent / 100.0)
+            .with_alpha(p.alpha);
+        let r = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        println!(
+            "  -> {} colors ({:.1}% of |V|), max |Ec| = {} ({:.2}% of |E'|)",
+            r.num_colors,
+            r.color_percentage(),
+            r.max_conflict_edges(),
+            100.0 * r.max_conflict_edges() as f64 / edges.max(1) as f64
+        );
+    }
+}

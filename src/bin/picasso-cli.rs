@@ -1,0 +1,220 @@
+//! `picasso-cli` — group a file of Pauli strings into anticommuting
+//! cliques from the command line.
+//!
+//! ```text
+//! picasso-cli strings.txt [--palette PCT] [--alpha A] [--seed N]
+//!             [--aggressive] [--backend seq|par|device:MIB] [--json] [--stats]
+//! ```
+//!
+//! Input: one Pauli string per line (`IXYZ…`), `#` comments allowed.
+//! Output: one group per line (`U<k>: S1 S2 …`), or a JSON document with
+//! `--json`.
+
+use picasso::{color_classes, ConflictBackend, Picasso, PicassoConfig};
+use picasso_suite::io::parse_pauli_lines;
+use std::io::Read;
+use std::process::exit;
+
+struct CliArgs {
+    input: Option<String>,
+    palette_pct: Option<f64>,
+    alpha: Option<f64>,
+    seed: u64,
+    aggressive: bool,
+    backend: ConflictBackend,
+    json: bool,
+    stats: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: picasso-cli [FILE|-] [--palette PCT] [--alpha A] [--seed N] \
+         [--aggressive] [--backend seq|par|device:MIB] [--json] [--stats]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> CliArgs {
+    let mut out = CliArgs {
+        input: None,
+        palette_pct: None,
+        alpha: None,
+        seed: 1,
+        aggressive: false,
+        backend: ConflictBackend::Parallel,
+        json: false,
+        stats: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--palette" => {
+                out.palette_pct = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.palette_pct.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--alpha" => {
+                out.alpha = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.alpha.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--aggressive" => {
+                out.aggressive = true;
+                i += 1;
+            }
+            "--backend" => {
+                let v = args
+                    .get(i + 1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage());
+                out.backend = match v {
+                    "seq" => ConflictBackend::Sequential,
+                    "par" => ConflictBackend::Parallel,
+                    other => match other.strip_prefix("device:") {
+                        Some(mib) => ConflictBackend::Device {
+                            capacity_bytes: mib.parse::<usize>().unwrap_or_else(|_| usage())
+                                * 1024
+                                * 1024,
+                        },
+                        None => usage(),
+                    },
+                };
+                i += 2;
+            }
+            "--json" => {
+                out.json = true;
+                i += 1;
+            }
+            "--stats" => {
+                out.stats = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') || other == "-" => {
+                if out.input.is_some() {
+                    usage();
+                }
+                out.input = Some(other.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let text = match args.input.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("error reading stdin: {e}");
+                    exit(1);
+                });
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error reading {path}: {e}");
+            exit(1);
+        }),
+    };
+
+    let parsed = parse_pauli_lines(&text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        exit(1);
+    });
+    if parsed.duplicates_dropped > 0 {
+        eprintln!(
+            "note: dropped {} duplicate strings",
+            parsed.duplicates_dropped
+        );
+    }
+
+    let mut cfg = if args.aggressive {
+        PicassoConfig::aggressive(args.seed)
+    } else {
+        PicassoConfig::normal(args.seed)
+    };
+    if let Some(p) = args.palette_pct {
+        cfg = cfg.with_palette_fraction(p / 100.0);
+    }
+    if let Some(a) = args.alpha {
+        cfg = cfg.with_alpha(a);
+    }
+    cfg = cfg.with_backend(args.backend);
+
+    let set = pauli::EncodedSet::from_strings(&parsed.strings);
+    let result = Picasso::new(cfg).solve_pauli(&set).unwrap_or_else(|e| {
+        eprintln!("solve failed: {e}");
+        exit(1);
+    });
+    let classes = color_classes(&result.colors);
+
+    if args.json {
+        let groups: Vec<Vec<String>> = classes
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&v| parsed.strings[v as usize].to_string())
+                    .collect()
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "num_strings": parsed.strings.len(),
+            "num_groups": result.num_colors,
+            "color_percentage": result.color_percentage(),
+            "iterations": result.iterations.len(),
+            "total_secs": result.total_secs,
+            "groups": groups,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+    } else {
+        for (k, class) in classes.iter().enumerate() {
+            let members: Vec<String> = class
+                .iter()
+                .map(|&v| parsed.strings[v as usize].to_string())
+                .collect();
+            println!("U{k}: {}", members.join(" "));
+        }
+        eprintln!(
+            "{} strings -> {} groups ({:.1}%) in {} iterations, {:.3}s",
+            parsed.strings.len(),
+            result.num_colors,
+            result.color_percentage(),
+            result.iterations.len(),
+            result.total_secs
+        );
+    }
+
+    if args.stats {
+        eprintln!("iter |live |palette |L |Vc |Ec |uncolored");
+        for s in &result.iterations {
+            eprintln!(
+                "{:>4} {:>6} {:>7} {:>3} {:>6} {:>8} {:>6}",
+                s.iteration,
+                s.live_vertices,
+                s.palette_size,
+                s.list_size,
+                s.conflict_vertices,
+                s.conflict_edges,
+                s.uncolored_after
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Text I/O for the command-line tool: parsing Pauli-string files.
+//!
+//! Format: one Pauli string per line (`IXYZ…`), case-insensitive; blank
+//! lines and `#` comments ignored; duplicate strings are dropped (each
+//! vertex appears once in the graph).
+
+use pauli::PauliString;
+use std::collections::HashSet;
+
+/// Outcome of parsing an input file.
+#[derive(Debug)]
+pub struct ParsedInput {
+    /// The distinct Pauli strings, in first-appearance order.
+    pub strings: Vec<PauliString>,
+    /// How many duplicate lines were dropped.
+    pub duplicates_dropped: usize,
+}
+
+/// A parse failure, pointing at the offending line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole input text.
+pub fn parse_pauli_lines(text: &str) -> Result<ParsedInput, ParseError> {
+    let mut strings = Vec::new();
+    let mut seen: HashSet<PauliString> = HashSet::new();
+    let mut duplicates_dropped = 0usize;
+    let mut width: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let s: PauliString = content.parse().map_err(|e| ParseError {
+            line,
+            message: format!("{e}"),
+        })?;
+        match width {
+            None => width = Some(s.len()),
+            Some(w) if w != s.len() => {
+                return Err(ParseError {
+                    line,
+                    message: format!("string length {} != expected {w}", s.len()),
+                })
+            }
+            _ => {}
+        }
+        if seen.insert(s.clone()) {
+            strings.push(s);
+        } else {
+            duplicates_dropped += 1;
+        }
+    }
+    if strings.is_empty() {
+        return Err(ParseError {
+            line: 0,
+            message: "no Pauli strings found in input".into(),
+        });
+    }
+    Ok(ParsedInput {
+        strings,
+        duplicates_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_comments_and_blanks() {
+        let text = "# header\nIXYZ\n\nxyzi  # inline comment\nZZZZ\n";
+        let parsed = parse_pauli_lines(text).unwrap();
+        assert_eq!(parsed.strings.len(), 3);
+        assert_eq!(parsed.strings[1].to_string(), "XYZI");
+        assert_eq!(parsed.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn drops_duplicates() {
+        let parsed = parse_pauli_lines("XX\nYY\nXX\n").unwrap();
+        assert_eq!(parsed.strings.len(), 2);
+        assert_eq!(parsed.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn rejects_bad_characters_with_line_number() {
+        let err = parse_pauli_lines("XX\nXQ\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_ragged_lengths() {
+        let err = parse_pauli_lines("XX\nXXX\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("length"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_pauli_lines("# only comments\n").is_err());
+    }
+}

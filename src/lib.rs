@@ -1,0 +1,17 @@
+//! Meta crate re-exporting the full Picasso reproduction workspace.
+//!
+//! Downstream users can depend on `picasso-suite` to get every component,
+//! or on the individual crates (`picasso-core`, `picasso-pauli`, ...) for a
+//! narrower dependency surface. The `examples/` directory of this package
+//! contains the runnable end-to-end scenarios.
+
+pub mod io;
+
+pub use coloring;
+pub use device;
+pub use graph;
+pub use memtrack;
+pub use pauli;
+pub use picasso;
+pub use predictor;
+pub use qchem;

@@ -1,0 +1,100 @@
+//! Black-box tests of the `picasso-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const CLI: &str = env!("CARGO_BIN_EXE_picasso-cli");
+
+fn write_input(name: &str, text: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn groups_a_small_file() {
+    let path = write_input("cli_small.txt", "IIII\nXYXY\nYYXY\nXXXY\nYXXY\n");
+    let out = Command::new(CLI).arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Every input string appears exactly once across the groups.
+    for s in ["IIII", "XYXY", "YYXY", "XXXY", "YXXY"] {
+        assert_eq!(stdout.matches(s).count(), 1, "{s} in output:\n{stdout}");
+    }
+    assert!(stdout.lines().all(|l| l.starts_with('U')));
+}
+
+#[test]
+fn json_output_is_well_formed() {
+    let path = write_input("cli_json.txt", "XX\nYY\nZZ\nXY\nYX\n");
+    let out = Command::new(CLI).arg(&path).arg("--json").output().unwrap();
+    assert!(out.status.success());
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    assert_eq!(doc["num_strings"], 5);
+    let groups = doc["groups"].as_array().unwrap();
+    let total: usize = groups.iter().map(|g| g.as_array().unwrap().len()).sum();
+    assert_eq!(total, 5);
+    assert_eq!(doc["num_groups"].as_u64().unwrap() as usize, groups.len());
+}
+
+#[test]
+fn reads_stdin_with_dash() {
+    let mut child = Command::new(CLI)
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"XZ\nZX\nYY\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("U0:"));
+}
+
+#[test]
+fn rejects_malformed_input() {
+    let path = write_input("cli_bad.txt", "XX\nXB\n");
+    let out = Command::new(CLI).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let path = write_input("cli_seed.txt", "XXXX\nYYYY\nZZZZ\nXYZI\nIZYX\nXZXZ\n");
+    let run = || {
+        let out = Command::new(CLI)
+            .arg(&path)
+            .args(["--seed", "7"])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn custom_parameters_are_accepted() {
+    let path = write_input("cli_params.txt", "XX\nYY\nZZ\nXY\nYX\nZI\nIZ\nXZ\n");
+    let out = Command::new(CLI)
+        .arg(&path)
+        .args(["--palette", "50", "--alpha", "3", "--backend", "seq"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

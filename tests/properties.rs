@@ -1,0 +1,86 @@
+//! Cross-crate property tests: whatever the Pauli set and configuration,
+//! Picasso's output is a valid clique partition.
+
+use coloring::verify::validate_oracle_coloring;
+use pauli::{EncodedSet, Pauli, PauliString};
+use picasso::{PauliComplementOracle, Picasso, PicassoConfig};
+use proptest::prelude::*;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z)
+    ]
+}
+
+fn arb_unique_strings(qubits: usize, max: usize) -> impl Strategy<Value = Vec<PauliString>> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_pauli(), qubits).prop_map(PauliString::new),
+        2..max,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+    .prop_filter("need at least 2 distinct strings", |v| v.len() >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random Pauli set, any palette/alpha, any seed: the coloring is
+    /// always a valid coloring of the complement graph.
+    #[test]
+    fn picasso_always_valid(
+        strings in arb_unique_strings(6, 40),
+        fraction in 0.02f64..0.5,
+        alpha in 0.5f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let set = EncodedSet::from_strings(&strings);
+        let cfg = PicassoConfig::normal(seed)
+            .with_palette_fraction(fraction)
+            .with_alpha(alpha);
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        let oracle = PauliComplementOracle::new(&set);
+        prop_assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+        prop_assert!(result.num_colors >= 1);
+        prop_assert!(result.num_colors as usize <= strings.len());
+    }
+
+    /// The static list-coloring schemes also always converge to validity.
+    #[test]
+    fn static_scheme_always_valid(
+        strings in arb_unique_strings(5, 30),
+        seed in any::<u64>(),
+    ) {
+        let set = EncodedSet::from_strings(&strings);
+        let cfg = PicassoConfig::normal(seed).with_scheme(
+            picasso::ListColoringScheme::Static(coloring::OrderingHeuristic::SmallestLast),
+        );
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        let oracle = PauliComplementOracle::new(&set);
+        prop_assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+    }
+
+    /// Iteration telemetry always balances.
+    #[test]
+    fn stats_always_balance(
+        strings in arb_unique_strings(6, 40),
+        seed in any::<u64>(),
+    ) {
+        let set = EncodedSet::from_strings(&strings);
+        let result = Picasso::new(PicassoConfig::normal(seed)).solve_pauli(&set).unwrap();
+        let mut live = strings.len();
+        for s in &result.iterations {
+            prop_assert_eq!(s.live_vertices, live);
+            prop_assert_eq!(s.colored_unconflicted + s.conflict_vertices, s.live_vertices);
+            prop_assert_eq!(s.colored_in_conflict + s.uncolored_after, s.conflict_vertices);
+            live = s.uncolored_after;
+        }
+        prop_assert_eq!(live, 0usize);
+    }
+}

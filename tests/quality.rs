@@ -1,0 +1,111 @@
+//! Quality relationships between Picasso and the explicit-graph
+//! baselines (the shape claims of Table III), plus generic-graph usage.
+
+use coloring::{colpack_color, jones_plassmann_ldf, speculative_parallel, OrderingHeuristic};
+use graph::gen::erdos_renyi;
+use graph::EdgeOracle;
+use pauli::EncodedSet;
+use picasso::{Picasso, PicassoConfig};
+use qchem::{generate_pauli_set, BasisSet, Dimensionality};
+
+fn complement_csr(set: &EncodedSet) -> graph::CsrGraph {
+    use pauli::AntiCommuteSet as _;
+    let n = set.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !set.anticommutes(i, j) {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    graph::csr_from_coo_sequential(n, &edges)
+}
+
+#[test]
+fn aggressive_picasso_is_competitive_with_greedy() {
+    let strings = generate_pauli_set(4, Dimensionality::OneD, BasisSet::Sto3g, 500, 1);
+    let set = EncodedSet::from_strings(&strings);
+    let g = complement_csr(&set);
+
+    let dlf = colpack_color(&g, OrderingHeuristic::DynamicLargestFirst, 0).num_colors;
+    let aggr = Picasso::new(PicassoConfig::aggressive(1))
+        .solve_pauli(&set)
+        .unwrap()
+        .num_colors;
+    // Paper: aggressive within 5-10% of the best greedy; allow 25% slack
+    // at this reduced scale.
+    assert!(
+        (aggr as f64) <= (dlf as f64) * 1.25,
+        "aggressive {aggr} vs DLF {dlf}"
+    );
+}
+
+#[test]
+fn normal_picasso_never_catastrophic() {
+    // Normal mode trades quality for memory but must stay within a small
+    // factor of greedy (paper: < 3x of DLF on every instance).
+    let strings = generate_pauli_set(4, Dimensionality::TwoD, BasisSet::Sto3g, 400, 2);
+    let set = EncodedSet::from_strings(&strings);
+    let g = complement_csr(&set);
+    let dlf = colpack_color(&g, OrderingHeuristic::DynamicLargestFirst, 0).num_colors;
+    let norm = Picasso::new(PicassoConfig::normal(1))
+        .solve_pauli(&set)
+        .unwrap()
+        .num_colors;
+    assert!(
+        (norm as f64) <= (dlf as f64) * 3.0,
+        "normal {norm} vs DLF {dlf}"
+    );
+}
+
+#[test]
+fn parallel_baselines_match_greedy_on_dense_graphs() {
+    let strings = generate_pauli_set(4, Dimensionality::ThreeD, BasisSet::Sto3g, 350, 3);
+    let set = EncodedSet::from_strings(&strings);
+    let g = complement_csr(&set);
+    let dlf = colpack_color(&g, OrderingHeuristic::DynamicLargestFirst, 0).num_colors;
+    let jp = jones_plassmann_ldf(&g, 1).num_colors;
+    let spec = speculative_parallel(&g, 1).num_colors;
+    assert!((jp as f64) <= (dlf as f64) * 1.3, "JP {jp} vs DLF {dlf}");
+    assert!(
+        (spec as f64) <= (dlf as f64) * 1.4,
+        "spec {spec} vs DLF {dlf}"
+    );
+}
+
+#[test]
+fn picasso_works_on_generic_graph_oracles() {
+    // "Although Picasso is designed to solve a specific problem in
+    // quantum computing, it can be used in a generalized graph setting."
+    let g = erdos_renyi(600, 0.5, 9);
+    let r = Picasso::new(PicassoConfig::normal(3))
+        .solve_oracle(&g)
+        .unwrap();
+    // Proper coloring of g itself.
+    for u in 0..g.num_vertices() {
+        for &v in g.neighbors(u) {
+            assert_ne!(r.colors[u], r.colors[v as usize]);
+        }
+    }
+    assert!(r.num_colors as usize <= g.max_degree() + 1 + 600);
+}
+
+#[test]
+fn smaller_palette_fraction_reduces_colors_on_molecules() {
+    let strings = generate_pauli_set(6, Dimensionality::OneD, BasisSet::Sto3g, 700, 5);
+    let set = EncodedSet::from_strings(&strings);
+    let loose = Picasso::new(PicassoConfig::normal(1).with_palette_fraction(0.4))
+        .solve_pauli(&set)
+        .unwrap()
+        .num_colors;
+    let tight = Picasso::new(
+        PicassoConfig::normal(1)
+            .with_palette_fraction(0.02)
+            .with_alpha(4.0),
+    )
+    .solve_pauli(&set)
+    .unwrap()
+    .num_colors;
+    assert!(tight < loose, "tight {tight} vs loose {loose}");
+}
