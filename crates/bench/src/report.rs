@@ -141,7 +141,7 @@ mod tests {
     #[rustfmt::skip]
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(-0.0001, 2), "0.00");
     }
 }

@@ -209,7 +209,7 @@ mod tests {
         // Each of 20 colors should be picked by roughly L/P of 2000
         // vertices: expect 2000 * 5/20 = 500 each, allow wide slack.
         let lists = ColorLists::assign(2000, 0, 20, 5, 99, 0);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for v in 0..2000 {
             for &c in lists.row(v) {
                 counts[c as usize] += 1;

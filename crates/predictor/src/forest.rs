@@ -185,8 +185,8 @@ mod tests {
                 seed: 1,
             },
         );
-        let r2_single = r2_score(&test_y.to_vec(), &single.predict_batch(test_x));
-        let r2_forest = r2_score(&test_y.to_vec(), &forest.predict_batch(test_x));
+        let r2_single = r2_score(test_y, &single.predict_batch(test_x));
+        let r2_forest = r2_score(test_y, &forest.predict_batch(test_x));
         assert!(
             r2_forest >= r2_single - 0.02,
             "forest {r2_forest} much worse than single tree {r2_single}"

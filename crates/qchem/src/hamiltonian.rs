@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn generated_complement_density_is_high() {
         // The paper's premise: these graphs are ~50% dense.
-        use pauli::oracle::{count_edges, AntiCommuteSet as _};
+        use pauli::oracle::count_edges;
         use pauli::EncodedSet;
         let set = generate_pauli_set(3, Dimensionality::OneD, BasisSet::Sto3g, 300, 11);
         let enc = EncodedSet::from_strings(&set);

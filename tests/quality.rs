@@ -3,7 +3,6 @@
 
 use coloring::{colpack_color, jones_plassmann_ldf, speculative_parallel, OrderingHeuristic};
 use graph::gen::erdos_renyi;
-use graph::EdgeOracle;
 use pauli::EncodedSet;
 use picasso::{Picasso, PicassoConfig};
 use qchem::{generate_pauli_set, BasisSet, Dimensionality};

@@ -1,0 +1,71 @@
+//! Workspace smoke test: exercises the crate-level quick start end to end
+//! through the public meta-crate surface, so a manifest regression (a
+//! crate dropped from the workspace, a renamed package, a broken
+//! re-export) fails this test instead of only failing downstream users.
+//!
+//! The full "everything still compiles" gate (`cargo build --workspace
+//! --all-targets --examples` plus doctests) runs in CI; see
+//! `.github/workflows/ci.yml`.
+
+use picasso_suite::io::parse_pauli_lines;
+use picasso_suite::pauli::{AntiCommuteSet, EncodedSet, PauliString};
+use picasso_suite::picasso::{color_classes, Picasso, PicassoConfig};
+
+/// The `crates/core/src/lib.rs` quick-start, verbatim in spirit: solving
+/// a small Pauli set must color every vertex.
+#[test]
+fn quickstart_solves_a_small_pauli_set() {
+    let strings: Vec<PauliString> = ["XXXY", "YYXY", "IIII", "XYXY", "ZZZZ", "XZYI"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let set = EncodedSet::from_strings(&strings);
+
+    let result = Picasso::new(PicassoConfig::normal(7)).solve_pauli(&set).unwrap();
+    assert_eq!(result.colors.len(), 6);
+
+    // Every color class must be a set of mutually anticommuting strings
+    // (a clique of the anticommutation graph G).
+    for class in color_classes(&result.colors) {
+        for (i, &u) in class.iter().enumerate() {
+            for &v in &class[i + 1..] {
+                assert!(
+                    set.anticommutes(u as usize, v as usize),
+                    "strings {u} and {v} share a color but commute"
+                );
+            }
+        }
+    }
+}
+
+/// Every component crate is reachable through the meta crate's
+/// re-exports — the workspace wiring the manifests promise.
+#[test]
+fn meta_crate_reexports_every_component() {
+    // graph
+    let g = picasso_suite::graph::gen::cycle_graph(5);
+    assert_eq!(picasso_suite::graph::EdgeOracle::num_vertices(&g), 5);
+    // coloring
+    let colored = picasso_suite::coloring::jones_plassmann_ldf(&g, 1);
+    assert!(picasso_suite::coloring::verify::is_valid_coloring(&g, &colored.colors));
+    // qchem
+    assert!(picasso_suite::qchem::MoleculeSpec::by_name("H6 2D sto3g").is_some());
+    // device
+    let dev = picasso_suite::device::DeviceSim::new(1024);
+    assert_eq!(dev.capacity(), 1024);
+    // memtrack
+    assert_eq!(picasso_suite::memtrack::format_bytes(2048), "2.00 KiB");
+    // predictor (cheap surface probe: config construction)
+    let _ = picasso_suite::predictor::RandomForestConfig::paper_default(1);
+}
+
+/// The I/O layer and the solver agree on the canonical package naming
+/// (`picasso-suite` package, `picasso_suite` lib target).
+#[test]
+fn io_parses_what_the_solver_consumes() {
+    let parsed = parse_pauli_lines("XX\nYY\nZZ\n# comment\n").unwrap();
+    assert_eq!(parsed.strings.len(), 3);
+    let set = EncodedSet::from_strings(&parsed.strings);
+    let result = Picasso::new(PicassoConfig::normal(1)).solve_pauli(&set).unwrap();
+    assert_eq!(result.colors.len(), 3);
+}

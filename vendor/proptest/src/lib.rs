@@ -1,0 +1,607 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! reimplements the property-testing surface the workspace uses: the
+//! [`proptest!`] macro, value [`strategy::Strategy`]s (ranges, `any`,
+//! `Just`, tuples, `prop_oneof!`, `collection::vec`, `prop_map`,
+//! `prop_filter`) and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case reports its case index and seed;
+//!   cases are deterministic per (test name, case index), so failures
+//!   reproduce exactly on re-run.
+//! * **No persistence.** There is no failure-regression file.
+//!
+//! Neither difference changes what the tests accept or reject.
+
+pub mod test_runner {
+    //! Test configuration and the per-case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Subset of proptest's `Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Failure raised by the `prop_assert*` macros (or a rejection raised
+    /// by `prop_assume!`): carried as an error so the runner can either
+    /// attach case context before panicking or redraw the case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+        rejected: bool,
+    }
+
+    impl TestCaseError {
+        /// A failed assertion with an explanation.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+                rejected: false,
+            }
+        }
+
+        /// A rejected case (`prop_assume!` not satisfied): the runner
+        /// replaces it with a fresh draw, matching upstream semantics.
+        pub fn reject(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+                rejected: true,
+            }
+        }
+
+        /// Whether this is a rejection rather than a failure.
+        pub fn is_rejection(&self) -> bool {
+            self.rejected
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-case generator: the stream depends only on the
+    /// fully-qualified test name and the case index.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for `test_name`'s case number `case`.
+        pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15)),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Generates values of `Value` from the per-case RNG. Unlike upstream
+    /// there is no value tree: generation is direct and unshrunk.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects generated values failing `pred`, retrying. Mirrors
+        /// upstream's local-rejection semantics; gives up (panics) if the
+        /// filter rejects 1000 consecutive candidates.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive candidates: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the `prop_oneof!`
+    /// backend).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from its (non-empty) arms.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategies!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Full-domain generation (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`]; build with [`any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Generates any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` surface.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests: each function runs `cases` times with fresh
+/// random arguments drawn from the strategies after `in`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases as u64 {
+                    // `prop_assume!` rejections redraw the case (with a
+                    // distinct deterministic stream per attempt) so the
+                    // configured case count is actually exercised.
+                    let mut attempts = 0u64;
+                    loop {
+                        let mut proptest_rng = $crate::test_runner::TestRng::deterministic(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            case | (attempts << 32),
+                        );
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut proptest_rng,
+                            );
+                        )*
+                        let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| {
+                                $body
+                                Ok(())
+                            })();
+                        match outcome {
+                            Ok(()) => break,
+                            Err(e) if e.is_rejection() => {
+                                attempts += 1;
+                                assert!(
+                                    attempts < 1000,
+                                    "proptest {}: prop_assume! rejected 1000 consecutive draws on case {case}: {e}",
+                                    stringify!($name),
+                                );
+                            }
+                            Err(e) => panic!(
+                                "proptest {} failed on case {case}/{}: {e}",
+                                stringify!($name),
+                                config.cases,
+                            ),
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( ::std::boxed::Box::new($arm) ),+ ])
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case: the runner redraws it with fresh values, so
+/// assumed-away cases never count toward the configured case total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption not satisfied: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 2usize..90, x in 1u32..=8, f in 0.25f64..0.75) {
+            prop_assert!((2..90).contains(&n));
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u32..10, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_oneof(pair in (0u32..5, 0u32..5), t in prop_oneof![Just(Tri::A), Just(Tri::B), Just(Tri::C)]) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            prop_assert!(matches!(t, Tri::A | Tri::B | Tri::C));
+        }
+
+        #[test]
+        fn assume_redraws_instead_of_passing_vacuously(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            // Every case that reaches the body must satisfy the
+            // assumption — rejected draws were replaced, not skipped.
+            prop_assert_eq!(x % 2, 0u32);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in crate::collection::vec(any::<u64>(), 1..20)
+                .prop_map(|mut v| { v.sort_unstable(); v })
+                .prop_filter("nonempty", |v| !v.is_empty()),
+        ) {
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_ne!(v.len(), 0usize);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u32..1000, 5..10);
+        let a = s.generate(&mut TestRng::deterministic("x", 3));
+        let b = s.generate(&mut TestRng::deterministic("x", 3));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,289 @@
+//! Vendored, dependency-free subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships a shim exposing the parallel-iterator surface the code uses.
+//! Side-effecting sinks (`for_each`) genuinely fan out over OS threads
+//! via `std::thread::scope`; the transforming combinators (`map`,
+//! `filter`, `collect`, …) run sequentially but preserve rayon's ordered
+//! semantics, so every algorithm produces byte-identical results to a
+//! real-rayon build. Swapping this crate for upstream rayon is a
+//! one-line `Cargo.toml` change and requires no source edits.
+
+/// Number of worker threads the shim will fan out over.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator that
+/// carries rayon's method names and argument shapes.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Wraps a sequential iterator.
+    pub fn new(inner: I) -> ParIter<I> {
+        ParIter { inner }
+    }
+
+    /// Ordered map (rayon: `ParallelIterator::map`).
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter::new(self.inner.map(f))
+    }
+
+    /// Ordered filter.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter::new(self.inner.filter(p))
+    }
+
+    /// Ordered filter-map.
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter::new(self.inner.filter_map(f))
+    }
+
+    /// rayon's `flat_map_iter`: flatten a sequential iterator produced per
+    /// item, keeping item order (rayon guarantees the same for ordered
+    /// collects).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter::new(self.inner.flat_map(f))
+    }
+
+    /// Copies `&T` items (rayon: `ParallelIterator::copied`).
+    pub fn copied<'a, T>(self) -> ParIter<std::iter::Copied<I>>
+    where
+        T: 'a + Copy,
+        I: Iterator<Item = &'a T>,
+    {
+        ParIter::new(self.inner.copied())
+    }
+
+    /// Pairs each item with its index (rayon: `IndexedParallelIterator`).
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter::new(self.inner.enumerate())
+    }
+
+    /// Runs `f` on every item, fanning items out over OS threads. This is
+    /// the one genuinely parallel sink: every `for_each` call site in the
+    /// workspace synchronizes through atomics or locks, exactly as it
+    /// must under real rayon.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.inner.collect();
+        let threads = current_num_threads().min(items.len());
+        if threads <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let chunk = items.len().div_ceil(threads);
+        let f = &f;
+        let mut items = items;
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let tail = items.split_off(items.len().saturating_sub(chunk));
+                scope.spawn(move || tail.into_iter().for_each(f));
+            }
+        });
+    }
+
+    /// Short-circuiting universal quantifier.
+    pub fn all<P: FnMut(I::Item) -> bool>(self, p: P) -> bool {
+        let mut iter = self.inner;
+        iter.all(p)
+    }
+
+    /// rayon's `find_any`: any item matching the predicate (the shim
+    /// returns the first, a valid refinement of "any").
+    pub fn find_any<P: FnMut(&I::Item) -> bool>(self, p: P) -> Option<I::Item> {
+        let mut iter = self.inner;
+        let mut p = p;
+        iter.find(|x| p(x))
+    }
+
+    /// rayon-style reduce: `identity` seeds each (conceptual) worker, and
+    /// `op` folds. With an associative `op` and a true identity this
+    /// equals rayon's result.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Ordered collect.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Sum of the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Minimum item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+}
+
+pub mod prelude {
+    //! The traits that put `par_iter`-style methods in scope, mirroring
+    //! `rayon::prelude::*`.
+
+    pub use super::ParIter;
+
+    /// `into_par_iter()` for any owned iterable (ranges, vectors, …).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Converts into a (shim) parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` over shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Iter: Iterator;
+
+        /// Parallel iterator over `&self`'s items.
+        fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter())
+        }
+    }
+
+    /// `par_iter_mut()` over exclusive slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Mutably borrowed item type.
+        type Iter: Iterator;
+
+        /// Parallel iterator over `&mut self`'s items.
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter_mut())
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+            ParIter::new(self.iter_mut())
+        }
+    }
+
+    /// Chunked mutable access (`par_chunks_mut`), rayon's
+    /// `ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// Parallel iterator over non-overlapping mutable chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter::new(self.chunks_mut(size))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_covers_every_item_in_parallel() {
+        let hits = AtomicUsize::new(0);
+        (0..10_000usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let out: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i % 3).map(move |j| i * 10 + j).collect::<Vec<_>>())
+            .collect();
+        let expected: Vec<u32> = (0..100u32)
+            .flat_map(|i| (0..i % 3).map(move |j| i * 10 + j).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let total = (1..=100u64)
+            .into_par_iter()
+            .map(|x| (x, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(total, (5050, 100));
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut data = vec![0u32; 12];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(data, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn all_and_find_any() {
+        assert!((0..50usize).into_par_iter().all(|x| x < 50));
+        let found = (0..50usize).into_par_iter().find_any(|&x| x == 33);
+        assert_eq!(found, Some(33));
+    }
+}

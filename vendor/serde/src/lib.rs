@@ -1,0 +1,19 @@
+//! Vendored, dependency-free subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io. The workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` annotations on
+//! config/report types — nothing performs data-format serialization
+//! through the serde traits (JSON output goes through the vendored
+//! `serde_json::json!` value builder). So `Serialize`/`Deserialize` here
+//! are *marker traits*, and the derives (re-exported from the
+//! `serde_derive` shim) emit empty marker impls. Replacing this crate
+//! with real serde is a `Cargo.toml`-only change.
+
+/// Marker for types that are serializable in principle. Real serde's
+/// method surface is intentionally absent: nothing offline consumes it.
+pub trait Serialize {}
+
+/// Marker for types that are deserializable in principle.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

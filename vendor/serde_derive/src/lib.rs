@@ -1,0 +1,46 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The vendored `serde::Serialize` / `serde::Deserialize` are marker
+//! traits (see `vendor/serde`), so the derives only need to name the type
+//! and emit an empty impl. The input is parsed by hand — `syn`/`quote`
+//! are not available offline — which is sufficient because every derive
+//! site in this workspace is a plain non-generic struct or enum.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct`/`enum`/
+/// `union` keyword, skipping attributes and visibility.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("serde_derive shim: could not find type name");
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// Emits `impl ::serde::Serialize for <Type> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Emits `impl ::serde::Deserialize for <Type> {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
