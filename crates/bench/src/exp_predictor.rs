@@ -55,6 +55,7 @@ fn averaged_sweep(set: &pauli::EncodedSet) -> Vec<SweepPoint> {
                 a.num_colors += p.num_colors;
                 a.max_conflict_edges += p.max_conflict_edges;
                 a.total_conflict_edges += p.total_conflict_edges;
+                a.total_candidate_pairs += p.total_candidate_pairs;
                 a.total_secs += p.total_secs;
             }
         }
@@ -63,6 +64,7 @@ fn averaged_sweep(set: &pauli::EncodedSet) -> Vec<SweepPoint> {
         a.num_colors /= SWEEP_SEEDS as u32;
         a.max_conflict_edges /= SWEEP_SEEDS as usize;
         a.total_conflict_edges /= SWEEP_SEEDS as usize;
+        a.total_candidate_pairs /= SWEEP_SEEDS;
         a.total_secs /= SWEEP_SEEDS as f64;
     }
     acc

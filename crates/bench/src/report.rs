@@ -64,6 +64,49 @@ impl Table {
         println!("{}", self.render());
     }
 
+    /// Writes the table as a JSON report: `{"title", "headers", "rows":
+    /// [{header: cell, …}, …]}` with numeric-looking cells emitted as
+    /// numbers — the machine-readable twin of the CSV artifact. A
+    /// repeated header would silently overwrite its twin inside a row
+    /// object, so duplicates are disambiguated with a `#k` suffix (the
+    /// `headers` array still records the originals in column order).
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut keys: Vec<String> = Vec::with_capacity(self.headers.len());
+        for h in &self.headers {
+            let mut key = h.clone();
+            let mut k = 1usize;
+            while keys.contains(&key) {
+                k += 1;
+                key = format!("{h}#{k}");
+            }
+            keys.push(key);
+        }
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut obj = std::collections::BTreeMap::new();
+                for (h, c) in keys.iter().zip(row.iter()) {
+                    let value = if let Ok(i) = c.parse::<i64>() {
+                        serde_json::Value::from(i)
+                    } else if let Ok(f) = c.parse::<f64>() {
+                        serde_json::Value::from(f)
+                    } else {
+                        serde_json::Value::from(c.as_str())
+                    };
+                    obj.insert(h.clone(), value);
+                }
+                serde_json::Value::Object(obj)
+            })
+            .collect();
+        let doc = serde_json::json!({
+            "title": self.title.clone(),
+            "headers": self.headers.clone(),
+            "rows": rows,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&doc).expect("json"))
+    }
+
     /// Writes the table as CSV.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::fs::File::create(path)?;
@@ -129,6 +172,36 @@ mod tests {
         let text = std::fs::read_to_string(&dir).unwrap();
         assert!(text.contains("\"hello, world\""));
         std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn json_report_round_trips_with_typed_cells() {
+        let mut t = Table::new("j", &["name", "count", "ratio"]);
+        t.push_row(vec!["alpha".into(), "42".into(), "0.50".into()]);
+        let path = std::env::temp_dir().join("picasso_report_test.json");
+        t.write_json(&path).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["title"].as_str(), Some("j"));
+        let rows = doc["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0]["count"].as_i64(), Some(42));
+        assert_eq!(rows[0]["ratio"].as_f64(), Some(0.5));
+        assert_eq!(rows[0]["name"].as_str(), Some("alpha"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_report_keeps_duplicate_headers() {
+        let mut t = Table::new("dup", &["t", "t"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let path = std::env::temp_dir().join("picasso_report_dup.json");
+        t.write_json(&path).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc["rows"][0]["t"].as_i64(), Some(1));
+        assert_eq!(doc["rows"][0]["t#2"].as_i64(), Some(2));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -17,6 +17,8 @@ use rayon::prelude::*;
 pub struct ColorLists {
     n: usize,
     stride: usize,
+    palette_base: u32,
+    palette_size: u32,
     colors: Vec<u32>,
 }
 
@@ -24,8 +26,17 @@ impl ColorLists {
     /// Assigns lists for `n` vertices: `list_size` distinct colors each,
     /// from the palette `[palette_base, palette_base + palette_size)`.
     ///
-    /// `list_size` is clamped to `palette_size` (a list can at most hold
-    /// the whole palette).
+    /// `list_size` is clamped *down* to `palette_size` (a list can at
+    /// most hold the whole palette).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette_size` or `list_size` is zero. A zero list size
+    /// is always a caller bug (a vertex with no candidate colors can
+    /// never be colored and the iteration would spin), so it is rejected
+    /// loudly instead of being silently bumped to 1 as earlier versions
+    /// did; [`crate::PicassoConfig::list_size`] already clamps into
+    /// `[1, palette_size]`.
     pub fn assign(
         n: usize,
         palette_base: u32,
@@ -35,7 +46,11 @@ impl ColorLists {
         iteration: u64,
     ) -> ColorLists {
         assert!(palette_size >= 1, "palette must be non-empty");
-        let l = list_size.clamp(1, palette_size) as usize;
+        assert!(
+            list_size >= 1,
+            "list_size must be >= 1: a vertex with an empty color list can never be colored"
+        );
+        let l = list_size.min(palette_size) as usize;
         let mut colors = vec![0u32; n * l];
         colors.par_chunks_mut(l).enumerate().for_each(|(v, row)| {
             let mut rng = StdRng::seed_from_u64(
@@ -51,6 +66,8 @@ impl ColorLists {
         ColorLists {
             n,
             stride: l,
+            palette_base,
+            palette_size,
             colors,
         }
     }
@@ -79,10 +96,34 @@ impl ColorLists {
         &self.colors[v * self.stride..(v + 1) * self.stride]
     }
 
+    /// First color of this iteration's palette.
+    #[inline]
+    pub fn palette_base(&self) -> u32 {
+        self.palette_base
+    }
+
+    /// Palette size `P` the lists were drawn from.
+    #[inline]
+    pub fn palette_size(&self) -> u32 {
+        self.palette_size
+    }
+
     /// Whether two vertices share at least one color — the conflict
     /// predicate of Line 7 (sorted-merge, O(L)).
     #[inline]
     pub fn intersects(&self, u: usize, v: usize) -> bool {
+        self.first_common(u, v).is_some()
+    }
+
+    /// The *smallest* color the two vertices share, if any (sorted-merge,
+    /// O(L)).
+    ///
+    /// This is the deduplication key of the bucketed candidate engine: a
+    /// pair sharing `k` colors appears in `k` buckets but is emitted only
+    /// from the bucket of its smallest shared color, so every candidate
+    /// pair reaches the oracle exactly once regardless of backend.
+    #[inline]
+    pub fn first_common(&self, u: usize, v: usize) -> Option<u32> {
         let a = self.row(u);
         let b = self.row(v);
         let (mut i, mut j) = (0, 0);
@@ -90,16 +131,116 @@ impl ColorLists {
             match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Equal => return Some(a[i]),
             }
         }
-        false
+        None
+    }
+
+    /// Builds the inverted index `color → sorted vertex bucket` over this
+    /// iteration's palette — the feed of the bucketed candidate engine
+    /// (`crate::candidates`). Counting-sort construction, O(N·L + P);
+    /// buckets come out ascending because vertices are scattered in
+    /// order.
+    pub fn bucket_index(&self) -> BucketIndex {
+        let num = self.palette_size as usize;
+        let base = self.palette_base;
+        let mut counts = vec![0usize; num + 1];
+        for &c in &self.colors {
+            counts[(c - base) as usize + 1] += 1;
+        }
+        for k in 0..num {
+            counts[k + 1] += counts[k];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut vertices = vec![0u32; self.colors.len()];
+        for v in 0..self.n {
+            for &c in self.row(v) {
+                let k = (c - base) as usize;
+                vertices[cursor[k]] = v as u32;
+                cursor[k] += 1;
+            }
+        }
+        BucketIndex {
+            palette_base: base,
+            offsets,
+            vertices,
+        }
+    }
+
+    /// Total in-bucket pairs of the (notional) inverted index —
+    /// `Σ_c |B_c|·(|B_c|−1)/2` — computed from a counts histogram alone,
+    /// so the candidate engine can reject the bucketed scan without
+    /// paying the full [`ColorLists::bucket_index`] scatter. Always
+    /// equals `bucket_index().total_pairs()`.
+    pub fn bucket_pair_total(&self) -> u64 {
+        let base = self.palette_base;
+        let mut counts = vec![0u64; self.palette_size as usize];
+        for &c in &self.colors {
+            counts[(c - base) as usize] += 1;
+        }
+        counts.iter().map(|&s| s * s.saturating_sub(1) / 2).sum()
     }
 
     /// Heap bytes held by the flat list array (the `N·L·4`-byte input the
     /// paper copies to the GPU).
     pub fn heap_bytes(&self) -> usize {
         self.colors.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Inverted index of a [`ColorLists`]: for every palette color, the
+/// ascending list of vertices holding it. Only pairs co-located in some
+/// bucket can be conflict edges, so enumeration over buckets replaces the
+/// all-pairs `Θ(m²)` scan.
+#[derive(Clone, Debug)]
+pub struct BucketIndex {
+    palette_base: u32,
+    /// CSR-style offsets into `vertices`, one slot per palette color + 1.
+    offsets: Vec<usize>,
+    /// Bucket contents, ascending within each bucket.
+    vertices: Vec<u32>,
+}
+
+impl BucketIndex {
+    /// Number of buckets (= palette size).
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The absolute color of bucket `k`.
+    #[inline]
+    pub fn color(&self, k: usize) -> u32 {
+        self.palette_base + k as u32
+    }
+
+    /// The ascending vertex list of bucket `k`.
+    #[inline]
+    pub fn bucket(&self, k: usize) -> &[u32] {
+        &self.vertices[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// In-bucket pairs of bucket `k`: `|B_k|·(|B_k|−1)/2`.
+    #[inline]
+    pub fn bucket_pairs(&self, k: usize) -> u64 {
+        let s = (self.offsets[k + 1] - self.offsets[k]) as u64;
+        s * s.saturating_sub(1) / 2
+    }
+
+    /// Total enumeration work of a bucketed scan: the sum of in-bucket
+    /// pair counts (pairs sharing several colors are counted once per
+    /// shared bucket — that is the work actually examined, even though
+    /// deduplication emits each pair only once).
+    pub fn total_pairs(&self) -> u64 {
+        (0..self.num_buckets()).map(|k| self.bucket_pairs(k)).sum()
+    }
+
+    /// Bytes Algorithm 3 charges a device for holding this index: the
+    /// vertex array plus the `P+1` offsets, both as 32-bit values.
+    pub fn device_bytes(&self) -> usize {
+        (self.vertices.len() + self.offsets.len()) * std::mem::size_of::<u32>()
     }
 }
 
@@ -202,6 +343,81 @@ mod tests {
         for v in 0..5 {
             assert!(lists.intersects(v, v));
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "list_size must be >= 1")]
+    fn zero_list_size_is_rejected_not_clamped() {
+        // Regression: list_size = 0 used to be silently bumped to 1.
+        let _ = ColorLists::assign(10, 0, 4, 0, 1, 0);
+    }
+
+    #[test]
+    fn palette_metadata_is_recorded() {
+        let lists = ColorLists::assign(20, 100, 16, 4, 3, 2);
+        assert_eq!(lists.palette_base(), 100);
+        assert_eq!(lists.palette_size(), 16);
+    }
+
+    #[test]
+    fn first_common_is_smallest_shared_color() {
+        let lists = ColorLists::assign(80, 7, 25, 6, 13, 1);
+        for u in 0..80 {
+            for v in 0..80 {
+                let expected = lists
+                    .row(u)
+                    .iter()
+                    .find(|c| lists.row(v).contains(c))
+                    .copied();
+                assert_eq!(lists.first_common(u, v), expected, "({u},{v})");
+                assert_eq!(lists.intersects(u, v), expected.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_inverts_the_lists_exactly() {
+        let lists = ColorLists::assign(120, 40, 30, 5, 9, 4);
+        let index = lists.bucket_index();
+        assert_eq!(index.num_buckets(), 30);
+        // Every (vertex, color) membership appears in exactly one bucket
+        // slot, and buckets are ascending.
+        let mut total = 0usize;
+        for k in 0..index.num_buckets() {
+            let bucket = index.bucket(k);
+            total += bucket.len();
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "bucket {k} not ascending"
+            );
+            for &v in bucket {
+                assert!(
+                    lists.row(v as usize).contains(&index.color(k)),
+                    "vertex {v} not holding color {}",
+                    index.color(k)
+                );
+            }
+        }
+        assert_eq!(total, 120 * 5);
+        // Pair accounting matches the closed form.
+        let by_hand: u64 = (0..index.num_buckets())
+            .map(|k| {
+                let s = index.bucket(k).len() as u64;
+                s * s.saturating_sub(1) / 2
+            })
+            .sum();
+        assert_eq!(index.total_pairs(), by_hand);
+        assert_eq!(lists.bucket_pair_total(), by_hand, "histogram shortcut");
+        assert!(index.device_bytes() >= total * 4);
+    }
+
+    #[test]
+    fn bucket_index_handles_empty_input() {
+        let lists = ColorLists::assign(0, 0, 8, 3, 1, 0);
+        let index = lists.bucket_index();
+        assert_eq!(index.num_buckets(), 8);
+        assert_eq!(index.total_pairs(), 0);
+        assert!((0..8).all(|k| index.bucket(k).is_empty()));
     }
 
     #[test]

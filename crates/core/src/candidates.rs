@@ -1,0 +1,364 @@
+//! The candidate-pair engine feeding conflict-graph construction.
+//!
+//! Picasso's premise is that only pairs sharing a list color can become
+//! conflict edges. The all-pairs scan ignores that structure and examines
+//! all `m(m−1)/2` pairs; the bucketed engine instead walks the inverted
+//! index `color → vertex bucket` ([`ColorLists::bucket_index`]) and
+//! examines only in-bucket pairs, dropping enumeration cost to the sum of
+//! bucket-pair counts (`Σ_c |B_c|·(|B_c|−1)/2` — in the Normal regime
+//! `≈ m²L²/2P ≪ m²/2`).
+//!
+//! **Deduplication.** A pair sharing `k` colors sits in `k` buckets; it
+//! is emitted only from the bucket of its *smallest* shared color
+//! ([`ColorLists::first_common`]), so every candidate reaches the oracle
+//! exactly once. The emitted pair *set* is therefore identical to the
+//! all-pairs scan's (`intersects ∧ oracle`), and since CSR assembly
+//! sorts adjacency, every backend — and either engine — produces a
+//! bit-identical CSR graph.
+//!
+//! **Sharding.** A [`PairSource`] exposes its work as deterministic
+//! shards (rows for the all-pairs source, buckets for the bucketed one)
+//! with per-shard weights, so the rayon and device backends can schedule
+//! balanced blocks while keeping the sequential emission order within
+//! each shard. Candidates are emitted as `(pivot, run)` groups, which the
+//! builders feed to the batched oracle path
+//! ([`graph::EdgeOracle::has_edge_block`]) to amortize encoding loads.
+//!
+//! **Engine choice.** In the Aggressive regime (`L` close to `P`) every
+//! bucket degenerates toward the full vertex set and the bucketed scan
+//! would examine *more* pairs than all-pairs. [`CandidateEngine::choose`]
+//! compares the two totals and picks the cheaper enumeration; the choice
+//! is a pure function of the lists, so all backends agree on it.
+
+use crate::assign::{BucketIndex, ColorLists};
+
+/// A deterministic, sharded source of candidate pairs.
+///
+/// Contract: across all shards, each unordered pair `{u, v}` with
+/// intersecting color lists is emitted exactly once, as `u` paired with
+/// an ascending run containing `v` (or vice versa), and never any pair
+/// with disjoint lists. Shard contents and order are pure functions of
+/// the lists, never of scheduling.
+pub trait PairSource: Sync {
+    /// Vertex count `m` of the underlying live set.
+    fn num_vertices(&self) -> usize;
+
+    /// Oracle-independent enumeration work: the number of pairs this
+    /// source *examines* (all-pairs: `m(m−1)/2`; bucketed: the sum of
+    /// in-bucket pair counts).
+    fn candidate_pairs(&self) -> u64;
+
+    /// Number of independent shards.
+    fn num_shards(&self) -> usize;
+
+    /// Enumeration weight of shard `s`, for balanced block scheduling.
+    fn shard_weight(&self, s: usize) -> u64;
+
+    /// Emits shard `s`'s candidates as `(pivot, ascending candidate
+    /// run)` groups. The run slice is only valid for the duration of the
+    /// callback.
+    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize]));
+}
+
+/// The legacy reference enumeration: every row `i` against every `j > i`,
+/// filtered by list intersection. `Θ(m²)` examinations.
+pub struct AllPairsSource<'a> {
+    lists: &'a ColorLists,
+}
+
+impl<'a> AllPairsSource<'a> {
+    /// Wraps the iteration's color lists.
+    pub fn new(lists: &'a ColorLists) -> AllPairsSource<'a> {
+        AllPairsSource { lists }
+    }
+}
+
+impl PairSource for AllPairsSource<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn candidate_pairs(&self) -> u64 {
+        let m = self.lists.len() as u64;
+        m * m.saturating_sub(1) / 2
+    }
+
+    #[inline]
+    fn num_shards(&self) -> usize {
+        self.lists.len()
+    }
+
+    #[inline]
+    fn shard_weight(&self, s: usize) -> u64 {
+        (self.lists.len() - 1 - s) as u64
+    }
+
+    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
+        let m = self.lists.len();
+        let mut run: Vec<usize> = Vec::new();
+        for j in (s + 1)..m {
+            if self.lists.intersects(s, j) {
+                run.push(j);
+            }
+        }
+        if !run.is_empty() {
+            emit(s, &run);
+        }
+    }
+}
+
+/// The bucketed engine: shards are palette buckets; in-bucket pairs pass
+/// the smallest-shared-color deduplication filter before emission.
+pub struct BucketSource<'a> {
+    lists: &'a ColorLists,
+    index: BucketIndex,
+}
+
+impl<'a> BucketSource<'a> {
+    /// Builds the inverted index and wraps it.
+    pub fn new(lists: &'a ColorLists) -> BucketSource<'a> {
+        let index = lists.bucket_index();
+        BucketSource { lists, index }
+    }
+
+    /// The underlying inverted index (for device budget accounting).
+    pub fn index(&self) -> &BucketIndex {
+        &self.index
+    }
+}
+
+impl PairSource for BucketSource<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn candidate_pairs(&self) -> u64 {
+        self.index.total_pairs()
+    }
+
+    #[inline]
+    fn num_shards(&self) -> usize {
+        self.index.num_buckets()
+    }
+
+    #[inline]
+    fn shard_weight(&self, s: usize) -> u64 {
+        self.index.bucket_pairs(s)
+    }
+
+    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
+        let color = self.index.color(s);
+        let bucket = self.index.bucket(s);
+        let mut run: Vec<usize> = Vec::new();
+        for (a, &u) in bucket.iter().enumerate() {
+            run.clear();
+            for &v in &bucket[a + 1..] {
+                // Emit only from the smallest shared color's bucket.
+                if self.lists.first_common(u as usize, v as usize) == Some(color) {
+                    run.push(v as usize);
+                }
+            }
+            if !run.is_empty() {
+                emit(u as usize, &run);
+            }
+        }
+    }
+}
+
+/// The engine actually used by the bucketed backends: the cheaper of the
+/// two enumerations for this iteration's lists. A pure function of the
+/// lists, so sequential, parallel and device builds always agree.
+pub enum CandidateEngine<'a> {
+    /// Bucketed scan was cheaper (the Normal regime).
+    Buckets(BucketSource<'a>),
+    /// All-pairs was cheaper (`L` close to `P`, where buckets degenerate
+    /// toward the full vertex set).
+    AllPairs(AllPairsSource<'a>),
+}
+
+impl<'a> CandidateEngine<'a> {
+    /// Compares the two enumeration totals (the bucketed one via the
+    /// counts-histogram shortcut [`ColorLists::bucket_pair_total`], so
+    /// the fallback path never pays the index scatter) and builds the
+    /// inverted index only when the bucketed scan wins.
+    pub fn choose(lists: &'a ColorLists) -> CandidateEngine<'a> {
+        let m = lists.len() as u64;
+        if lists.bucket_pair_total() < m * m.saturating_sub(1) / 2 {
+            CandidateEngine::Buckets(BucketSource::new(lists))
+        } else {
+            CandidateEngine::AllPairs(AllPairsSource::new(lists))
+        }
+    }
+
+    /// Whether the bucketed scan was selected.
+    pub fn is_bucketed(&self) -> bool {
+        matches!(self, CandidateEngine::Buckets(_))
+    }
+
+    /// The bucket index, when the bucketed scan was selected (the device
+    /// backend charges its bytes to the budget).
+    pub fn index(&self) -> Option<&BucketIndex> {
+        match self {
+            CandidateEngine::Buckets(b) => Some(b.index()),
+            CandidateEngine::AllPairs(_) => None,
+        }
+    }
+}
+
+impl PairSource for CandidateEngine<'_> {
+    fn num_vertices(&self) -> usize {
+        match self {
+            CandidateEngine::Buckets(s) => s.num_vertices(),
+            CandidateEngine::AllPairs(s) => s.num_vertices(),
+        }
+    }
+
+    fn candidate_pairs(&self) -> u64 {
+        match self {
+            CandidateEngine::Buckets(s) => s.candidate_pairs(),
+            CandidateEngine::AllPairs(s) => s.candidate_pairs(),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            CandidateEngine::Buckets(s) => s.num_shards(),
+            CandidateEngine::AllPairs(s) => s.num_shards(),
+        }
+    }
+
+    fn shard_weight(&self, s: usize) -> u64 {
+        match self {
+            CandidateEngine::Buckets(src) => src.shard_weight(s),
+            CandidateEngine::AllPairs(src) => src.shard_weight(s),
+        }
+    }
+
+    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_shard(s, emit),
+            CandidateEngine::AllPairs(src) => src.scan_shard(s, emit),
+        }
+    }
+}
+
+/// Collects a source's emissions into a sorted pair set (test helper and
+/// ground truth for the equivalence suites).
+pub fn collect_pairs<S: PairSource>(source: &S) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for s in 0..source.num_shards() {
+        source.scan_shard(s, &mut |u, vs| {
+            for &v in vs {
+                let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+                pairs.push((a, b));
+            }
+        });
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_pairs(lists: &ColorLists) -> Vec<(u32, u32)> {
+        let m = lists.len();
+        let mut out = Vec::new();
+        for u in 0..m {
+            for v in (u + 1)..m {
+                if lists.intersects(u, v) {
+                    out.push((u as u32, v as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bucket_source_emits_each_intersecting_pair_exactly_once() {
+        for (n, palette, list, seed) in [
+            (60usize, 20u32, 4u32, 1u64),
+            (90, 8, 3, 2),
+            (40, 40, 6, 3),
+            (25, 5, 5, 4),
+        ] {
+            let lists = ColorLists::assign(n, 10, palette, list, seed, 1);
+            let bucketed = collect_pairs(&BucketSource::new(&lists));
+            // No duplicates survived deduplication.
+            let mut dedup = bucketed.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), bucketed.len(), "duplicate emission");
+            assert_eq!(
+                bucketed,
+                truth_pairs(&lists),
+                "n={n} palette={palette} list={list}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_pairs_source_matches_truth_too() {
+        let lists = ColorLists::assign(70, 0, 12, 3, 5, 2);
+        assert_eq!(
+            collect_pairs(&AllPairsSource::new(&lists)),
+            truth_pairs(&lists)
+        );
+        assert_eq!(AllPairsSource::new(&lists).candidate_pairs(), 70 * 69 / 2);
+    }
+
+    #[test]
+    fn engine_prefers_buckets_in_the_sparse_regime() {
+        // Normal-like: L ≪ P — bucketed wins.
+        let sparse = ColorLists::assign(200, 0, 64, 4, 7, 1);
+        let engine = CandidateEngine::choose(&sparse);
+        assert!(engine.is_bucketed());
+        assert!(engine.index().is_some());
+        assert!(engine.candidate_pairs() < 200 * 199 / 2);
+        // Degenerate: L = P — every bucket is the whole vertex set, so
+        // the engine falls back to the all-pairs scan.
+        let dense = ColorLists::assign(200, 0, 4, 4, 7, 1);
+        let engine = CandidateEngine::choose(&dense);
+        assert!(!engine.is_bucketed());
+        assert!(engine.index().is_none());
+        assert_eq!(engine.candidate_pairs(), 200 * 199 / 2);
+    }
+
+    #[test]
+    fn engine_emission_is_identical_for_both_choices() {
+        let lists = ColorLists::assign(80, 3, 16, 4, 11, 2);
+        let a = collect_pairs(&BucketSource::new(&lists));
+        let b = collect_pairs(&AllPairsSource::new(&lists));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_weights_sum_to_candidate_pairs() {
+        for (palette, list) in [(30u32, 4u32), (6, 6), (50, 2)] {
+            let lists = ColorLists::assign(100, 0, palette, list, 3, 1);
+            for source in [
+                CandidateEngine::Buckets(BucketSource::new(&lists)),
+                CandidateEngine::AllPairs(AllPairsSource::new(&lists)),
+            ] {
+                let sum: u64 = (0..source.num_shards())
+                    .map(|s| source.shard_weight(s))
+                    .sum();
+                assert_eq!(sum, source.candidate_pairs());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_ascending_and_pivot_free() {
+        let lists = ColorLists::assign(60, 0, 15, 3, 9, 1);
+        let source = BucketSource::new(&lists);
+        for s in 0..source.num_shards() {
+            source.scan_shard(s, &mut |u, vs| {
+                assert!(vs.windows(2).all(|w| w[0] < w[1]));
+                assert!(vs.iter().all(|&v| v > u));
+            });
+        }
+    }
+}

@@ -5,10 +5,16 @@ use serde::{Deserialize, Serialize};
 /// Which implementation builds the per-iteration conflict graph.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ConflictBackend {
-    /// Single-threaded pair scan (the paper's "CPU only" build).
+    /// Single-threaded bucketed scan (the paper's "CPU only" build, on
+    /// the inverted-index candidate engine).
     Sequential,
-    /// Rayon-parallel pair scan (the multicore CPU build).
+    /// Rayon-parallel bucketed scan (the multicore CPU build).
     Parallel,
+    /// The legacy `Θ(m²)` all-pairs sequential scan, kept as the
+    /// reference implementation the bucketed backends are validated
+    /// against (and as the honest baseline of the `conflict_build`
+    /// bench).
+    AllPairs,
     /// Simulated-accelerator build following Algorithm 3, with the given
     /// device capacity in bytes. Fails with
     /// [`crate::SolveError::DeviceOom`] when the conflict edge list

@@ -3,15 +3,44 @@
 //!
 //! An edge `{u, v}` of the conflict graph exists iff `{u, v}` is an edge
 //! of the (implicit) graph being colored **and** the two vertices share a
-//! list color. The full graph is never materialized: all `m(m−1)/2`
-//! candidate pairs are enumerated against the oracle.
+//! list color. The full graph is never materialized.
 //!
-//! Three backends — sequential, rayon-parallel and simulated-device — are
-//! required to produce **identical** CSR graphs (the paper: "our GPU
+//! # Candidate enumeration
+//!
+//! Only pairs sharing a list color can become conflict edges, so the
+//! builders do not scan all `m(m−1)/2` pairs: they walk the palette's
+//! inverted index `color → sorted vertex bucket`
+//! ([`crate::assign::ColorLists::bucket_index`]) and examine in-bucket
+//! pairs only ([`crate::candidates`]). A pair sharing several colors is
+//! emitted once, from the bucket of its *smallest* shared color, so the
+//! emitted pair set equals the all-pairs scan's `intersects ∧ oracle`
+//! set exactly. When `L` approaches `P` and buckets degenerate toward
+//! the full vertex set, the engine falls back to the all-pairs scan —
+//! the choice is a pure function of the lists, so every backend makes
+//! the same one. The legacy scan survives as
+//! [`build_sequential_allpairs`] (backend
+//! [`crate::ConflictBackend::AllPairs`]), the reference the equivalence
+//! suites compare against.
+//!
+//! # Determinism
+//!
+//! Three backends — sequential, rayon-parallel and simulated-device —
+//! are required to produce **identical** CSR graphs (the paper: "our GPU
 //! implementation produces exactly the same coloring as the CPU-only one
-//! because the conflict graph construction is deterministic").
+//! because the conflict graph construction is deterministic"). The
+//! argument: the emitted pair *set* is a pure function of the lists
+//! (smallest-shared-color deduplication is scheduling-independent), the
+//! oracle is pure, and CSR assembly counts both endpoints and sorts each
+//! adjacency slice — so any edge order produced by any scheduling
+//! collapses to the same bit-identical CSR.
+//!
+//! Each build reports `candidate_pairs`, the oracle-independent
+//! enumeration work it performed (all-pairs: `m(m−1)/2`; bucketed: the
+//! sum of in-bucket pair counts) — the quantity the `conflict_build`
+//! bench compares across engines.
 
 use crate::assign::ColorLists;
+use crate::candidates::{CandidateEngine, PairSource};
 use device::{DeviceError, DeviceSim};
 use graph::{csr_from_coo_parallel, csr_from_coo_sequential, CsrGraph, EdgeOracle};
 use rayon::prelude::*;
@@ -24,14 +53,62 @@ pub struct ConflictBuild {
     pub graph: CsrGraph,
     /// Number of conflict edges `|Ec|`.
     pub num_edges: usize,
+    /// Candidate pairs examined by the enumeration (oracle-independent
+    /// work): `m(m−1)/2` for the all-pairs scan, the sum of bucket-pair
+    /// counts for the bucketed engine.
+    pub candidate_pairs: u64,
     /// For the device backend: whether the CSR was assembled on-device
     /// (`Some(true)`), on the host after an edge-list download
     /// (`Some(false)`), or not built by a device at all (`None`).
     pub csr_on_device: Option<bool>,
 }
 
-/// Sequential reference implementation.
+/// Runs one shard's candidates through the batched oracle path, pushing
+/// hits as `(u, v)` pairs via `push`.
+#[inline]
+fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
+    oracle: &O,
+    source: &S,
+    shard: usize,
+    hits: &mut Vec<bool>,
+    mut push: impl FnMut(u32, u32),
+) {
+    source.scan_shard(shard, &mut |u, vs| {
+        hits.clear();
+        hits.resize(vs.len(), false);
+        oracle.has_edge_block(u, vs, hits);
+        for (&v, &hit) in vs.iter().zip(hits.iter()) {
+            if hit {
+                push(u as u32, v as u32);
+            }
+        }
+    });
+}
+
+/// Sequential bucketed build.
 pub fn build_sequential<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
+    let m = oracle.num_vertices();
+    debug_assert_eq!(m, lists.len());
+    let engine = CandidateEngine::choose(lists);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut hits: Vec<bool> = Vec::new();
+    for s in 0..engine.num_shards() {
+        scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| edges.push((u, v)));
+    }
+    let num_edges = edges.len();
+    ConflictBuild {
+        graph: csr_from_coo_sequential(m, &edges),
+        num_edges,
+        candidate_pairs: engine.candidate_pairs(),
+        csr_on_device: None,
+    }
+}
+
+/// The legacy all-pairs reference implementation
+/// ([`crate::ConflictBackend::AllPairs`]): a verbatim `Θ(m²)` scalar
+/// scan, kept as the independent ground truth the bucketed backends are
+/// validated against.
+pub fn build_sequential_allpairs<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
     let m = oracle.num_vertices();
     debug_assert_eq!(m, lists.len());
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -43,35 +120,36 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> Confli
         }
     }
     let num_edges = edges.len();
+    let m64 = m as u64;
     ConflictBuild {
         graph: csr_from_coo_sequential(m, &edges),
         num_edges,
+        candidate_pairs: m64 * m64.saturating_sub(1) / 2,
         csr_on_device: None,
     }
 }
 
-/// Rayon-parallel implementation: rows are scanned in parallel with
-/// per-row edge buffers; rayon's ordered collect keeps the edge order
-/// identical to the sequential build.
+/// Rayon-parallel bucketed build: shards (buckets) are scanned in
+/// parallel with per-shard edge buffers; rayon's ordered collect keeps
+/// the edge order identical to the sequential build.
 pub fn build_parallel<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
     let m = oracle.num_vertices();
     debug_assert_eq!(m, lists.len());
-    let edges: Vec<(u32, u32)> = (0..m)
+    let engine = CandidateEngine::choose(lists);
+    let edges: Vec<(u32, u32)> = (0..engine.num_shards())
         .into_par_iter()
-        .flat_map_iter(|i| {
-            let mut row = Vec::new();
-            for j in (i + 1)..m {
-                if lists.intersects(i, j) && oracle.has_edge(i, j) {
-                    row.push((i as u32, j as u32));
-                }
-            }
-            row
+        .flat_map_iter(|s| {
+            let mut local: Vec<(u32, u32)> = Vec::new();
+            let mut hits: Vec<bool> = Vec::new();
+            scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| local.push((u, v)));
+            local
         })
         .collect();
     let num_edges = edges.len();
     ConflictBuild {
         graph: csr_from_coo_parallel(m, &edges),
         num_edges,
+        candidate_pairs: engine.candidate_pairs(),
         csr_on_device: None,
     }
 }
@@ -83,18 +161,25 @@ pub fn device_input_bytes_per_vertex(num_qubits: usize, list_size: usize) -> usi
         + list_size * std::mem::size_of::<u32>()
 }
 
-/// Simulated-device implementation of Algorithm 3.
+/// Simulated-device implementation of Algorithm 3, extended with the
+/// bucketed candidate engine.
 ///
 /// Budget layout, following the paper line by line:
 /// 1. upload the encoded strings + color lists
 ///    (`input_bytes_per_vertex · m`),
 /// 2. allocate `m` edge-offset counters (4-byte, or 8-byte once
 ///    `m² ≥ 2³²`),
-/// 3. allocate `min(2·m·(m−1), whatever fits)` u32 slots for the
-///    unordered COO edge list,
-/// 4. launch the pair kernel (row-blocked; each block stages locally and
-///    bulk-reserves slots with one atomic),
-/// 5. if the CSR (2·|Ec| adjacency slots) fits in the *remaining* device
+/// 3. upload the bucket index (`N·L + P + 1` u32 values) when the
+///    bucketed engine is selected — the enumeration structure is now
+///    device-resident state and is charged like any other input,
+/// 4. allocate `min(2 · candidate_pairs, whatever fits)` u32 slots for
+///    the unordered COO edge list (each candidate yields at most one
+///    edge, so the arena is far below the legacy `2·m·(m−1)` bound),
+/// 5. launch the bucket-blocked pair kernel
+///    ([`DeviceSim::launch_weighted_blocks`]: blocks own contiguous
+///    shard ranges of near-equal pair weight, stage locally and
+///    bulk-reserve slots with one atomic),
+/// 6. if the CSR (2·|Ec| adjacency slots) fits in the *remaining* device
 ///    memory, assemble it "on device" and download it; otherwise download
 ///    the raw edge list and assemble on the host.
 ///
@@ -113,6 +198,7 @@ pub fn build_device<O: EdgeOracle>(
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(0),
             num_edges: 0,
+            candidate_pairs: 0,
             csr_on_device: Some(true),
         });
     }
@@ -132,13 +218,36 @@ pub fn build_device<O: EdgeOracle>(
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(m),
             num_edges: 0,
+            candidate_pairs: 0,
             csr_on_device: Some(true),
         });
     }
 
-    // (3) The unordered COO edge list: all remaining memory, capped at the
-    // worst case 2·m·(m−1) u32 values.
-    let worst_slots = 2usize.saturating_mul(m).saturating_mul(m - 1);
+    // (3) The candidate engine; a bucketed choice makes the inverted
+    // index device-resident input, charged and uploaded like the rest.
+    let engine = CandidateEngine::choose(lists);
+    let candidate_pairs = engine.candidate_pairs();
+    let _index_buf = match engine.index() {
+        Some(index) => {
+            let bytes = index.device_bytes();
+            let buf = dev.alloc::<u8>(bytes)?;
+            dev.note_h2d(bytes);
+            Some(buf)
+        }
+        None => None,
+    };
+    if candidate_pairs == 0 {
+        return Ok(ConflictBuild {
+            graph: CsrGraph::empty(m),
+            num_edges: 0,
+            candidate_pairs: 0,
+            csr_on_device: Some(true),
+        });
+    }
+
+    // (4) The unordered COO edge list: all remaining memory, capped at
+    // two u32 slots per candidate pair (each yields at most one edge).
+    let worst_slots = 2u64.saturating_mul(candidate_pairs).min(usize::MAX as u64) as usize;
     let avail_slots = dev.available_bytes() / std::mem::size_of::<u32>();
     let edge_slots = worst_slots.min(avail_slots);
     if edge_slots == 0 {
@@ -149,9 +258,10 @@ pub fn build_device<O: EdgeOracle>(
     }
     let mut edge_buf = dev.alloc::<u32>(edge_slots)?;
 
-    // (4) Pair kernel: one logical thread per row, blocked; blocks stage
-    // edges locally and reserve output slots with a single fetch_add so
-    // the write pattern is race-free.
+    // (5) Bucket-blocked pair kernel: blocks own contiguous shard ranges
+    // of near-equal pair weight; each block stages edges locally and
+    // reserves output slots with a single fetch_add so the write pattern
+    // is race-free.
     let cursor = AtomicUsize::new(0);
     let overflow = AtomicBool::new(false);
     {
@@ -161,15 +271,17 @@ pub fn build_device<O: EdgeOracle>(
         let out = SendPtr(edge_buf.as_mut_slice().as_mut_ptr());
         let out_ref = &out;
         let num_blocks = rayon::current_num_threads() * 4;
-        dev.launch_blocks(m, num_blocks, |_b, rows| {
+        let weights: Vec<u64> = (0..engine.num_shards())
+            .map(|s| engine.shard_weight(s))
+            .collect();
+        dev.launch_weighted_blocks(&weights, num_blocks, |_b, shards| {
             let mut staged: Vec<u32> = Vec::new();
-            for i in rows {
-                for j in (i + 1)..m {
-                    if lists.intersects(i, j) && oracle.has_edge(i, j) {
-                        staged.push(i as u32);
-                        staged.push(j as u32);
-                    }
-                }
+            let mut hits: Vec<bool> = Vec::new();
+            for s in shards {
+                scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| {
+                    staged.push(u);
+                    staged.push(v);
+                });
             }
             if staged.is_empty() {
                 return;
@@ -200,11 +312,14 @@ pub fn build_device<O: EdgeOracle>(
         .map(|p| (p[0], p[1]))
         .collect();
 
-    // (5) CSR placement decision (Line 5 of Algorithm 3): the CSR stores
-    // each edge twice; build it on-device only if that fits in half of
-    // the *allocated* edge arena (mirroring `|Ecoo| <= AvailMem/2`).
+    // (6) CSR placement decision (Line 5 of Algorithm 3, `|Ecoo| <=
+    // AvailMem/2`): the CSR stores each edge twice; build it on-device
+    // only if those entries fit in the memory still available *next to*
+    // the COO arena. (The arena is now capped at 2·candidate_pairs
+    // slots, so it no longer stands in for "all remaining memory" the
+    // way the legacy 2·m·(m−1) allocation did.)
     let csr_entries = 2 * num_edges;
-    let on_device = csr_entries <= edge_slots / 2;
+    let on_device = csr_entries * std::mem::size_of::<u32>() <= dev.available_bytes();
     let graph = if on_device {
         let _csr_buf = dev.alloc::<u32>(csr_entries.max(1));
         match _csr_buf {
@@ -221,6 +336,7 @@ pub fn build_device<O: EdgeOracle>(
                 return Ok(ConflictBuild {
                     graph: csr_from_coo_sequential(m, &edges),
                     num_edges,
+                    candidate_pairs,
                     csr_on_device: Some(false),
                 });
             }
@@ -234,6 +350,7 @@ pub fn build_device<O: EdgeOracle>(
     Ok(ConflictBuild {
         graph,
         num_edges,
+        candidate_pairs,
         csr_on_device: Some(on_device),
     })
 }
@@ -242,24 +359,8 @@ pub fn build_device<O: EdgeOracle>(
 /// work: row `i` owns `n-1-i` candidate pairs, so equal-width cuts would
 /// leave the first shard with almost all the work.
 pub fn balanced_row_cuts(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
-    let k = k.max(1);
-    let total_pairs = n as u64 * (n.saturating_sub(1)) as u64 / 2;
-    let per_shard = total_pairs.div_ceil(k as u64).max(1);
-    let mut cuts = Vec::with_capacity(k);
-    let mut start = 0usize;
-    let mut acc = 0u64;
-    for i in 0..n {
-        acc += (n - 1 - i) as u64;
-        if acc >= per_shard {
-            cuts.push(start..i + 1);
-            start = i + 1;
-            acc = 0;
-        }
-    }
-    if start < n || cuts.is_empty() {
-        cuts.push(start..n);
-    }
-    cuts
+    let weights: Vec<u64> = (0..n).map(|i| (n - 1 - i) as u64).collect();
+    device::balanced_weight_cuts(&weights, k)
 }
 
 /// Multi-device conflict construction — the paper's stated future work
@@ -271,6 +372,11 @@ pub fn balanced_row_cuts(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 /// and builds the edge list for its own rows under its own memory
 /// budget. Edge lists are merged on the host and the CSR assembled
 /// there. Produces a graph identical to every other backend.
+///
+/// Still enumerates all pairs row-by-row: contiguous *bucket* shards can
+/// be coarser than a device (a two-color palette has only two buckets),
+/// so moving this path onto the bucketed engine needs sub-bucket
+/// sharding — tracked as a ROADMAP open item.
 pub fn build_multi_device<O: EdgeOracle>(
     oracle: &O,
     lists: &ColorLists,
@@ -284,6 +390,7 @@ pub fn build_multi_device<O: EdgeOracle>(
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(m),
             num_edges: 0,
+            candidate_pairs: 0,
             csr_on_device: Some(false),
         });
     }
@@ -372,9 +479,11 @@ pub fn build_multi_device<O: EdgeOracle>(
     }
     edges.sort_unstable();
     let num_edges = edges.len();
+    let m64 = m as u64;
     Ok(ConflictBuild {
         graph: csr_from_coo_parallel(m, &edges),
         num_edges,
+        candidate_pairs: m64 * m64.saturating_sub(1) / 2,
         csr_on_device: Some(false),
     })
 }
@@ -398,7 +507,42 @@ mod tests {
             let b = build_parallel(&oracle, &lists);
             assert_eq!(a.graph, b.graph, "m={m}");
             assert_eq!(a.num_edges, b.num_edges);
+            assert_eq!(a.candidate_pairs, b.candidate_pairs);
         }
+    }
+
+    #[test]
+    fn bucketed_builds_match_the_allpairs_reference() {
+        for m in [0usize, 1, 2, 25, 80, 150] {
+            for (palette, list) in [(2u32, 2u32), (16, 3), (64, 5)] {
+                let oracle = dense_oracle(m);
+                let lists = ColorLists::assign(m, 7, palette, list, 11, 2);
+                let reference = build_sequential_allpairs(&oracle, &lists);
+                let seq = build_sequential(&oracle, &lists);
+                let par = build_parallel(&oracle, &lists);
+                assert_eq!(reference.graph, seq.graph, "m={m} P={palette} L={list}");
+                assert_eq!(reference.graph, par.graph, "m={m} P={palette} L={list}");
+                assert_eq!(reference.num_edges, seq.num_edges);
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_engine_examines_fewer_pairs_in_the_sparse_regime() {
+        // Normal-like parameters on a dense oracle: the whole point of
+        // the engine.
+        let m = 400;
+        let oracle = dense_oracle(m);
+        let lists = ColorLists::assign(m, 0, 50, 4, 3, 0);
+        let bucketed = build_sequential(&oracle, &lists);
+        let reference = build_sequential_allpairs(&oracle, &lists);
+        assert_eq!(bucketed.graph, reference.graph);
+        assert!(
+            bucketed.candidate_pairs < reference.candidate_pairs,
+            "bucketed {} must beat all-pairs {}",
+            bucketed.candidate_pairs,
+            reference.candidate_pairs
+        );
     }
 
     #[test]
@@ -411,6 +555,9 @@ mod tests {
             let devb = build_device(&oracle, &lists, &dev, 16).unwrap();
             assert_eq!(host.graph, devb.graph, "m={m}");
             assert_eq!(host.num_edges, devb.num_edges);
+            if m >= 2 {
+                assert_eq!(host.candidate_pairs, devb.candidate_pairs, "m={m}");
+            }
             assert!(devb.csr_on_device.is_some());
         }
     }
@@ -468,6 +615,25 @@ mod tests {
         assert_eq!(stats.kernel_launches, 1);
         // Everything is freed on exit.
         assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn device_charges_the_bucket_index_to_the_budget() {
+        let m = 120;
+        let oracle = dense_oracle(m);
+        // Sparse lists: the bucketed engine wins and its index is a
+        // device-resident input, so h2d must cover it.
+        let lists = ColorLists::assign(m, 0, 40, 3, 5, 0);
+        let index_bytes = lists.bucket_index().device_bytes();
+        let dev = DeviceSim::new(8 * 1024 * 1024);
+        let built = build_device(&oracle, &lists, &dev, 16).unwrap();
+        assert!(built.candidate_pairs < (m as u64) * (m as u64 - 1) / 2);
+        assert!(
+            dev.stats().h2d_bytes >= m * 16 + index_bytes,
+            "h2d {} must include the {}-byte index",
+            dev.stats().h2d_bytes,
+            index_bytes
+        );
     }
 
     #[test]

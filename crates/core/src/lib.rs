@@ -9,8 +9,10 @@
 //! 1. draws a fresh palette of `P` colors and gives every live vertex a
 //!    random list of `L = α·log₂ n` of them ([`assign`]),
 //! 2. materializes only the **conflict graph** — edges whose endpoints
-//!    share a list color ([`conflict`]; sequential, rayon-parallel and
-//!    simulated-GPU backends produce identical graphs),
+//!    share a list color ([`conflict`]). Candidates come from the
+//!    palette's inverted index (`color → vertex bucket`, [`candidates`])
+//!    rather than an all-pairs scan, and the sequential, rayon-parallel
+//!    and simulated-GPU backends produce identical graphs,
 //! 3. colors unconflicted vertices with any list color,
 //! 4. list-colors the conflict graph with the dynamic bucket greedy of
 //!    Algorithm 2 ([`listcolor`]),
@@ -39,6 +41,7 @@
 
 pub mod analysis;
 pub mod assign;
+pub mod candidates;
 pub mod config;
 pub mod conflict;
 pub mod listcolor;
@@ -47,7 +50,8 @@ pub mod partition;
 pub mod solver;
 pub mod sweep;
 
-pub use assign::ColorLists;
+pub use assign::{BucketIndex, ColorLists};
+pub use candidates::{AllPairsSource, BucketSource, CandidateEngine, PairSource};
 pub use config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 pub use conflict::ConflictBuild;
 pub use oracle::{LiveView, PauliComplementOracle};

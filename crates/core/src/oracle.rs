@@ -28,6 +28,17 @@ impl<S: AntiCommuteSet> EdgeOracle for PauliComplementOracle<'_, S> {
     fn has_edge(&self, u: usize, v: usize) -> bool {
         self.set.complement_edge(u, v)
     }
+
+    /// Complement edges in bulk: one batched word-level anticommutation
+    /// scan, then a sign flip (and a `u == v` guard, which the batched
+    /// Pauli path does not know about).
+    #[inline]
+    fn has_edge_block(&self, u: usize, vs: &[usize], out: &mut [bool]) {
+        self.set.anticommutes_block(u, vs, out);
+        for (o, &v) in out.iter_mut().zip(vs) {
+            *o = v != u && !*o;
+        }
+    }
 }
 
 /// A view of an oracle restricted to a subset of vertices, re-indexed to
@@ -63,6 +74,15 @@ impl<O: EdgeOracle> EdgeOracle for LiveView<'_, O> {
         self.oracle
             .has_edge(self.live[u] as usize, self.live[v] as usize)
     }
+
+    /// Translates the whole candidate run to original ids once, then
+    /// forwards it to the inner oracle's batched path, so the live-set
+    /// indirection does not break the block amortization underneath.
+    fn has_edge_block(&self, u: usize, vs: &[usize], out: &mut [bool]) {
+        let mapped: Vec<usize> = vs.iter().map(|&v| self.live[v] as usize).collect();
+        self.oracle
+            .has_edge_block(self.live[u] as usize, &mapped, out);
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +109,30 @@ mod tests {
                 if i != j {
                     assert_eq!(oracle.has_edge(i, j), !set.anticommutes(i, j));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn block_queries_match_scalar_through_both_adapters() {
+        let set = sample_set();
+        let oracle = PauliComplementOracle::new(&set);
+        let vs: Vec<usize> = (0..5).collect();
+        for u in 0..5 {
+            let mut out = vec![false; vs.len()];
+            oracle.has_edge_block(u, &vs, &mut out);
+            for (k, &v) in vs.iter().enumerate() {
+                assert_eq!(out[k], oracle.has_edge(u, v), "({u},{v})");
+            }
+        }
+        let live = vec![4u32, 1, 3];
+        let view = LiveView::new(&oracle, &live);
+        let local: Vec<usize> = (0..3).collect();
+        for u in 0..3 {
+            let mut out = vec![false; local.len()];
+            view.has_edge_block(u, &local, &mut out);
+            for (k, &v) in local.iter().enumerate() {
+                assert_eq!(out[k], view.has_edge(u, v), "({u},{v})");
             }
         }
     }

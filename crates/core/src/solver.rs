@@ -45,6 +45,10 @@ pub struct IterationStats {
     pub conflict_vertices: usize,
     /// Conflict edges `|Ec|`.
     pub conflict_edges: usize,
+    /// Candidate pairs the conflict build enumerated (oracle-independent
+    /// work: `m(m−1)/2` for all-pairs backends, the sum of bucket-pair
+    /// counts for the bucketed engine).
+    pub candidate_pairs: u64,
     /// Vertices colored on Line 8 (no conflicts).
     pub colored_unconflicted: usize,
     /// Vertices colored by Algorithm 2 / the static scheme.
@@ -93,6 +97,14 @@ impl PicassoResult {
     /// Sum of `|Ec|` over iterations (total conflict work processed).
     pub fn total_conflict_edges(&self) -> usize {
         self.iterations.iter().map(|s| s.conflict_edges).sum()
+    }
+
+    /// Sum of candidate pairs enumerated across iterations — the total
+    /// oracle-independent work of conflict construction. The all-pairs
+    /// reference would report `Σ_ℓ m_ℓ(m_ℓ−1)/2`; the bucketed engine's
+    /// saving is the gap between the two.
+    pub fn total_candidate_pairs(&self) -> u64 {
+        self.iterations.iter().map(|s| s.candidate_pairs).sum()
     }
 
     /// Total seconds spent in list assignment.
@@ -208,6 +220,7 @@ impl Picasso {
             let t1 = Instant::now();
             let build: ConflictBuild = match cfg.backend {
                 ConflictBackend::Sequential => conflict::build_sequential(&view, &lists),
+                ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, &lists),
                 ConflictBackend::Parallel => conflict::build_parallel(&view, &lists),
                 ConflictBackend::Device { .. } => {
                     let input_bpv =
@@ -276,6 +289,7 @@ impl Picasso {
                 list_size,
                 conflict_vertices: conflicted.len(),
                 conflict_edges: build.num_edges,
+                candidate_pairs: build.candidate_pairs,
                 colored_unconflicted,
                 colored_in_conflict: outcome.assigned.len(),
                 uncolored_after: new_live.len(),
@@ -397,10 +411,25 @@ mod tests {
         }))
         .solve_pauli(&set)
         .unwrap();
+        let allpairs = Picasso::new(base.with_backend(ConflictBackend::AllPairs))
+            .solve_pauli(&set)
+            .unwrap();
         assert_eq!(seq.colors, par.colors, "sequential vs parallel");
         assert_eq!(seq.colors, dev.colors, "sequential vs device");
+        assert_eq!(
+            seq.colors, allpairs.colors,
+            "sequential vs all-pairs reference"
+        );
         assert!(dev.device_stats.is_some());
         assert!(seq.device_stats.is_none());
+        // The bucketed backends report identical enumeration work; the
+        // all-pairs reference reports the full quadratic count, which the
+        // engine can never exceed (it falls back to all-pairs when
+        // buckets would be costlier).
+        assert_eq!(seq.total_candidate_pairs(), par.total_candidate_pairs());
+        assert_eq!(seq.total_candidate_pairs(), dev.total_candidate_pairs());
+        assert!(seq.total_candidate_pairs() <= allpairs.total_candidate_pairs());
+        assert!(allpairs.total_candidate_pairs() > 0);
     }
 
     #[test]

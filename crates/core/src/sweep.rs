@@ -21,6 +21,10 @@ pub struct SweepPoint {
     pub max_conflict_edges: usize,
     /// Total conflict edges processed across iterations.
     pub total_conflict_edges: usize,
+    /// Total candidate pairs the conflict builds enumerated — the
+    /// enumeration-work axis of the Fig. 5 heatmap (what the bucketed
+    /// engine saves relative to `Σ_ℓ m_ℓ(m_ℓ−1)/2`).
+    pub total_candidate_pairs: u64,
     /// Wall-clock seconds.
     pub total_secs: f64,
     /// Iterations to converge.
@@ -46,6 +50,7 @@ pub fn grid_sweep<S: AntiCommuteSet>(
                 num_colors: result.num_colors,
                 max_conflict_edges: result.max_conflict_edges(),
                 total_conflict_edges: result.total_conflict_edges(),
+                total_candidate_pairs: result.total_candidate_pairs(),
                 total_secs: result.total_secs,
                 iterations: result.iterations.len(),
             });
@@ -82,6 +87,7 @@ mod tests {
         assert_eq!(points[5].palette_fraction, 0.125);
         assert_eq!(points[5].alpha, 3.0);
         assert!(points.iter().all(|p| p.num_colors >= 1));
+        assert!(points.iter().all(|p| p.total_candidate_pairs > 0));
     }
 
     #[test]

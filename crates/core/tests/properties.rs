@@ -1,12 +1,19 @@
 //! Property tests for the Picasso core: backend equivalence, list
-//! discipline and conflict-graph correctness on arbitrary oracles.
+//! discipline and conflict-graph correctness on arbitrary oracles —
+//! including the equivalence suite pinning the bucketed candidate
+//! engine to the legacy all-pairs reference on random Pauli workloads.
 
 use device::DeviceSim;
 use graph::FnOracle;
-use picasso::conflict::{build_device, build_multi_device, build_parallel, build_sequential};
+use pauli::EncodedSet;
+use picasso::conflict::{
+    build_device, build_multi_device, build_parallel, build_sequential, build_sequential_allpairs,
+};
 use picasso::listcolor::greedy_list_color;
-use picasso::ColorLists;
+use picasso::{ColorLists, ConflictBackend, PauliComplementOracle, Picasso, PicassoConfig};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A deterministic pseudo-random symmetric edge predicate parameterized
 /// by a salt, giving arbitrary ~50%-dense oracles.
@@ -36,16 +43,23 @@ proptest! {
     ) {
         let oracle = salted_oracle(n, salt);
         let lists = ColorLists::assign(n, 5, palette, list, seed, 1);
+        let reference = build_sequential_allpairs(&oracle, &lists);
         let a = build_sequential(&oracle, &lists);
         let b = build_parallel(&oracle, &lists);
         let dev = DeviceSim::new(32 * 1024 * 1024);
         let c = build_device(&oracle, &lists, &dev, 16).unwrap();
         let devices: Vec<DeviceSim> = (0..3).map(|_| DeviceSim::new(16 * 1024 * 1024)).collect();
         let d = build_multi_device(&oracle, &lists, &devices, 16).unwrap();
+        prop_assert_eq!(&reference.graph, &a.graph);
         prop_assert_eq!(&a.graph, &b.graph);
         prop_assert_eq!(&a.graph, &c.graph);
         prop_assert_eq!(&a.graph, &d.graph);
         prop_assert_eq!(a.num_edges, d.num_edges);
+        // Enumeration accounting: bucketed backends agree and never
+        // exceed the all-pairs count (the engine falls back otherwise).
+        prop_assert_eq!(a.candidate_pairs, b.candidate_pairs);
+        prop_assert_eq!(a.candidate_pairs, c.candidate_pairs);
+        prop_assert!(a.candidate_pairs <= reference.candidate_pairs);
     }
 
     /// Every conflict edge really is an oracle edge with intersecting
@@ -97,5 +111,76 @@ proptest! {
                 prop_assert_ne!(cu, cv);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The bucketed-engine acceptance contract on the real workload:
+    /// random Pauli sets × (palette, α) configurations, where every
+    /// bucketed backend must build a CSR bit-identical to the legacy
+    /// all-pairs sequential reference.
+    #[test]
+    fn bucketed_backends_match_allpairs_reference_on_pauli_sets(
+        n in 2usize..70,
+        qubits in 4usize..24,
+        set_seed in any::<u64>(),
+        palette in 2u32..48,
+        alpha in 0.5f64..6.0,
+        list_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(set_seed);
+        let strings = pauli::string::random_unique_set(n, qubits, &mut rng);
+        let set = EncodedSet::from_strings(&strings);
+        let oracle = PauliComplementOracle::new(&set);
+        // The config's list-size law, directly on the sampled α.
+        let list = ((alpha * (n.max(2) as f64).log10()).ceil() as u32).clamp(1, palette);
+        let lists = ColorLists::assign(n, 3, palette, list, list_seed, 1);
+
+        let reference = build_sequential_allpairs(&oracle, &lists);
+        let seq = build_sequential(&oracle, &lists);
+        let par = build_parallel(&oracle, &lists);
+        let dev = DeviceSim::new(32 * 1024 * 1024);
+        let devb = build_device(&oracle, &lists, &dev, 16).unwrap();
+        prop_assert_eq!(&reference.graph, &seq.graph);
+        prop_assert_eq!(&reference.graph, &par.graph);
+        prop_assert_eq!(&reference.graph, &devb.graph);
+        prop_assert_eq!(reference.num_edges, seq.num_edges);
+        prop_assert_eq!(seq.candidate_pairs, par.candidate_pairs);
+        prop_assert_eq!(seq.candidate_pairs, devb.candidate_pairs);
+        prop_assert!(seq.candidate_pairs <= reference.candidate_pairs);
+    }
+
+    /// End-to-end determinism across engines: for a fixed seed, a full
+    /// solve over the all-pairs reference backend produces exactly the
+    /// colors of the bucketed backends.
+    #[test]
+    fn solver_colors_identical_across_engines(
+        n in 2usize..60,
+        set_seed in any::<u64>(),
+        cfg_seed in any::<u64>(),
+        palette_fraction in 0.02f64..0.4,
+        alpha in 0.5f64..5.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(set_seed);
+        let strings = pauli::string::random_unique_set(n, 8, &mut rng);
+        let set = EncodedSet::from_strings(&strings);
+        let base = PicassoConfig::normal(cfg_seed)
+            .with_palette_fraction(palette_fraction)
+            .with_alpha(alpha);
+        let reference = Picasso::new(base.with_backend(ConflictBackend::AllPairs))
+            .solve_pauli(&set)
+            .unwrap();
+        let seq = Picasso::new(base.with_backend(ConflictBackend::Sequential))
+            .solve_pauli(&set)
+            .unwrap();
+        let par = Picasso::new(base.with_backend(ConflictBackend::Parallel))
+            .solve_pauli(&set)
+            .unwrap();
+        prop_assert_eq!(&reference.colors, &seq.colors);
+        prop_assert_eq!(&reference.colors, &par.colors);
+        prop_assert_eq!(reference.num_colors, seq.num_colors);
+        prop_assert!(seq.total_candidate_pairs() <= reference.total_candidate_pairs());
     }
 }

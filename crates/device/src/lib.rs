@@ -20,7 +20,7 @@ pub mod buffer;
 pub mod sim;
 
 pub use buffer::DeviceBuffer;
-pub use sim::{DeviceError, DeviceSim, DeviceStats};
+pub use sim::{balanced_weight_cuts, DeviceError, DeviceSim, DeviceStats};
 
 /// Capacity presets, scaled-down analogues of real devices.
 pub mod presets {

@@ -196,6 +196,56 @@ impl DeviceSim {
             }
         });
     }
+
+    /// Launches a *weighted* block kernel over `weights.len()` work items
+    /// (e.g. palette buckets whose pair counts vary wildly): items are
+    /// cut into at most `num_blocks` contiguous ranges of near-equal
+    /// total weight, one rayon task per range. Equal-width cuts would
+    /// leave a block stuck with one giant bucket's whole tail of work;
+    /// weighted cuts are the bucket-blocked shape the candidate-pair
+    /// kernel needs.
+    pub fn launch_weighted_blocks<F: Fn(usize, std::ops::Range<usize>) + Sync>(
+        &self,
+        weights: &[u64],
+        num_blocks: usize,
+        kernel: F,
+    ) {
+        use rayon::prelude::*;
+        self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        let cuts = balanced_weight_cuts(weights, num_blocks);
+        cuts.into_par_iter().enumerate().for_each(|(b, range)| {
+            if !range.is_empty() {
+                kernel(b, range);
+            }
+        });
+    }
+}
+
+/// Cuts `0..weights.len()` into at most `k` contiguous ranges whose total
+/// weights are near-equal (each range closes as soon as it reaches the
+/// ideal share, so no range exceeds the ideal by more than one item).
+/// Deterministic; used by [`DeviceSim::launch_weighted_blocks`] and the
+/// multi-device sharding.
+pub fn balanced_weight_cuts(weights: &[u64], k: usize) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    let k = k.max(1);
+    let total: u64 = weights.iter().sum();
+    let per_block = total.div_ceil(k as u64).max(1);
+    let mut cuts = Vec::with_capacity(k);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= per_block {
+            cuts.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n || cuts.is_empty() {
+        cuts.push(start..n);
+    }
+    cuts
 }
 
 #[cfg(test)]
@@ -272,6 +322,52 @@ mod tests {
             }
         });
         assert!(seen.lock().iter().all(|&x| x));
+    }
+
+    #[test]
+    fn weighted_block_launch_covers_all_items_once() {
+        let dev = DeviceSim::new(1024);
+        // Heavily skewed weights: one giant item among many small ones.
+        let weights: Vec<u64> = (0..50)
+            .map(|i| if i == 7 { 10_000 } else { i as u64 })
+            .collect();
+        let seen = Mutex::new(vec![false; 50]);
+        dev.launch_weighted_blocks(&weights, 6, |_b, range| {
+            let mut s = seen.lock();
+            for i in range {
+                assert!(!s[i], "item {i} covered twice");
+                s[i] = true;
+            }
+        });
+        assert!(seen.lock().iter().all(|&x| x));
+        assert_eq!(dev.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn balanced_weight_cuts_concatenate_and_balance() {
+        for (n, k) in [(100usize, 4usize), (37, 8), (5, 1), (0, 3)] {
+            let weights: Vec<u64> = (0..n).map(|i| (i * i % 17) as u64 + 1).collect();
+            let cuts = balanced_weight_cuts(&weights, k);
+            let mut at = 0usize;
+            for c in &cuts {
+                assert_eq!(c.start, at);
+                at = c.end;
+            }
+            assert_eq!(at, n, "n={n} k={k}");
+            assert!(cuts.len() <= k.max(1));
+            if n >= 100 {
+                let total: u64 = weights.iter().sum();
+                let ideal = total as f64 / cuts.len() as f64;
+                let max_w = weights.iter().max().copied().unwrap_or(0) as f64;
+                for c in &cuts {
+                    let w: u64 = weights[c.clone()].iter().sum();
+                    assert!(
+                        (w as f64) <= 2.0 * ideal + max_w,
+                        "n={n} k={k} block {c:?} weight {w} vs ideal {ideal}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

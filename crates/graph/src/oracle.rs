@@ -15,6 +15,22 @@ pub trait EdgeOracle: Sync {
     /// Whether `{u, v}` is an edge. Must be symmetric and false for
     /// `u == v`.
     fn has_edge(&self, u: usize, v: usize) -> bool;
+
+    /// Batched edge queries against one pivot: `out[k] =
+    /// has_edge(u, vs[k])`.
+    ///
+    /// The default loops over [`EdgeOracle::has_edge`]. Oracles backed by
+    /// packed encodings (e.g. the Pauli complement oracle) override it so
+    /// the pivot's encoding is loaded once per bucket scan instead of
+    /// once per pair — the conflict-graph builders feed whole candidate
+    /// runs through this entry point.
+    #[inline]
+    fn has_edge_block(&self, u: usize, vs: &[usize], out: &mut [bool]) {
+        debug_assert_eq!(vs.len(), out.len());
+        for (o, &v) in out.iter_mut().zip(vs) {
+            *o = self.has_edge(u, v);
+        }
+    }
 }
 
 impl EdgeOracle for CsrGraph {

@@ -146,6 +146,30 @@ impl EncodedSet {
         anticommutes_rows(a, b)
     }
 
+    /// Batched word-level anticommutation: `out[k] =
+    /// anticommutes_encoded(i, js[k])`.
+    ///
+    /// Loads row `i`'s packed words once and streams the candidate rows,
+    /// so a bucket scan pays the pivot's encoding load a single time
+    /// instead of once per pair. The ubiquitous ≤21-qubit case (one word
+    /// per string) keeps the pivot in a register.
+    pub fn anticommutes_block_encoded(&self, i: usize, js: &[usize], out: &mut [bool]) {
+        debug_assert_eq!(js.len(), out.len());
+        let s = self.words_per_string;
+        if s == 1 {
+            let wi = self.words[i];
+            for (o, &j) in out.iter_mut().zip(js) {
+                *o = (wi & self.words[j]).count_ones() & 1 == 1;
+            }
+            return;
+        }
+        let a = &self.words[i * s..(i + 1) * s];
+        for (o, &j) in out.iter_mut().zip(js) {
+            let b = &self.words[j * s..(j + 1) * s];
+            *o = anticommutes_rows(a, b);
+        }
+    }
+
     /// Bytes of heap memory held by the packed array.
     pub fn heap_bytes(&self) -> usize {
         self.words.capacity() * std::mem::size_of::<u64>()
@@ -189,6 +213,11 @@ impl AntiCommuteSet for EncodedSet {
     #[inline]
     fn anticommutes(&self, i: usize, j: usize) -> bool {
         self.anticommutes_encoded(i, j)
+    }
+
+    #[inline]
+    fn anticommutes_block(&self, i: usize, js: &[usize], out: &mut [bool]) {
+        self.anticommutes_block_encoded(i, js, out)
     }
 }
 
@@ -253,6 +282,25 @@ mod tests {
                         strings[i].anticommutes_naive(&strings[j]),
                         "n={n} i={i} j={j}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_path_matches_scalar_path() {
+        let mut rng = StdRng::seed_from_u64(77);
+        // One-word fast path (n <= 21) and the multi-word general path.
+        for n in [8, 21, 22, 50] {
+            let strings: Vec<PauliString> =
+                (0..30).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = EncodedSet::from_strings(&strings);
+            for i in 0..strings.len() {
+                let js: Vec<usize> = (0..strings.len()).filter(|&j| j != i).collect();
+                let mut out = vec![false; js.len()];
+                set.anticommutes_block_encoded(i, &js, &mut out);
+                for (k, &j) in js.iter().enumerate() {
+                    assert_eq!(out[k], set.anticommutes_encoded(i, j), "n={n} i={i} j={j}");
                 }
             }
         }

@@ -35,6 +35,22 @@ pub trait AntiCommuteSet: Sync {
     fn complement_edge(&self, i: usize, j: usize) -> bool {
         i != j && !self.anticommutes(i, j)
     }
+
+    /// Batched anticommutation against one pivot: `out[k] =
+    /// anticommutes(i, js[k])`.
+    ///
+    /// The default loops over [`AntiCommuteSet::anticommutes`]; packed
+    /// encodings override it with word-level scans that load row `i`'s
+    /// encoding once and stream the candidate rows, which is what the
+    /// palette-bucket conflict kernels feed (one pivot vertex against its
+    /// whole bucket tail).
+    #[inline]
+    fn anticommutes_block(&self, i: usize, js: &[usize], out: &mut [bool]) {
+        debug_assert_eq!(js.len(), out.len());
+        for (o, &j) in out.iter_mut().zip(js) {
+            *o = self.anticommutes(i, j);
+        }
+    }
 }
 
 /// The baseline oracle: symbolic strings, per-character comparison.

@@ -89,6 +89,35 @@ impl SymplecticSet {
         acc & 1 == 1
     }
 
+    /// Batched symplectic products against one pivot: `out[k] =
+    /// anticommutes_symplectic(i, js[k])`.
+    ///
+    /// Mirrors [`crate::EncodedSet::anticommutes_block_encoded`]: the
+    /// pivot's two planes are loaded once and the candidate rows
+    /// streamed, with a register fast path for ≤64-qubit strings.
+    pub fn anticommutes_block_symplectic(&self, i: usize, js: &[usize], out: &mut [bool]) {
+        debug_assert_eq!(js.len(), out.len());
+        let s = self.words_per_plane;
+        if s == 1 {
+            let (xi, zi) = (self.x[i], self.z[i]);
+            for (o, &j) in out.iter_mut().zip(js) {
+                let acc = (xi & self.z[j]).count_ones() + (zi & self.x[j]).count_ones();
+                *o = acc & 1 == 1;
+            }
+            return;
+        }
+        let (xi, zi) = (&self.x[i * s..(i + 1) * s], &self.z[i * s..(i + 1) * s]);
+        for (o, &j) in out.iter_mut().zip(js) {
+            let (xj, zj) = (&self.x[j * s..(j + 1) * s], &self.z[j * s..(j + 1) * s]);
+            let mut acc = 0u32;
+            for k in 0..s {
+                acc += (xi[k] & zj[k]).count_ones();
+                acc += (zi[k] & xj[k]).count_ones();
+            }
+            *o = acc & 1 == 1;
+        }
+    }
+
     /// Decodes string `i` back to symbolic form.
     pub fn decode(&self, i: usize) -> PauliString {
         let s = self.words_per_plane;
@@ -129,6 +158,11 @@ impl AntiCommuteSet for SymplecticSet {
     fn anticommutes(&self, i: usize, j: usize) -> bool {
         self.anticommutes_symplectic(i, j)
     }
+
+    #[inline]
+    fn anticommutes_block(&self, i: usize, js: &[usize], out: &mut [bool]) {
+        self.anticommutes_block_symplectic(i, js, out)
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +196,28 @@ mod tests {
                     assert_eq!(
                         set.anticommutes_symplectic(i, j),
                         strings[i].anticommutes_naive(&strings[j]),
+                        "n={n} i={i} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_path_matches_scalar_path() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for n in [10, 64, 65, 130] {
+            let strings: Vec<PauliString> =
+                (0..25).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = SymplecticSet::from_strings(&strings);
+            for i in 0..strings.len() {
+                let js: Vec<usize> = (0..strings.len()).collect();
+                let mut out = vec![false; js.len()];
+                set.anticommutes_block_symplectic(i, &js, &mut out);
+                for (k, &j) in js.iter().enumerate() {
+                    assert_eq!(
+                        out[k],
+                        set.anticommutes_symplectic(i, j),
                         "n={n} i={i} j={j}"
                     );
                 }

@@ -127,6 +127,7 @@ mod tests {
             num_colors: c,
             max_conflict_edges: e,
             total_conflict_edges: e * 2,
+            total_candidate_pairs: (e * 4) as u64,
             total_secs: 0.1,
             iterations: 3,
         })

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! picasso-cli strings.txt [--palette PCT] [--alpha A] [--seed N]
-//!             [--aggressive] [--backend seq|par|device:MIB] [--json] [--stats]
+//!             [--aggressive] [--backend seq|par|allpairs|device:MIB]
+//!             [--json] [--stats]
 //! ```
 //!
 //! Input: one Pauli string per line (`IXYZ…`), `#` comments allowed.
@@ -29,7 +30,7 @@ struct CliArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: picasso-cli [FILE|-] [--palette PCT] [--alpha A] [--seed N] \
-         [--aggressive] [--backend seq|par|device:MIB] [--json] [--stats]"
+         [--aggressive] [--backend seq|par|allpairs|device:MIB] [--json] [--stats]"
     );
     exit(2);
 }
@@ -82,6 +83,7 @@ fn parse_args() -> CliArgs {
                 out.backend = match v {
                     "seq" => ConflictBackend::Sequential,
                     "par" => ConflictBackend::Parallel,
+                    "allpairs" => ConflictBackend::AllPairs,
                     other => match other.strip_prefix("device:") {
                         Some(mib) => ConflictBackend::Device {
                             capacity_bytes: mib.parse::<usize>().unwrap_or_else(|_| usage())
@@ -180,6 +182,7 @@ fn main() {
             "num_groups": result.num_colors,
             "color_percentage": result.color_percentage(),
             "iterations": result.iterations.len(),
+            "total_candidate_pairs": result.total_candidate_pairs(),
             "total_secs": result.total_secs,
             "groups": groups,
         });
@@ -203,14 +206,15 @@ fn main() {
     }
 
     if args.stats {
-        eprintln!("iter |live |palette |L |Vc |Ec |uncolored");
+        eprintln!("iter |live |palette |L |cand.pairs |Vc |Ec |uncolored");
         for s in &result.iterations {
             eprintln!(
-                "{:>4} {:>6} {:>7} {:>3} {:>6} {:>8} {:>6}",
+                "{:>4} {:>6} {:>7} {:>3} {:>10} {:>6} {:>8} {:>6}",
                 s.iteration,
                 s.live_vertices,
                 s.palette_size,
                 s.list_size,
+                s.candidate_pairs,
                 s.conflict_vertices,
                 s.conflict_edges,
                 s.uncolored_after

@@ -39,6 +39,38 @@ fn json_output_is_well_formed() {
     let total: usize = groups.iter().map(|g| g.as_array().unwrap().len()).sum();
     assert_eq!(total, 5);
     assert_eq!(doc["num_groups"].as_u64().unwrap() as usize, groups.len());
+    // Enumeration-work telemetry is part of the JSON contract.
+    assert!(doc["total_candidate_pairs"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn allpairs_reference_backend_matches_default() {
+    let path = write_input(
+        "cli_allpairs.txt",
+        "XXXX\nYYYY\nZZZZ\nXYZI\nIZYX\nXZXZ\nYZYZ\nZXZX\n",
+    );
+    let run = |backend: &str| {
+        let out = Command::new(CLI)
+            .arg(&path)
+            .args(["--seed", "3", "--backend", backend, "--json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+        doc
+    };
+    let reference = run("allpairs");
+    let bucketed = run("par");
+    // Same grouping either way; the engines only differ in enumeration.
+    assert_eq!(reference["groups"], bucketed["groups"]);
+    assert!(
+        bucketed["total_candidate_pairs"].as_u64().unwrap()
+            <= reference["total_candidate_pairs"].as_u64().unwrap()
+    );
 }
 
 #[test]

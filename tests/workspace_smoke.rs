@@ -21,7 +21,9 @@ fn quickstart_solves_a_small_pauli_set() {
         .collect();
     let set = EncodedSet::from_strings(&strings);
 
-    let result = Picasso::new(PicassoConfig::normal(7)).solve_pauli(&set).unwrap();
+    let result = Picasso::new(PicassoConfig::normal(7))
+        .solve_pauli(&set)
+        .unwrap();
     assert_eq!(result.colors.len(), 6);
 
     // Every color class must be a set of mutually anticommuting strings
@@ -47,7 +49,10 @@ fn meta_crate_reexports_every_component() {
     assert_eq!(picasso_suite::graph::EdgeOracle::num_vertices(&g), 5);
     // coloring
     let colored = picasso_suite::coloring::jones_plassmann_ldf(&g, 1);
-    assert!(picasso_suite::coloring::verify::is_valid_coloring(&g, &colored.colors));
+    assert!(picasso_suite::coloring::verify::is_valid_coloring(
+        &g,
+        &colored.colors
+    ));
     // qchem
     assert!(picasso_suite::qchem::MoleculeSpec::by_name("H6 2D sto3g").is_some());
     // device
@@ -66,6 +71,8 @@ fn io_parses_what_the_solver_consumes() {
     let parsed = parse_pauli_lines("XX\nYY\nZZ\n# comment\n").unwrap();
     assert_eq!(parsed.strings.len(), 3);
     let set = EncodedSet::from_strings(&parsed.strings);
-    let result = Picasso::new(PicassoConfig::normal(1)).solve_pauli(&set).unwrap();
+    let result = Picasso::new(PicassoConfig::normal(1))
+        .solve_pauli(&set)
+        .unwrap();
     assert_eq!(result.colors.len(), 3);
 }
