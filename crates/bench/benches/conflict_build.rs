@@ -1,15 +1,26 @@
 //! Conflict-graph construction: the legacy all-pairs scan vs the
 //! bucketed candidate engine, across the sequential / rayon-parallel /
-//! simulated-device backends (the Table V microbenchmark, extended with
-//! the enumeration comparison this reproduction's candidate engine is
-//! about).
+//! simulated-device / multi-device backends (the Table V microbenchmark,
+//! extended with the enumeration comparison this reproduction's
+//! candidate engine is about and the sub-bucket-sharded multi-device
+//! path introduced with the iteration context).
 //!
 //! Dense synthetic Hamiltonian input: random unique Pauli strings, whose
 //! complement graph is ~50% dense — the regime the paper targets. The
 //! printed `candidate-pairs` lines show the oracle-independent
 //! enumeration work each engine performs; the bucketed engine must
 //! examine strictly fewer pairs (and run faster) than all-pairs at the
-//! Normal configuration.
+//! Normal configuration. The printed `multi-device` line compares the
+//! engine-driven sub-bucket build against the legacy row-sharded
+//! reference on the same devices.
+//!
+//! Two comparisons beyond raw builder timing:
+//! * `multi_device` group — `subbucket` (engine + per-device index
+//!   replica) vs `rowsharded` (legacy all-pairs row shards);
+//! * `iteration_scratch` group — the same sequential build through a
+//!   persistent [`IterationContext`] (index built once, arenas warm) vs
+//!   a fresh context per build (the pre-context per-iteration cost:
+//!   index rebuild + arena + list-storage allocation).
 //!
 //! Set `PICASSO_BENCH_SMOKE=1` to run a seconds-scale smoke version (CI
 //! keeps the target from rotting without paying full bench time).
@@ -18,12 +29,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use device::DeviceSim;
 use pauli::EncodedSet;
 use picasso::conflict::{
-    build_device, build_parallel, build_sequential, build_sequential_allpairs,
+    build_device, build_multi_device, build_multi_device_rowsharded, build_parallel,
+    build_sequential, build_sequential_allpairs,
 };
-use picasso::{ColorLists, PauliComplementOracle, PicassoConfig};
+use picasso::{ColorLists, IterationContext, PauliComplementOracle, PicassoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn smoke() -> bool {
     std::env::var_os("PICASSO_BENCH_SMOKE").is_some()
@@ -38,6 +51,19 @@ fn setup(n: usize) -> (EncodedSet, ColorLists) {
     (set, lists)
 }
 
+fn fresh_ctx(lists: &ColorLists) -> IterationContext {
+    let mut ctx = IterationContext::new();
+    ctx.set_lists(lists.clone());
+    ctx
+}
+
+fn multi_devices(k: usize) -> Vec<DeviceSim> {
+    (0..k).map(|_| DeviceSim::new(256 * 1024 * 1024)).collect()
+}
+
+/// Devices used by the multi-device comparison.
+const NUM_DEVICES: usize = 3;
+
 fn bench_conflict(c: &mut Criterion) {
     // Below ~400 vertices the Normal configuration has L²/P ≈ 1 and the
     // engine (correctly) falls back to all-pairs, so the smoke size must
@@ -47,10 +73,11 @@ fn bench_conflict(c: &mut Criterion) {
         let (set, lists) = setup(n);
         let oracle = PauliComplementOracle::new(&set);
         let pairs = (n * (n - 1) / 2) as u64;
+        let mut ctx = fresh_ctx(&lists);
 
         // The headline comparison: enumeration work per engine.
-        let allpairs = build_sequential_allpairs(&oracle, &lists);
-        let bucketed = build_sequential(&oracle, &lists);
+        let allpairs = build_sequential_allpairs(&oracle, &mut ctx);
+        let bucketed = build_sequential(&oracle, &mut ctx);
         assert_eq!(
             allpairs.graph, bucketed.graph,
             "engines must build identical CSRs"
@@ -69,23 +96,98 @@ fn bench_conflict(c: &mut Criterion) {
             allpairs.candidate_pairs as f64 / bucketed.candidate_pairs.max(1) as f64
         );
 
+        // Multi-device: the sub-bucket-sharded engine path vs the legacy
+        // row-sharded reference, wall-clock on identical devices.
+        {
+            let devices = multi_devices(NUM_DEVICES);
+            let t = Instant::now();
+            let sub = build_multi_device(&oracle, &mut ctx, &devices, 16).unwrap();
+            let sub_secs = t.elapsed().as_secs_f64();
+            let devices = multi_devices(NUM_DEVICES);
+            let t = Instant::now();
+            let row = build_multi_device_rowsharded(&oracle, &lists, &devices, 16).unwrap();
+            let row_secs = t.elapsed().as_secs_f64();
+            assert_eq!(sub.graph, row.graph, "multi-device paths must agree");
+            println!(
+                "conflict_build_n{n}: multi-device({NUM_DEVICES}) rowsharded={:.1}ms \
+                 subbucket={:.1}ms ({:.1}x faster, {:.1}x fewer pairs)",
+                row_secs * 1e3,
+                sub_secs * 1e3,
+                row_secs / sub_secs.max(1e-9),
+                row.candidate_pairs as f64 / sub.candidate_pairs.max(1) as f64
+            );
+        }
+
         let mut group = c.benchmark_group(format!("conflict_build_n{n}"));
         group.throughput(Throughput::Elements(pairs));
         group.sample_size(if smoke() { 2 } else { 10 });
 
         group.bench_function(BenchmarkId::new("allpairs", n), |b| {
-            b.iter(|| black_box(build_sequential_allpairs(&oracle, &lists).num_edges))
+            b.iter(|| black_box(build_sequential_allpairs(&oracle, &mut ctx).num_edges))
         });
         group.bench_function(BenchmarkId::new("sequential", n), |b| {
-            b.iter(|| black_box(build_sequential(&oracle, &lists).num_edges))
+            b.iter(|| black_box(build_sequential(&oracle, &mut ctx).num_edges))
         });
         group.bench_function(BenchmarkId::new("parallel", n), |b| {
-            b.iter(|| black_box(build_parallel(&oracle, &lists).num_edges))
+            b.iter(|| black_box(build_parallel(&oracle, &mut ctx).num_edges))
         });
         group.bench_function(BenchmarkId::new("device", n), |b| {
             b.iter(|| {
                 let dev = DeviceSim::new(256 * 1024 * 1024);
-                black_box(build_device(&oracle, &lists, &dev, 16).unwrap().num_edges)
+                black_box(build_device(&oracle, &mut ctx, &dev, 16).unwrap().num_edges)
+            })
+        });
+        group.finish();
+
+        // Multi-device microbenchmarks: new sub-bucket path vs the
+        // row-sharded baseline it replaced.
+        let mut group = c.benchmark_group(format!("multi_device_n{n}"));
+        group.throughput(Throughput::Elements(pairs));
+        group.sample_size(if smoke() { 2 } else { 10 });
+        group.bench_function(BenchmarkId::new("subbucket", NUM_DEVICES), |b| {
+            b.iter(|| {
+                let devices = multi_devices(NUM_DEVICES);
+                black_box(
+                    build_multi_device(&oracle, &mut ctx, &devices, 16)
+                        .unwrap()
+                        .num_edges,
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("rowsharded", NUM_DEVICES), |b| {
+            b.iter(|| {
+                let devices = multi_devices(NUM_DEVICES);
+                black_box(
+                    build_multi_device_rowsharded(&oracle, &lists, &devices, 16)
+                        .unwrap()
+                        .num_edges,
+                )
+            })
+        });
+        group.finish();
+
+        // Iteration-scratch reuse, matching the solver's real steady
+        // state: both paths run Line 6 (assign) + index build + conflict
+        // build each iteration; `reused_context` does it in one
+        // persistent workspace (lists reassigned in place, index rebuilt
+        // into reused storage, warm arenas) while `fresh_context` pays
+        // the pre-context cost (fresh list/index/arena allocations every
+        // iteration).
+        let cfg = PicassoConfig::normal(1);
+        let (p, l) = (cfg.palette_size(n), cfg.list_size(n));
+        let mut group = c.benchmark_group(format!("iteration_scratch_n{n}"));
+        group.sample_size(if smoke() { 2 } else { 10 });
+        group.bench_function("reused_context", |b| {
+            b.iter(|| {
+                ctx.assign_lists(n, 0, p, l, 1, 1);
+                black_box(build_sequential(&oracle, &mut ctx).num_edges)
+            })
+        });
+        group.bench_function("fresh_context", |b| {
+            b.iter(|| {
+                let mut cold = IterationContext::new();
+                cold.assign_lists(n, 0, p, l, 1, 1);
+                black_box(build_sequential(&oracle, &mut cold).num_edges)
             })
         });
         group.finish();

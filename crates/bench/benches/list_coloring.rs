@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pauli::EncodedSet;
 use picasso::conflict::build_parallel;
 use picasso::listcolor::{greedy_list_color, static_list_color};
-use picasso::{ColorLists, PauliComplementOracle, PicassoConfig};
+use picasso::{ColorLists, IterationContext, PauliComplementOracle, PicassoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -19,7 +19,9 @@ fn bench_list_coloring(c: &mut Criterion) {
     let oracle = PauliComplementOracle::new(&set);
     let cfg = PicassoConfig::normal(1);
     let lists = ColorLists::assign(n, 0, cfg.palette_size(n), cfg.list_size(n), 1, 1);
-    let build = build_parallel(&oracle, &lists);
+    let mut ctx = IterationContext::new();
+    ctx.set_lists(lists.clone());
+    let build = build_parallel(&oracle, &mut ctx);
     let gc = build.graph;
     let active: Vec<u32> = (0..n as u32)
         .filter(|&v| gc.degree(v as usize) > 0)

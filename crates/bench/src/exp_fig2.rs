@@ -82,6 +82,8 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                     "ok".into(),
                 ]);
             }
+            // The device backend never reports a zero-device fleet.
+            Err(SolveError::NoDevices) => unreachable!("single-device backend"),
             Err(SolveError::DeviceOom(_)) => {
                 // The paper's remedy for the large tier: keep P = 12.5%
                 // but drop α to 1, shrinking the conflict graph to fit.
@@ -105,6 +107,7 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                         continue;
                     }
                     Err(SolveError::DeviceOom(_)) => "OOM@a2, OOM@a1",
+                    Err(SolveError::NoDevices) => unreachable!("single-device backend"),
                 };
                 table.push_row(vec![
                     spec.name.to_string(),

@@ -119,13 +119,19 @@ pub fn run(cfg: &HarnessConfig) -> Table {
         &["Model", "Test MAPE", "Test R2", "Train R2"],
     );
 
-    // Random forest through the full PalettePredictor API.
+    // Random forest through the full PalettePredictor API (features now
+    // include the per-instance candidate-pairs enumeration cost).
     let forest = PalettePredictor::fit(&train, RandomForestConfig::paper_default(1));
     let rf = |samples: &[TrainingSample]| -> Vec<Vec<f64>> {
         samples
             .iter()
             .map(|s| {
-                let p = forest.predict(s.beta, s.num_vertices as u64, s.num_edges as u64);
+                let p = forest.predict(
+                    s.beta,
+                    s.num_vertices as u64,
+                    s.num_edges as u64,
+                    s.candidate_pairs as u64,
+                );
                 vec![p.palette_percent, p.alpha]
             })
             .collect()

@@ -45,31 +45,64 @@ impl ColorLists {
         seed: u64,
         iteration: u64,
     ) -> ColorLists {
+        let mut lists = ColorLists::empty();
+        lists.reassign(n, palette_base, palette_size, list_size, seed, iteration);
+        lists
+    }
+
+    /// Lists for zero vertices over a placeholder one-color palette — the
+    /// initial state of a reusable workspace before its first
+    /// [`ColorLists::reassign`].
+    pub fn empty() -> ColorLists {
+        ColorLists {
+            n: 0,
+            stride: 1,
+            palette_base: 0,
+            palette_size: 1,
+            colors: Vec::new(),
+        }
+    }
+
+    /// Re-runs Line 6 *in place*: identical semantics (and identical
+    /// output) to [`ColorLists::assign`] with the same arguments, but the
+    /// flat color array is reused, so a solver iterating over shrinking
+    /// live sets allocates the list storage once instead of once per
+    /// iteration.
+    pub fn reassign(
+        &mut self,
+        n: usize,
+        palette_base: u32,
+        palette_size: u32,
+        list_size: u32,
+        seed: u64,
+        iteration: u64,
+    ) {
         assert!(palette_size >= 1, "palette must be non-empty");
         assert!(
             list_size >= 1,
             "list_size must be >= 1: a vertex with an empty color list can never be colored"
         );
         let l = list_size.min(palette_size) as usize;
-        let mut colors = vec![0u32; n * l];
-        colors.par_chunks_mut(l).enumerate().for_each(|(v, row)| {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ iteration.wrapping_mul(0x9E3779B97F4A7C15)
-                    ^ (v as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
-            );
-            sample_distinct(&mut rng, palette_size, row);
-            for c in row.iter_mut() {
-                *c += palette_base;
-            }
-            row.sort_unstable();
-        });
-        ColorLists {
-            n,
-            stride: l,
-            palette_base,
-            palette_size,
-            colors,
-        }
+        self.colors.clear();
+        self.colors.resize(n * l, 0u32);
+        self.colors
+            .par_chunks_mut(l)
+            .enumerate()
+            .for_each(|(v, row)| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ iteration.wrapping_mul(0x9E3779B97F4A7C15)
+                        ^ (v as u64).wrapping_mul(0xC2B2AE3D27D4EB4F),
+                );
+                sample_distinct(&mut rng, palette_size, row);
+                for c in row.iter_mut() {
+                    *c += palette_base;
+                }
+                row.sort_unstable();
+            });
+        self.n = n;
+        self.stride = l;
+        self.palette_base = palette_base;
+        self.palette_size = palette_size;
     }
 
     /// Number of vertices.
@@ -143,30 +176,65 @@ impl ColorLists {
     /// buckets come out ascending because vertices are scattered in
     /// order.
     pub fn bucket_index(&self) -> BucketIndex {
+        let mut index = BucketIndex::empty();
+        self.bucket_index_into(&mut index);
+        index
+    }
+
+    /// Builds the inverted index into an existing [`BucketIndex`],
+    /// reusing its offset and vertex arrays — the solver's iteration
+    /// context rebuilds the index once per iteration without
+    /// re-allocating its storage. Semantically identical to
+    /// [`ColorLists::bucket_index`].
+    pub fn bucket_index_into(&self, index: &mut BucketIndex) {
         let num = self.palette_size as usize;
         let base = self.palette_base;
-        let mut counts = vec![0usize; num + 1];
+        index.palette_base = base;
+        index.offsets.clear();
+        index.offsets.resize(num + 1, 0);
         for &c in &self.colors {
-            counts[(c - base) as usize + 1] += 1;
+            index.offsets[(c - base) as usize + 1] += 1;
         }
         for k in 0..num {
-            counts[k + 1] += counts[k];
+            index.offsets[k + 1] += index.offsets[k];
         }
-        let offsets = counts;
-        let mut cursor = offsets.clone();
-        let mut vertices = vec![0u32; self.colors.len()];
+        index.vertices.clear();
+        index.vertices.resize(self.colors.len(), 0);
+        // Scatter using the offsets as cursors, then shift them back —
+        // the classic counting-sort trick that avoids a cursor copy.
         for v in 0..self.n {
             for &c in self.row(v) {
                 let k = (c - base) as usize;
-                vertices[cursor[k]] = v as u32;
-                cursor[k] += 1;
+                index.vertices[index.offsets[k]] = v as u32;
+                index.offsets[k] += 1;
             }
         }
-        BucketIndex {
-            palette_base: base,
-            offsets,
-            vertices,
+        for k in (1..=num).rev() {
+            index.offsets[k] = index.offsets[k - 1];
         }
+        index.offsets[0] = 0;
+    }
+
+    /// Histogram summary of the (notional) inverted index, computed from
+    /// bucket counts alone — no index scatter. Available the moment the
+    /// lists are assigned, i.e. **before any oracle query runs**, which
+    /// makes [`BucketLoad::total_pairs`] a pre-oracle estimate of the
+    /// iteration's conflict-construction work.
+    pub fn bucket_load(&self) -> BucketLoad {
+        let base = self.palette_base;
+        let mut counts = vec![0u64; self.palette_size as usize];
+        for &c in &self.colors {
+            counts[(c - base) as usize] += 1;
+        }
+        let mut load = BucketLoad::default();
+        for &s in &counts {
+            load.total_pairs += s * s.saturating_sub(1) / 2;
+            load.max_bucket = load.max_bucket.max(s as usize);
+            if s >= 2 {
+                load.active_buckets += 1;
+            }
+        }
+        load
     }
 
     /// Total in-bucket pairs of the (notional) inverted index —
@@ -175,12 +243,7 @@ impl ColorLists {
     /// paying the full [`ColorLists::bucket_index`] scatter. Always
     /// equals `bucket_index().total_pairs()`.
     pub fn bucket_pair_total(&self) -> u64 {
-        let base = self.palette_base;
-        let mut counts = vec![0u64; self.palette_size as usize];
-        for &c in &self.colors {
-            counts[(c - base) as usize] += 1;
-        }
-        counts.iter().map(|&s| s * s.saturating_sub(1) / 2).sum()
+        self.bucket_load().total_pairs
     }
 
     /// Heap bytes held by the flat list array (the `N·L·4`-byte input the
@@ -188,6 +251,21 @@ impl ColorLists {
     pub fn heap_bytes(&self) -> usize {
         self.colors.capacity() * std::mem::size_of::<u32>()
     }
+}
+
+/// Bucket-size histogram summary of a [`ColorLists`] palette — the
+/// pre-oracle conflict-load estimate surfaced through the solver's
+/// per-iteration stats (and the candidate engine's decision input).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketLoad {
+    /// `Σ_c |B_c|·(|B_c|−1)/2` — the pairs a bucketed scan would
+    /// enumerate; equals `bucket_index().total_pairs()`.
+    pub total_pairs: u64,
+    /// Size of the deepest bucket, `max_c |B_c|`.
+    pub max_bucket: usize,
+    /// Buckets with ≥ 2 members — the only ones that can produce
+    /// candidate pairs.
+    pub active_buckets: usize,
 }
 
 /// Inverted index of a [`ColorLists`]: for every palette color, the
@@ -204,6 +282,16 @@ pub struct BucketIndex {
 }
 
 impl BucketIndex {
+    /// An index over an empty palette — reusable storage to be filled by
+    /// [`ColorLists::bucket_index_into`].
+    pub fn empty() -> BucketIndex {
+        BucketIndex {
+            palette_base: 0,
+            offsets: vec![0],
+            vertices: Vec::new(),
+        }
+    }
+
     /// Number of buckets (= palette size).
     #[inline]
     pub fn num_buckets(&self) -> usize {
@@ -220,6 +308,13 @@ impl BucketIndex {
     #[inline]
     pub fn bucket(&self, k: usize) -> &[u32] {
         &self.vertices[self.offsets[k]..self.offsets[k + 1]]
+    }
+
+    /// Flat-row offset of bucket `k`'s first pivot (`k == num_buckets()`
+    /// is the end sentinel, equal to [`BucketIndex::num_rows`]).
+    #[inline]
+    pub fn bucket_start(&self, k: usize) -> usize {
+        self.offsets[k]
     }
 
     /// In-bucket pairs of bucket `k`: `|B_k|·(|B_k|−1)/2`.
@@ -241,6 +336,23 @@ impl BucketIndex {
     /// vertex array plus the `P+1` offsets, both as 32-bit values.
     pub fn device_bytes(&self) -> usize {
         (self.vertices.len() + self.offsets.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Total pivot rows in the flattened row space used by sub-bucket
+    /// sharding: one row per (bucket, position) membership, i.e.
+    /// `Σ_c |B_c| = N·L`. Row `r` is position `r − offsets[k]` of the
+    /// bucket `k` containing it.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The bucket containing flat row `r` (binary search over the
+    /// offsets; empty buckets are skipped by construction).
+    #[inline]
+    pub fn row_bucket(&self, r: usize) -> usize {
+        debug_assert!(r < self.num_rows());
+        self.offsets.partition_point(|&o| o <= r) - 1
     }
 }
 
@@ -418,6 +530,82 @@ mod tests {
         assert_eq!(index.num_buckets(), 8);
         assert_eq!(index.total_pairs(), 0);
         assert!((0..8).all(|k| index.bucket(k).is_empty()));
+    }
+
+    #[test]
+    fn reassign_matches_assign_and_reuses_the_buffer() {
+        let mut reused = ColorLists::empty();
+        // Grow once, then reassign at equal-or-smaller sizes: contents
+        // must match a fresh assign exactly and the buffer must not grow.
+        reused.reassign(200, 0, 40, 6, 9, 1);
+        let cap = reused.colors.capacity();
+        for (n, base, palette, list, iter) in [
+            (200usize, 10u32, 40u32, 6u32, 2u64),
+            (150, 50, 30, 5, 3),
+            (40, 80, 8, 4, 4),
+        ] {
+            reused.reassign(n, base, palette, list, 9, iter);
+            let fresh = ColorLists::assign(n, base, palette, list, 9, iter);
+            assert_eq!(reused.colors, fresh.colors, "n={n} iter={iter}");
+            assert_eq!(reused.len(), fresh.len());
+            assert_eq!(reused.list_size(), fresh.list_size());
+            assert_eq!(reused.palette_base(), fresh.palette_base());
+            assert_eq!(reused.colors.capacity(), cap, "buffer must be reused");
+        }
+    }
+
+    #[test]
+    fn bucket_index_into_reuses_storage() {
+        let a = ColorLists::assign(100, 0, 25, 4, 3, 1);
+        let b = ColorLists::assign(80, 5, 20, 3, 4, 2);
+        let mut reused = a.bucket_index();
+        let caps = (reused.offsets.capacity(), reused.vertices.capacity());
+        b.bucket_index_into(&mut reused);
+        let fresh = b.bucket_index();
+        assert_eq!(reused.num_buckets(), fresh.num_buckets());
+        for k in 0..fresh.num_buckets() {
+            assert_eq!(reused.bucket(k), fresh.bucket(k), "bucket {k}");
+            assert_eq!(reused.color(k), fresh.color(k));
+        }
+        assert_eq!(
+            (reused.offsets.capacity(), reused.vertices.capacity()),
+            caps,
+            "index storage must be reused"
+        );
+    }
+
+    #[test]
+    fn bucket_load_summarizes_the_histogram() {
+        let lists = ColorLists::assign(150, 7, 30, 5, 11, 2);
+        let load = lists.bucket_load();
+        let index = lists.bucket_index();
+        assert_eq!(load.total_pairs, index.total_pairs());
+        let max = (0..index.num_buckets())
+            .map(|k| index.bucket(k).len())
+            .max()
+            .unwrap();
+        assert_eq!(load.max_bucket, max);
+        let active = (0..index.num_buckets())
+            .filter(|&k| index.bucket(k).len() >= 2)
+            .count();
+        assert_eq!(load.active_buckets, active);
+        // Degenerate empty input.
+        assert_eq!(ColorLists::empty().bucket_load(), BucketLoad::default());
+    }
+
+    #[test]
+    fn row_bucket_locates_every_flat_row() {
+        let lists = ColorLists::assign(60, 3, 17, 4, 5, 1);
+        let index = lists.bucket_index();
+        assert_eq!(index.num_rows(), 60 * 4);
+        let mut r = 0usize;
+        for k in 0..index.num_buckets() {
+            for _ in 0..index.bucket(k).len() {
+                assert_eq!(index.row_bucket(r), k, "row {r}");
+                r += 1;
+            }
+        }
+        assert_eq!(r, index.num_rows());
     }
 
     #[test]

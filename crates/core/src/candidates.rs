@@ -16,29 +16,42 @@
 //! sorts adjacency, every backend — and either engine — produces a
 //! bit-identical CSR graph.
 //!
-//! **Sharding.** A [`PairSource`] exposes its work as deterministic
-//! shards (rows for the all-pairs source, buckets for the bucketed one)
-//! with per-shard weights, so the rayon and device backends can schedule
-//! balanced blocks while keeping the sequential emission order within
-//! each shard. Candidates are emitted as `(pivot, run)` groups, which the
-//! builders feed to the batched oracle path
-//! ([`graph::EdgeOracle::has_edge_block`]) to amortize encoding loads.
+//! **Sharding.** A [`PairSource`] exposes its work at two granularities.
+//! *Shards* (rows for the all-pairs source, buckets for the bucketed
+//! one) carry per-shard weights so the rayon and device backends can
+//! schedule balanced blocks. *Flat pivot rows* subdivide shards further:
+//! every pivot vertex of every shard is one row, so a single bucket's
+//! pair triangle can be split across devices at row granularity —
+//! **sub-bucket sharding**, needed because contiguous bucket shards can
+//! be coarser than a device (a two-color palette has only two buckets).
+//! Candidates are emitted as `(pivot, run)` groups, which the builders
+//! feed to the batched oracle path
+//! ([`graph::EdgeOracle::has_edge_block_scratch`]) to amortize encoding
+//! loads.
 //!
 //! **Engine choice.** In the Aggressive regime (`L` close to `P`) every
 //! bucket degenerates toward the full vertex set and the bucketed scan
-//! would examine *more* pairs than all-pairs. [`CandidateEngine::choose`]
-//! compares the two totals and picks the cheaper enumeration; the choice
-//! is a pure function of the lists, so all backends agree on it.
+//! would examine *more* pairs than all-pairs.
+//! [`CandidateEngine::prefers_buckets`] compares the two totals from the
+//! counts histogram alone; the choice is a pure function of the lists,
+//! so all backends agree on it. The engine itself no longer owns the
+//! inverted index: the solver's
+//! [`IterationContext`](crate::iteration::IterationContext) builds the
+//! index at most once per iteration and lends it to every backend via
+//! [`CandidateEngine::with_index`].
 
 use crate::assign::{BucketIndex, ColorLists};
+use std::ops::Range;
 
 /// A deterministic, sharded source of candidate pairs.
 ///
-/// Contract: across all shards, each unordered pair `{u, v}` with
-/// intersecting color lists is emitted exactly once, as `u` paired with
-/// an ascending run containing `v` (or vice versa), and never any pair
-/// with disjoint lists. Shard contents and order are pure functions of
-/// the lists, never of scheduling.
+/// Contract: across all shards (equivalently, across all flat rows),
+/// each unordered pair `{u, v}` with intersecting color lists is emitted
+/// exactly once, as `u` paired with an ascending run containing `v` (or
+/// vice versa), and never any pair with disjoint lists. Shard and row
+/// contents and order are pure functions of the lists, never of
+/// scheduling, and `scan_rows` over any partition of `0..num_rows()`
+/// emits exactly the pairs of a full shard scan.
 pub trait PairSource: Sync {
     /// Vertex count `m` of the underlying live set.
     fn num_vertices(&self) -> usize;
@@ -58,6 +71,31 @@ pub trait PairSource: Sync {
     /// run)` groups. The run slice is only valid for the duration of the
     /// callback.
     fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize]));
+
+    /// Total pivot rows in the flattened row space (the sub-bucket
+    /// sharding granularity). Defaults to one row per shard.
+    fn num_rows(&self) -> usize {
+        self.num_shards()
+    }
+
+    /// Enumeration weights of all flat rows, in row order; sums to
+    /// [`PairSource::candidate_pairs`]. Defaults to the per-shard
+    /// weights (one row per shard).
+    fn row_weights(&self) -> Vec<u64> {
+        (0..self.num_shards())
+            .map(|s| self.shard_weight(s))
+            .collect()
+    }
+
+    /// Emits the candidates of the contiguous flat rows `rows`, in row
+    /// order. Defaults to scanning whole shards (valid when one shard is
+    /// one row); bucketed sources override it to split a bucket's pair
+    /// triangle mid-bucket.
+    fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
+        for s in rows {
+            self.scan_shard(s, emit);
+        }
+    }
 }
 
 /// The legacy reference enumeration: every row `i` against every `j > i`,
@@ -109,22 +147,53 @@ impl PairSource for AllPairsSource<'_> {
 }
 
 /// The bucketed engine: shards are palette buckets; in-bucket pairs pass
-/// the smallest-shared-color deduplication filter before emission.
+/// the smallest-shared-color deduplication filter before emission. The
+/// inverted index is **borrowed** — it is built once per iteration by
+/// the owning [`IterationContext`](crate::iteration::IterationContext)
+/// and shared by every backend of that iteration.
 pub struct BucketSource<'a> {
     lists: &'a ColorLists,
-    index: BucketIndex,
+    index: &'a BucketIndex,
 }
 
 impl<'a> BucketSource<'a> {
-    /// Builds the inverted index and wraps it.
-    pub fn new(lists: &'a ColorLists) -> BucketSource<'a> {
-        let index = lists.bucket_index();
+    /// Wraps the iteration's lists and their (externally built) inverted
+    /// index. `index` must be `lists.bucket_index()` of these exact
+    /// lists.
+    pub fn new(lists: &'a ColorLists, index: &'a BucketIndex) -> BucketSource<'a> {
+        debug_assert_eq!(index.num_rows(), lists.len() * lists.list_size());
         BucketSource { lists, index }
     }
 
     /// The underlying inverted index (for device budget accounting).
-    pub fn index(&self) -> &BucketIndex {
-        &self.index
+    pub fn index(&self) -> &'a BucketIndex {
+        self.index
+    }
+
+    /// Emits pivot positions `positions` of bucket `k`, reusing `run` as
+    /// the candidate staging buffer.
+    fn scan_positions(
+        &self,
+        k: usize,
+        positions: Range<usize>,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        let color = self.index.color(k);
+        let bucket = self.index.bucket(k);
+        for a in positions {
+            let u = bucket[a];
+            run.clear();
+            for &v in &bucket[a + 1..] {
+                // Emit only from the smallest shared color's bucket.
+                if self.lists.first_common(u as usize, v as usize) == Some(color) {
+                    run.push(v as usize);
+                }
+            }
+            if !run.is_empty() {
+                emit(u as usize, run);
+            }
+        }
     }
 }
 
@@ -149,27 +218,54 @@ impl PairSource for BucketSource<'_> {
     }
 
     fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
-        let color = self.index.color(s);
-        let bucket = self.index.bucket(s);
         let mut run: Vec<usize> = Vec::new();
-        for (a, &u) in bucket.iter().enumerate() {
-            run.clear();
-            for &v in &bucket[a + 1..] {
-                // Emit only from the smallest shared color's bucket.
-                if self.lists.first_common(u as usize, v as usize) == Some(color) {
-                    run.push(v as usize);
-                }
+        self.scan_positions(s, 0..self.index.bucket(s).len(), &mut run, emit);
+    }
+
+    #[inline]
+    fn num_rows(&self) -> usize {
+        self.index.num_rows()
+    }
+
+    fn row_weights(&self) -> Vec<u64> {
+        let mut weights = Vec::with_capacity(self.index.num_rows());
+        for k in 0..self.index.num_buckets() {
+            let len = self.index.bucket(k).len();
+            weights.extend((0..len).map(|a| (len - 1 - a) as u64));
+        }
+        weights
+    }
+
+    /// Sub-bucket scan: `rows` may start and end mid-bucket, splitting a
+    /// bucket's pair triangle between callers while every pivot row is
+    /// still scanned by exactly one of them.
+    fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut run: Vec<usize> = Vec::new();
+        let mut k = self.index.row_bucket(rows.start);
+        let mut r = rows.start;
+        while r < rows.end {
+            let (bs, be) = (self.index.bucket_start(k), self.index.bucket_start(k + 1));
+            if r >= be {
+                k += 1;
+                continue;
             }
-            if !run.is_empty() {
-                emit(u as usize, &run);
-            }
+            let hi = rows.end.min(be) - bs;
+            self.scan_positions(k, (r - bs)..hi, &mut run, emit);
+            r = bs + hi;
+            k += 1;
         }
     }
 }
 
 /// The engine actually used by the bucketed backends: the cheaper of the
-/// two enumerations for this iteration's lists. A pure function of the
-/// lists, so sequential, parallel and device builds always agree.
+/// two enumerations for this iteration's lists. The decision
+/// ([`CandidateEngine::prefers_buckets`]) is a pure function of the
+/// lists, so sequential, parallel, device and multi-device builds always
+/// agree; the index itself is owned by the iteration context and lent
+/// in.
 pub enum CandidateEngine<'a> {
     /// Bucketed scan was cheaper (the Normal regime).
     Buckets(BucketSource<'a>),
@@ -179,16 +275,34 @@ pub enum CandidateEngine<'a> {
 }
 
 impl<'a> CandidateEngine<'a> {
-    /// Compares the two enumeration totals (the bucketed one via the
-    /// counts-histogram shortcut [`ColorLists::bucket_pair_total`], so
-    /// the fallback path never pays the index scatter) and builds the
-    /// inverted index only when the bucketed scan wins.
-    pub fn choose(lists: &'a ColorLists) -> CandidateEngine<'a> {
-        let m = lists.len() as u64;
-        if lists.bucket_pair_total() < m * m.saturating_sub(1) / 2 {
-            CandidateEngine::Buckets(BucketSource::new(lists))
-        } else {
-            CandidateEngine::AllPairs(AllPairsSource::new(lists))
+    /// The engine-decision formula, shared by every caller (this
+    /// predicate and the iteration context): the bucketed scan wins iff
+    /// its `Σ|B_c|(|B_c|−1)/2` enumeration beats the all-pairs
+    /// `m(m−1)/2`.
+    pub fn bucketed_is_cheaper(bucket_pairs: u64, m: usize) -> bool {
+        let m = m as u64;
+        bucket_pairs < m * m.saturating_sub(1) / 2
+    }
+
+    /// Whether the bucketed scan examines fewer pairs than all-pairs for
+    /// these lists — computed from the counts histogram
+    /// ([`ColorLists::bucket_pair_total`]), so rejecting the bucketed
+    /// scan never pays the index scatter.
+    pub fn prefers_buckets(lists: &ColorLists) -> bool {
+        Self::bucketed_is_cheaper(lists.bucket_pair_total(), lists.len())
+    }
+
+    /// Assembles the engine from the iteration context's decision:
+    /// `Some(index)` when the bucketed scan was selected (the index was
+    /// built once for this iteration), `None` for the all-pairs
+    /// fallback.
+    pub fn with_index(
+        lists: &'a ColorLists,
+        index: Option<&'a BucketIndex>,
+    ) -> CandidateEngine<'a> {
+        match index {
+            Some(index) => CandidateEngine::Buckets(BucketSource::new(lists, index)),
+            None => CandidateEngine::AllPairs(AllPairsSource::new(lists)),
         }
     }
 
@@ -198,8 +312,9 @@ impl<'a> CandidateEngine<'a> {
     }
 
     /// The bucket index, when the bucketed scan was selected (the device
-    /// backend charges its bytes to the budget).
-    pub fn index(&self) -> Option<&BucketIndex> {
+    /// backends charge its bytes — once per device replica — to the
+    /// budget).
+    pub fn index(&self) -> Option<&'a BucketIndex> {
         match self {
             CandidateEngine::Buckets(b) => Some(b.index()),
             CandidateEngine::AllPairs(_) => None,
@@ -242,6 +357,27 @@ impl PairSource for CandidateEngine<'_> {
             CandidateEngine::AllPairs(src) => src.scan_shard(s, emit),
         }
     }
+
+    fn num_rows(&self) -> usize {
+        match self {
+            CandidateEngine::Buckets(s) => s.num_rows(),
+            CandidateEngine::AllPairs(s) => s.num_rows(),
+        }
+    }
+
+    fn row_weights(&self) -> Vec<u64> {
+        match self {
+            CandidateEngine::Buckets(s) => s.row_weights(),
+            CandidateEngine::AllPairs(s) => s.row_weights(),
+        }
+    }
+
+    fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_rows(rows, emit),
+            CandidateEngine::AllPairs(src) => src.scan_rows(rows, emit),
+        }
+    }
 }
 
 /// Collects a source's emissions into a sorted pair set (test helper and
@@ -277,6 +413,17 @@ mod tests {
         out
     }
 
+    fn collect_rows<S: PairSource>(source: &S, rows: Range<usize>) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        source.scan_rows(rows, &mut |u, vs| {
+            for &v in vs {
+                let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+                pairs.push((a, b));
+            }
+        });
+        pairs
+    }
+
     #[test]
     fn bucket_source_emits_each_intersecting_pair_exactly_once() {
         for (n, palette, list, seed) in [
@@ -286,7 +433,8 @@ mod tests {
             (25, 5, 5, 4),
         ] {
             let lists = ColorLists::assign(n, 10, palette, list, seed, 1);
-            let bucketed = collect_pairs(&BucketSource::new(&lists));
+            let index = lists.bucket_index();
+            let bucketed = collect_pairs(&BucketSource::new(&lists, &index));
             // No duplicates survived deduplication.
             let mut dedup = bucketed.clone();
             dedup.dedup();
@@ -313,14 +461,17 @@ mod tests {
     fn engine_prefers_buckets_in_the_sparse_regime() {
         // Normal-like: L ≪ P — bucketed wins.
         let sparse = ColorLists::assign(200, 0, 64, 4, 7, 1);
-        let engine = CandidateEngine::choose(&sparse);
+        assert!(CandidateEngine::prefers_buckets(&sparse));
+        let index = sparse.bucket_index();
+        let engine = CandidateEngine::with_index(&sparse, Some(&index));
         assert!(engine.is_bucketed());
         assert!(engine.index().is_some());
         assert!(engine.candidate_pairs() < 200 * 199 / 2);
         // Degenerate: L = P — every bucket is the whole vertex set, so
         // the engine falls back to the all-pairs scan.
         let dense = ColorLists::assign(200, 0, 4, 4, 7, 1);
-        let engine = CandidateEngine::choose(&dense);
+        assert!(!CandidateEngine::prefers_buckets(&dense));
+        let engine = CandidateEngine::with_index(&dense, None);
         assert!(!engine.is_bucketed());
         assert!(engine.index().is_none());
         assert_eq!(engine.candidate_pairs(), 200 * 199 / 2);
@@ -329,7 +480,8 @@ mod tests {
     #[test]
     fn engine_emission_is_identical_for_both_choices() {
         let lists = ColorLists::assign(80, 3, 16, 4, 11, 2);
-        let a = collect_pairs(&BucketSource::new(&lists));
+        let index = lists.bucket_index();
+        let a = collect_pairs(&BucketSource::new(&lists, &index));
         let b = collect_pairs(&AllPairsSource::new(&lists));
         assert_eq!(a, b);
     }
@@ -338,14 +490,19 @@ mod tests {
     fn shard_weights_sum_to_candidate_pairs() {
         for (palette, list) in [(30u32, 4u32), (6, 6), (50, 2)] {
             let lists = ColorLists::assign(100, 0, palette, list, 3, 1);
+            let index = lists.bucket_index();
             for source in [
-                CandidateEngine::Buckets(BucketSource::new(&lists)),
+                CandidateEngine::Buckets(BucketSource::new(&lists, &index)),
                 CandidateEngine::AllPairs(AllPairsSource::new(&lists)),
             ] {
                 let sum: u64 = (0..source.num_shards())
                     .map(|s| source.shard_weight(s))
                     .sum();
                 assert_eq!(sum, source.candidate_pairs());
+                // Flat rows refine shards: same total at finer grain.
+                let rows = source.row_weights();
+                assert_eq!(rows.len(), source.num_rows());
+                assert_eq!(rows.iter().sum::<u64>(), source.candidate_pairs());
             }
         }
     }
@@ -353,12 +510,54 @@ mod tests {
     #[test]
     fn runs_are_ascending_and_pivot_free() {
         let lists = ColorLists::assign(60, 0, 15, 3, 9, 1);
-        let source = BucketSource::new(&lists);
+        let index = lists.bucket_index();
+        let source = BucketSource::new(&lists, &index);
         for s in 0..source.num_shards() {
             source.scan_shard(s, &mut |u, vs| {
                 assert!(vs.windows(2).all(|w| w[0] < w[1]));
                 assert!(vs.iter().all(|&v| v > u));
             });
+        }
+    }
+
+    #[test]
+    fn row_scans_partition_the_emission_at_any_cut() {
+        // Splitting the flat row space anywhere — including mid-bucket —
+        // must reproduce the full scan exactly: the sub-bucket sharding
+        // correctness contract.
+        for (n, palette, list, seed) in
+            [(50usize, 12u32, 4u32, 1u64), (70, 2, 2, 2), (30, 30, 3, 3)]
+        {
+            let lists = ColorLists::assign(n, 5, palette, list, seed, 1);
+            let index = lists.bucket_index();
+            for source in [
+                CandidateEngine::Buckets(BucketSource::new(&lists, &index)),
+                CandidateEngine::AllPairs(AllPairsSource::new(&lists)),
+            ] {
+                let mut full = collect_pairs(&source);
+                full.sort_unstable();
+                let rows = source.num_rows();
+                for parts in [1usize, 2, 3, 7] {
+                    let mut merged = Vec::new();
+                    let step = rows.div_ceil(parts).max(1);
+                    let mut at = 0usize;
+                    while at < rows {
+                        let hi = (at + step).min(rows);
+                        merged.extend(collect_rows(&source, at..hi));
+                        at = hi;
+                    }
+                    merged.sort_unstable();
+                    assert_eq!(
+                        merged,
+                        full,
+                        "n={n} palette={palette} parts={parts} bucketed={}",
+                        source.is_bucketed()
+                    );
+                }
+                // Degenerate cuts.
+                assert!(collect_rows(&source, 0..0).is_empty());
+                assert_eq!(collect_rows(&source, 0..rows).len(), full.len());
+            }
         }
     }
 }

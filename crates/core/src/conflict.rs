@@ -5,12 +5,20 @@
 //! of the (implicit) graph being colored **and** the two vertices share a
 //! list color. The full graph is never materialized.
 //!
+//! # The iteration context
+//!
+//! Every builder draws from the solver's
+//! [`IterationContext`](crate::iteration::IterationContext): the color
+//! lists, the shared [`BucketIndex`](crate::assign::BucketIndex) (built
+//! at most once per iteration, lent to every backend), and the reusable
+//! scratch arenas (COO staging, oracle hit vectors, live-view remapping
+//! buffers) that persist across iterations.
+//!
 //! # Candidate enumeration
 //!
 //! Only pairs sharing a list color can become conflict edges, so the
 //! builders do not scan all `m(m−1)/2` pairs: they walk the palette's
-//! inverted index `color → sorted vertex bucket`
-//! ([`crate::assign::ColorLists::bucket_index`]) and examine in-bucket
+//! inverted index `color → sorted vertex bucket` and examine in-bucket
 //! pairs only ([`crate::candidates`]). A pair sharing several colors is
 //! emitted once, from the bucket of its *smallest* shared color, so the
 //! emitted pair set equals the all-pairs scan's `intersects ∧ oracle`
@@ -24,15 +32,17 @@
 //!
 //! # Determinism
 //!
-//! Three backends — sequential, rayon-parallel and simulated-device —
-//! are required to produce **identical** CSR graphs (the paper: "our GPU
+//! All engine-driven backends — sequential, rayon-parallel,
+//! simulated-device and sub-bucket-sharded multi-device — are required
+//! to produce **identical** CSR graphs (the paper: "our GPU
 //! implementation produces exactly the same coloring as the CPU-only one
 //! because the conflict graph construction is deterministic"). The
 //! argument: the emitted pair *set* is a pure function of the lists
 //! (smallest-shared-color deduplication is scheduling-independent), the
 //! oracle is pure, and CSR assembly counts both endpoints and sorts each
-//! adjacency slice — so any edge order produced by any scheduling
-//! collapses to the same bit-identical CSR.
+//! adjacency slice — so any edge order produced by any scheduling (or
+//! any partition of the flat pivot-row space across devices) collapses
+//! to the same bit-identical CSR.
 //!
 //! Each build reports `candidate_pairs`, the oracle-independent
 //! enumeration work it performed (all-pairs: `m(m−1)/2`; bucketed: the
@@ -40,7 +50,8 @@
 //! bench compares across engines.
 
 use crate::assign::ColorLists;
-use crate::candidates::{CandidateEngine, PairSource};
+use crate::candidates::PairSource;
+use crate::iteration::{IterationContext, IterationScratch};
 use device::{DeviceError, DeviceSim};
 use graph::{csr_from_coo_parallel, csr_from_coo_sequential, CsrGraph, EdgeOracle};
 use rayon::prelude::*;
@@ -63,20 +74,23 @@ pub struct ConflictBuild {
     pub csr_on_device: Option<bool>,
 }
 
-/// Runs one shard's candidates through the batched oracle path, pushing
-/// hits as `(u, v)` pairs via `push`.
+/// Runs the candidates of contiguous flat rows `rows` through the
+/// batched-with-scratch oracle path, pushing hits as `(u, v)` pairs via
+/// `push`. `hits` and `mapped` are caller-owned arenas (context scratch
+/// on single-threaded paths, per-task locals on parallel ones).
 #[inline]
-fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
+fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     oracle: &O,
     source: &S,
-    shard: usize,
+    rows: std::ops::Range<usize>,
     hits: &mut Vec<bool>,
+    mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
-    source.scan_shard(shard, &mut |u, vs| {
+    source.scan_rows(rows, &mut |u, vs| {
         hits.clear();
         hits.resize(vs.len(), false);
-        oracle.has_edge_block(u, vs, hits);
+        oracle.has_edge_block_scratch(u, vs, hits, mapped);
         for (&v, &hit) in vs.iter().zip(hits.iter()) {
             if hit {
                 push(u as u32, v as u32);
@@ -85,19 +99,54 @@ fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     });
 }
 
-/// Sequential bucketed build.
-pub fn build_sequential<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
-    let m = oracle.num_vertices();
-    debug_assert_eq!(m, lists.len());
-    let engine = CandidateEngine::choose(lists);
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let mut hits: Vec<bool> = Vec::new();
-    for s in 0..engine.num_shards() {
-        scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| edges.push((u, v)));
-    }
+/// Like [`scan_rows_edges`] but over one whole shard — the granularity
+/// of the rayon- and single-device-parallel paths.
+#[inline]
+fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
+    oracle: &O,
+    source: &S,
+    shard: usize,
+    hits: &mut Vec<bool>,
+    mapped: &mut Vec<usize>,
+    mut push: impl FnMut(u32, u32),
+) {
+    source.scan_shard(shard, &mut |u, vs| {
+        hits.clear();
+        hits.resize(vs.len(), false);
+        oracle.has_edge_block_scratch(u, vs, hits, mapped);
+        for (&v, &hit) in vs.iter().zip(hits.iter()) {
+            if hit {
+                push(u as u32, v as u32);
+            }
+        }
+    });
+}
+
+/// Sequential bucketed build: one pass over the flat pivot-row space,
+/// with the COO/hit/remap arenas drawn from the context — steady-state
+/// iterations allocate only the output CSR plus the scan's single run
+/// staging buffer.
+pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
+    let (engine, scratch) = ctx.engine_and_scratch();
+    let m = engine.num_vertices();
+    debug_assert_eq!(m, oracle.num_vertices());
+    let IterationScratch {
+        edges,
+        hits,
+        mapped,
+    } = scratch;
+    edges.clear();
+    scan_rows_edges(
+        oracle,
+        &engine,
+        0..engine.num_rows(),
+        hits,
+        mapped,
+        |u, v| edges.push((u, v)),
+    );
     let num_edges = edges.len();
     ConflictBuild {
-        graph: csr_from_coo_sequential(m, &edges),
+        graph: csr_from_coo_sequential(m, edges),
         num_edges,
         candidate_pairs: engine.candidate_pairs(),
         csr_on_device: None,
@@ -107,11 +156,17 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> Confli
 /// The legacy all-pairs reference implementation
 /// ([`crate::ConflictBackend::AllPairs`]): a verbatim `Θ(m²)` scalar
 /// scan, kept as the independent ground truth the bucketed backends are
-/// validated against.
-pub fn build_sequential_allpairs<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
+/// validated against. Ignores the engine (and never builds the shared
+/// index); only the context's COO arena is reused.
+pub fn build_sequential_allpairs<O: EdgeOracle>(
+    oracle: &O,
+    ctx: &mut IterationContext,
+) -> ConflictBuild {
+    let (lists, scratch) = ctx.lists_and_scratch();
     let m = oracle.num_vertices();
     debug_assert_eq!(m, lists.len());
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let edges = &mut scratch.edges;
+    edges.clear();
     for i in 0..m {
         for j in (i + 1)..m {
             if lists.intersects(i, j) && oracle.has_edge(i, j) {
@@ -122,7 +177,7 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(oracle: &O, lists: &ColorLists) 
     let num_edges = edges.len();
     let m64 = m as u64;
     ConflictBuild {
-        graph: csr_from_coo_sequential(m, &edges),
+        graph: csr_from_coo_sequential(m, edges),
         num_edges,
         candidate_pairs: m64 * m64.saturating_sub(1) / 2,
         csr_on_device: None,
@@ -132,16 +187,19 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(oracle: &O, lists: &ColorLists) 
 /// Rayon-parallel bucketed build: shards (buckets) are scanned in
 /// parallel with per-shard edge buffers; rayon's ordered collect keeps
 /// the edge order identical to the sequential build.
-pub fn build_parallel<O: EdgeOracle>(oracle: &O, lists: &ColorLists) -> ConflictBuild {
-    let m = oracle.num_vertices();
-    debug_assert_eq!(m, lists.len());
-    let engine = CandidateEngine::choose(lists);
+pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
+    let (engine, _scratch) = ctx.engine_and_scratch();
+    let m = engine.num_vertices();
+    debug_assert_eq!(m, oracle.num_vertices());
     let edges: Vec<(u32, u32)> = (0..engine.num_shards())
         .into_par_iter()
         .flat_map_iter(|s| {
             let mut local: Vec<(u32, u32)> = Vec::new();
             let mut hits: Vec<bool> = Vec::new();
-            scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| local.push((u, v)));
+            let mut mapped: Vec<usize> = Vec::new();
+            scan_shard_edges(oracle, &engine, s, &mut hits, &mut mapped, |u, v| {
+                local.push((u, v))
+            });
             local
         })
         .collect();
@@ -188,12 +246,13 @@ pub fn device_input_bytes_per_vertex(num_qubits: usize, list_size: usize) -> usi
 /// failure the paper reports for its largest instance on the 40 GB A100.
 pub fn build_device<O: EdgeOracle>(
     oracle: &O,
-    lists: &ColorLists,
+    ctx: &mut IterationContext,
     dev: &DeviceSim,
     input_bytes_per_vertex: usize,
 ) -> Result<ConflictBuild, DeviceError> {
-    let m = oracle.num_vertices();
-    debug_assert_eq!(m, lists.len());
+    let (engine, scratch) = ctx.engine_and_scratch();
+    let m = engine.num_vertices();
+    debug_assert_eq!(m, oracle.num_vertices());
     if m == 0 {
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(0),
@@ -223,9 +282,8 @@ pub fn build_device<O: EdgeOracle>(
         });
     }
 
-    // (3) The candidate engine; a bucketed choice makes the inverted
-    // index device-resident input, charged and uploaded like the rest.
-    let engine = CandidateEngine::choose(lists);
+    // (3) A bucketed engine choice makes the shared inverted index
+    // device-resident input, charged and uploaded like the rest.
     let candidate_pairs = engine.candidate_pairs();
     let _index_buf = match engine.index() {
         Some(index) => {
@@ -277,8 +335,9 @@ pub fn build_device<O: EdgeOracle>(
         dev.launch_weighted_blocks(&weights, num_blocks, |_b, shards| {
             let mut staged: Vec<u32> = Vec::new();
             let mut hits: Vec<bool> = Vec::new();
+            let mut mapped: Vec<usize> = Vec::new();
             for s in shards {
-                scan_shard_edges(oracle, &engine, s, &mut hits, |u, v| {
+                scan_shard_edges(oracle, &engine, s, &mut hits, &mut mapped, |u, v| {
                     staged.push(u);
                     staged.push(v);
                 });
@@ -305,26 +364,30 @@ pub fn build_device<O: EdgeOracle>(
     let used_slots = cursor.load(Ordering::Relaxed);
     let num_edges = used_slots / 2;
 
-    // Canonicalize: block scheduling perturbs edge order, but CSR
-    // construction sorts adjacency, so the result is order-independent.
-    let mut edges: Vec<(u32, u32)> = edge_buf.as_slice()[..used_slots]
-        .chunks_exact(2)
-        .map(|p| (p[0], p[1]))
-        .collect();
+    // Canonicalize into the context's COO arena: block scheduling
+    // perturbs edge order, but CSR construction sorts adjacency, so the
+    // result is order-independent.
+    let edges = &mut scratch.edges;
+    edges.clear();
+    edges.extend(
+        edge_buf.as_slice()[..used_slots]
+            .chunks_exact(2)
+            .map(|p| (p[0], p[1])),
+    );
 
     // (6) CSR placement decision (Line 5 of Algorithm 3, `|Ecoo| <=
     // AvailMem/2`): the CSR stores each edge twice; build it on-device
     // only if those entries fit in the memory still available *next to*
-    // the COO arena. (The arena is now capped at 2·candidate_pairs
-    // slots, so it no longer stands in for "all remaining memory" the
-    // way the legacy 2·m·(m−1) allocation did.)
+    // the COO arena. (The arena is capped at 2·candidate_pairs slots, so
+    // it no longer stands in for "all remaining memory" the way the
+    // legacy 2·m·(m−1) allocation did.)
     let csr_entries = 2 * num_edges;
     let on_device = csr_entries * std::mem::size_of::<u32>() <= dev.available_bytes();
     let graph = if on_device {
         let _csr_buf = dev.alloc::<u32>(csr_entries.max(1));
         match _csr_buf {
             Ok(_buf) => {
-                let g = csr_from_coo_parallel(m, &edges);
+                let g = csr_from_coo_parallel(m, edges);
                 dev.note_d2h(csr_entries * std::mem::size_of::<u32>());
                 g
             }
@@ -334,7 +397,7 @@ pub fn build_device<O: EdgeOracle>(
                 dev.note_d2h(used_slots * std::mem::size_of::<u32>());
                 edges.sort_unstable();
                 return Ok(ConflictBuild {
-                    graph: csr_from_coo_sequential(m, &edges),
+                    graph: csr_from_coo_sequential(m, edges),
                     num_edges,
                     candidate_pairs,
                     csr_on_device: Some(false),
@@ -344,7 +407,7 @@ pub fn build_device<O: EdgeOracle>(
     } else {
         dev.note_d2h(used_slots * std::mem::size_of::<u32>());
         edges.sort_unstable();
-        csr_from_coo_sequential(m, &edges)
+        csr_from_coo_sequential(m, edges)
     };
 
     Ok(ConflictBuild {
@@ -357,27 +420,175 @@ pub fn build_device<O: EdgeOracle>(
 
 /// Cuts `0..n` rows into `k` contiguous ranges with near-equal *pair*
 /// work: row `i` owns `n-1-i` candidate pairs, so equal-width cuts would
-/// leave the first shard with almost all the work.
+/// leave the first shard with almost all the work. Used by the
+/// row-sharded reference path.
 pub fn balanced_row_cuts(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
     let weights: Vec<u64> = (0..n).map(|i| (n - 1 - i) as u64).collect();
     device::balanced_weight_cuts(&weights, k)
 }
 
-/// Multi-device conflict construction — the paper's stated future work
+/// Multi-device conflict construction on the candidate engine with
+/// **sub-bucket sharding** — the paper's stated future work
 /// ("distributed multi-GPU parallel implementations"), implemented over
 /// the simulated devices.
 ///
-/// The row space is partitioned into one pair-balanced contiguous shard
-/// per device; every device holds a replica of the (small) encoded input
-/// and builds the edge list for its own rows under its own memory
-/// budget. Edge lists are merged on the host and the CSR assembled
-/// there. Produces a graph identical to every other backend.
+/// The engine's flat pivot-row space (one row per bucket position for
+/// the bucketed engine, one per vertex row for the all-pairs fallback)
+/// is cut into one contiguous, pair-balanced span per device
+/// ([`device::balanced_weight_cuts`] over the per-row weights). A span
+/// may start and end *mid-bucket*: a single bucket's pair triangle
+/// splits across devices at row granularity, which is what lets a
+/// two-color palette (two buckets) still occupy eight devices.
 ///
-/// Still enumerates all pairs row-by-row: contiguous *bucket* shards can
-/// be coarser than a device (a two-color palette has only two buckets),
-/// so moving this path onto the bucketed engine needs sub-bucket
-/// sharding — tracked as a ROADMAP open item.
+/// Every device holds a replica of the encoded input **and of the shared
+/// bucket index**, both charged to its own Algorithm 3 budget; each
+/// device builds the edge list of its span under that budget
+/// ([`DeviceSim::launch_weighted_span`]). Edge lists are merged on the
+/// host (into the context's COO arena) and the CSR assembled there —
+/// bit-identical to every other backend for any device count.
 pub fn build_multi_device<O: EdgeOracle>(
+    oracle: &O,
+    ctx: &mut IterationContext,
+    devices: &[DeviceSim],
+    input_bytes_per_vertex: usize,
+) -> Result<ConflictBuild, DeviceError> {
+    assert!(!devices.is_empty(), "need at least one device");
+    let (engine, scratch) = ctx.engine_and_scratch();
+    let m = engine.num_vertices();
+    debug_assert_eq!(m, oracle.num_vertices());
+    if m < 2 {
+        return Ok(ConflictBuild {
+            graph: CsrGraph::empty(m),
+            num_edges: 0,
+            candidate_pairs: 0,
+            csr_on_device: Some(false),
+        });
+    }
+    let candidate_pairs = engine.candidate_pairs();
+    let row_weights = engine.row_weights();
+    let mut cuts = device::balanced_weight_cuts(&row_weights, devices.len());
+    // Every device participates (replica upload + kernel launch) even
+    // when the weight distribution needs fewer spans than devices.
+    let end = row_weights.len();
+    while cuts.len() < devices.len() {
+        cuts.push(end..end);
+    }
+    // The zip below truncates to `devices.len()` spans; a surplus range
+    // can only be the closing tail after the preceding ranges already
+    // covered the total weight, so it must carry zero pair work.
+    debug_assert!(
+        cuts.iter()
+            .skip(devices.len())
+            .all(|c| row_weights[c.clone()].iter().all(|&w| w == 0)),
+        "truncated span carries candidate pairs"
+    );
+
+    let edges = &mut scratch.edges;
+    edges.clear();
+    for (span, dev) in cuts.iter().zip(devices.iter()) {
+        // (1) Input replica, charged to this device's budget.
+        let input_bytes = m * input_bytes_per_vertex;
+        let _input = dev.alloc::<u8>(input_bytes)?;
+        dev.note_h2d(input_bytes);
+        // (2) Bucket-index replica: the shared index is built once on the
+        // host but uploaded to (and charged against) every device.
+        let _index_buf = match engine.index() {
+            Some(index) => {
+                let bytes = index.device_bytes();
+                let buf = dev.alloc::<u8>(bytes)?;
+                dev.note_h2d(bytes);
+                Some(buf)
+            }
+            None => None,
+        };
+        // (3) Edge-offset counters for the span's pivot rows.
+        let _counters = dev.alloc::<u8>(span.len() * 4)?;
+        let span_weights = &row_weights[span.clone()];
+        let span_pairs: u64 = span_weights.iter().sum();
+        if span_pairs == 0 {
+            // Idle span (or weight tail): the kernel still launches so
+            // per-iteration launch accounting is uniform across devices.
+            dev.launch_weighted_span(span_weights, span.start, 1, |_b, _rows| {});
+            continue;
+        }
+        // (4) COO arena, capped at two u32 slots per candidate pair of
+        // the span.
+        let worst_slots = 2u64.saturating_mul(span_pairs).min(usize::MAX as u64) as usize;
+        let avail_slots = dev.available_bytes() / std::mem::size_of::<u32>();
+        let edge_slots = worst_slots.min(avail_slots);
+        if edge_slots == 0 {
+            return Err(DeviceError::OutOfMemory {
+                requested: std::mem::size_of::<u32>(),
+                available: dev.available_bytes(),
+            });
+        }
+        let mut edge_buf = dev.alloc::<u32>(edge_slots)?;
+        let cursor = AtomicUsize::new(0);
+        let overflow = AtomicBool::new(false);
+        {
+            struct SendPtr(*mut u32);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let out = SendPtr(edge_buf.as_mut_slice().as_mut_ptr());
+            let out_ref = &out;
+            let num_blocks = rayon::current_num_threads() * 2;
+            // (5) Triangle-sharded kernel: blocks own pair-balanced row
+            // ranges of this device's span (global row ids).
+            dev.launch_weighted_span(span_weights, span.start, num_blocks, |_b, rows| {
+                let mut staged: Vec<u32> = Vec::new();
+                let mut hits: Vec<bool> = Vec::new();
+                let mut mapped: Vec<usize> = Vec::new();
+                scan_rows_edges(oracle, &engine, rows, &mut hits, &mut mapped, |u, v| {
+                    staged.push(u);
+                    staged.push(v);
+                });
+                if staged.is_empty() {
+                    return;
+                }
+                let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
+                if at + staged.len() > edge_slots {
+                    overflow.store(true, Ordering::Relaxed);
+                    return;
+                }
+                unsafe {
+                    std::ptr::copy_nonoverlapping(staged.as_ptr(), out_ref.0.add(at), staged.len());
+                }
+            });
+        }
+        if overflow.load(Ordering::Relaxed) {
+            return Err(DeviceError::OutOfMemory {
+                requested: cursor.load(Ordering::Relaxed) * std::mem::size_of::<u32>(),
+                available: edge_slots * std::mem::size_of::<u32>(),
+            });
+        }
+        let used = cursor.load(Ordering::Relaxed);
+        dev.note_d2h(used * std::mem::size_of::<u32>());
+        // Host-side merge straight into the context's COO arena — no
+        // per-device intermediate.
+        edges.extend(
+            edge_buf.as_slice()[..used]
+                .chunks_exact(2)
+                .map(|p| (p[0], p[1])),
+        );
+    }
+
+    // Sorting makes the merge order-independent before CSR assembly.
+    edges.sort_unstable();
+    let num_edges = edges.len();
+    Ok(ConflictBuild {
+        graph: csr_from_coo_parallel(m, edges),
+        num_edges,
+        candidate_pairs,
+        csr_on_device: Some(false),
+    })
+}
+
+/// The legacy row-sharded multi-device build, kept **only as a test and
+/// bench reference** for [`build_multi_device`]: it enumerates all pairs
+/// row-by-row (no candidate engine, no index replica) with one
+/// pair-balanced contiguous row shard per device. The `conflict_build`
+/// bench measures the gap between the two.
+pub fn build_multi_device_rowsharded<O: EdgeOracle>(
     oracle: &O,
     lists: &ColorLists,
     devices: &[DeviceSim],
@@ -396,8 +607,6 @@ pub fn build_multi_device<O: EdgeOracle>(
     }
     let cuts = balanced_row_cuts(m, devices.len());
 
-    // Each shard runs the same budget discipline as `build_device`, minus
-    // the CSR placement step (assembly is a host-side merge).
     let shard_edges: Vec<Result<Vec<(u32, u32)>, DeviceError>> = cuts
         .iter()
         .zip(devices.iter().cycle())
@@ -498,16 +707,25 @@ mod tests {
         FnOracle::new(m, |u, v| (u * 31 + v * 17 + u * v) % 2 == 0)
     }
 
+    fn ctx_for(lists: &ColorLists) -> IterationContext {
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(lists.clone());
+        ctx
+    }
+
     #[test]
     fn sequential_and_parallel_agree() {
         for m in [0usize, 1, 2, 17, 64, 130] {
             let oracle = dense_oracle(m);
             let lists = ColorLists::assign(m, 0, (m as u32 / 4).max(2), 3, 5, 0);
-            let a = build_sequential(&oracle, &lists);
-            let b = build_parallel(&oracle, &lists);
+            let mut ctx = ctx_for(&lists);
+            let a = build_sequential(&oracle, &mut ctx);
+            let b = build_parallel(&oracle, &mut ctx);
             assert_eq!(a.graph, b.graph, "m={m}");
             assert_eq!(a.num_edges, b.num_edges);
             assert_eq!(a.candidate_pairs, b.candidate_pairs);
+            // Both builds drew from one shared index build.
+            assert!(ctx.index_builds() <= 1);
         }
     }
 
@@ -517,9 +735,10 @@ mod tests {
             for (palette, list) in [(2u32, 2u32), (16, 3), (64, 5)] {
                 let oracle = dense_oracle(m);
                 let lists = ColorLists::assign(m, 7, palette, list, 11, 2);
-                let reference = build_sequential_allpairs(&oracle, &lists);
-                let seq = build_sequential(&oracle, &lists);
-                let par = build_parallel(&oracle, &lists);
+                let mut ctx = ctx_for(&lists);
+                let reference = build_sequential_allpairs(&oracle, &mut ctx);
+                let seq = build_sequential(&oracle, &mut ctx);
+                let par = build_parallel(&oracle, &mut ctx);
                 assert_eq!(reference.graph, seq.graph, "m={m} P={palette} L={list}");
                 assert_eq!(reference.graph, par.graph, "m={m} P={palette} L={list}");
                 assert_eq!(reference.num_edges, seq.num_edges);
@@ -534,8 +753,9 @@ mod tests {
         let m = 400;
         let oracle = dense_oracle(m);
         let lists = ColorLists::assign(m, 0, 50, 4, 3, 0);
-        let bucketed = build_sequential(&oracle, &lists);
-        let reference = build_sequential_allpairs(&oracle, &lists);
+        let mut ctx = ctx_for(&lists);
+        let bucketed = build_sequential(&oracle, &mut ctx);
+        let reference = build_sequential_allpairs(&oracle, &mut ctx);
         assert_eq!(bucketed.graph, reference.graph);
         assert!(
             bucketed.candidate_pairs < reference.candidate_pairs,
@@ -550,15 +770,17 @@ mod tests {
         for m in [1usize, 8, 50, 120] {
             let oracle = dense_oracle(m);
             let lists = ColorLists::assign(m, 10, (m as u32 / 4).max(2), 3, 9, 1);
-            let host = build_parallel(&oracle, &lists);
+            let mut ctx = ctx_for(&lists);
+            let host = build_parallel(&oracle, &mut ctx);
             let dev = DeviceSim::new(64 * 1024 * 1024);
-            let devb = build_device(&oracle, &lists, &dev, 16).unwrap();
+            let devb = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
             assert_eq!(host.graph, devb.graph, "m={m}");
             assert_eq!(host.num_edges, devb.num_edges);
             if m >= 2 {
                 assert_eq!(host.candidate_pairs, devb.candidate_pairs, "m={m}");
             }
             assert!(devb.csr_on_device.is_some());
+            assert!(ctx.index_builds() <= 1, "index shared across backends");
         }
     }
 
@@ -567,7 +789,7 @@ mod tests {
         let m = 80;
         let oracle = dense_oracle(m);
         let lists = ColorLists::assign(m, 0, 10, 2, 3, 0);
-        let b = build_parallel(&oracle, &lists);
+        let b = build_parallel(&oracle, &mut ctx_for(&lists));
         for (u, v) in b.graph.edges() {
             assert!(oracle.has_edge(u as usize, v as usize));
             assert!(lists.intersects(u as usize, v as usize));
@@ -580,8 +802,8 @@ mod tests {
         let oracle = dense_oracle(m);
         let small_palette = ColorLists::assign(m, 0, 8, 4, 3, 0);
         let large_palette = ColorLists::assign(m, 0, 128, 4, 3, 0);
-        let a = build_parallel(&oracle, &small_palette);
-        let b = build_parallel(&oracle, &large_palette);
+        let a = build_parallel(&oracle, &mut ctx_for(&small_palette));
+        let b = build_parallel(&oracle, &mut ctx_for(&large_palette));
         assert!(
             b.num_edges < a.num_edges,
             "palette 128 ({}) should conflict less than palette 8 ({})",
@@ -598,7 +820,7 @@ mod tests {
         // edges; a 16 KiB device cannot hold them.
         let lists = ColorLists::assign(m, 0, 2, 2, 3, 0);
         let dev = DeviceSim::new(16 * 1024);
-        let err = build_device(&oracle, &lists, &dev, 16);
+        let err = build_device(&oracle, &mut ctx_for(&lists), &dev, 16);
         assert!(matches!(err, Err(DeviceError::OutOfMemory { .. })));
     }
 
@@ -608,7 +830,7 @@ mod tests {
         let oracle = dense_oracle(m);
         let lists = ColorLists::assign(m, 0, 8, 3, 1, 0);
         let dev = DeviceSim::new(8 * 1024 * 1024);
-        let _ = build_device(&oracle, &lists, &dev, 16).unwrap();
+        let _ = build_device(&oracle, &mut ctx_for(&lists), &dev, 16).unwrap();
         let stats = dev.stats();
         assert!(stats.h2d_bytes >= 60 * 16);
         assert!(stats.d2h_bytes > 0);
@@ -626,7 +848,7 @@ mod tests {
         let lists = ColorLists::assign(m, 0, 40, 3, 5, 0);
         let index_bytes = lists.bucket_index().device_bytes();
         let dev = DeviceSim::new(8 * 1024 * 1024);
-        let built = build_device(&oracle, &lists, &dev, 16).unwrap();
+        let built = build_device(&oracle, &mut ctx_for(&lists), &dev, 16).unwrap();
         assert!(built.candidate_pairs < (m as u64) * (m as u64 - 1) / 2);
         assert!(
             dev.stats().h2d_bytes >= m * 16 + index_bytes,
@@ -664,23 +886,80 @@ mod tests {
     }
 
     #[test]
-    fn multi_device_agrees_with_single_device() {
-        for num_devices in [1usize, 2, 4] {
+    fn multi_device_agrees_with_all_other_backends() {
+        for num_devices in [1usize, 2, 4, 8] {
             let m = 150;
             let oracle = dense_oracle(m);
             let lists = ColorLists::assign(m, 0, 20, 4, 7, 0);
-            let host = build_parallel(&oracle, &lists);
+            let mut ctx = ctx_for(&lists);
+            let host = build_parallel(&oracle, &mut ctx);
             let devices: Vec<DeviceSim> = (0..num_devices)
                 .map(|_| DeviceSim::new(16 * 1024 * 1024))
                 .collect();
-            let multi = build_multi_device(&oracle, &lists, &devices, 16).unwrap();
+            let multi = build_multi_device(&oracle, &mut ctx, &devices, 16).unwrap();
             assert_eq!(host.graph, multi.graph, "devices={num_devices}");
             assert_eq!(host.num_edges, multi.num_edges);
-            // Every device did real work (transfers recorded).
+            // Multi-device runs on the engine: enumeration accounting
+            // matches the other bucketed backends exactly.
+            assert_eq!(host.candidate_pairs, multi.candidate_pairs);
+            assert_eq!(ctx.index_builds(), 1, "one index for both backends");
+            // Every device did real work (transfers recorded) and every
+            // replica was charged the index bytes.
+            let index_bytes = lists.bucket_index().device_bytes();
             for d in &devices {
-                assert!(d.stats().h2d_bytes > 0);
+                assert!(
+                    d.stats().h2d_bytes >= m * 16 + index_bytes,
+                    "devices={num_devices}: replica h2d must include the index"
+                );
+                assert_eq!(d.stats().kernel_launches, 1);
                 assert_eq!(d.used_bytes(), 0, "buffers must be released");
             }
+        }
+    }
+
+    #[test]
+    fn multi_device_matches_rowsharded_reference() {
+        for num_devices in [1usize, 3] {
+            let m = 130;
+            let oracle = dense_oracle(m);
+            let lists = ColorLists::assign(m, 5, 25, 4, 9, 1);
+            let devices: Vec<DeviceSim> = (0..num_devices)
+                .map(|_| DeviceSim::new(16 * 1024 * 1024))
+                .collect();
+            let engine = build_multi_device(&oracle, &mut ctx_for(&lists), &devices, 16).unwrap();
+            let reference = build_multi_device_rowsharded(&oracle, &lists, &devices, 16).unwrap();
+            assert_eq!(engine.graph, reference.graph, "devices={num_devices}");
+            assert_eq!(engine.num_edges, reference.num_edges);
+            assert!(engine.candidate_pairs <= reference.candidate_pairs);
+        }
+    }
+
+    #[test]
+    fn sub_bucket_sharding_splits_coarse_buckets() {
+        // Two-color palette: only two buckets, but seven devices must all
+        // receive pair work — the degenerate case row sharding of buckets
+        // cannot handle.
+        let m = 120;
+        let oracle = dense_oracle(m);
+        // L=1 over P=2: two disjoint buckets, each ~m/2 deep; the
+        // bucketed engine wins (Σ|B|² / 2 ≈ m²/4 < m²/2).
+        let lists = ColorLists::assign(m, 0, 2, 1, 3, 0);
+        let mut ctx = ctx_for(&lists);
+        assert!(ctx.prefers_buckets(), "two sparse buckets beat all-pairs");
+        let host = build_sequential(&oracle, &mut ctx);
+        let devices: Vec<DeviceSim> = (0..7).map(|_| DeviceSim::new(4 * 1024 * 1024)).collect();
+        let multi = build_multi_device(&oracle, &mut ctx, &devices, 16).unwrap();
+        assert_eq!(host.graph, multi.graph);
+        assert_eq!(host.candidate_pairs, multi.candidate_pairs);
+        // All seven devices launched; the first several carry real pair
+        // work even though there are only two buckets.
+        let working = devices.iter().filter(|d| d.stats().d2h_bytes > 0).count();
+        assert!(
+            working >= 4,
+            "sub-bucket sharding must spread two buckets over most of 7 devices (got {working})"
+        );
+        for d in &devices {
+            assert_eq!(d.stats().kernel_launches, 1);
         }
     }
 
@@ -693,11 +972,11 @@ mod tests {
         let lists = ColorLists::assign(m, 0, 2, 2, 3, 0); // every adjacent pair conflicts
         let one = vec![DeviceSim::new(128 * 1024)];
         assert!(matches!(
-            build_multi_device(&oracle, &lists, &one, 16),
+            build_multi_device(&oracle, &mut ctx_for(&lists), &one, 16),
             Err(DeviceError::OutOfMemory { .. })
         ));
         let four: Vec<DeviceSim> = (0..4).map(|_| DeviceSim::new(128 * 1024)).collect();
-        let built = build_multi_device(&oracle, &lists, &four, 16).unwrap();
+        let built = build_multi_device(&oracle, &mut ctx_for(&lists), &four, 16).unwrap();
         assert!(built.num_edges > 0);
     }
 
@@ -707,7 +986,7 @@ mod tests {
         let m = 40;
         let oracle = dense_oracle(m);
         let lists = ColorLists::assign(m, 0, 1, 1, 1, 0);
-        let b = build_sequential(&oracle, &lists);
+        let b = build_sequential(&oracle, &mut ctx_for(&lists));
         let mut expected = 0;
         for i in 0..m {
             for j in (i + 1)..m {

@@ -1,0 +1,270 @@
+//! The solver-owned per-iteration workspace.
+//!
+//! Algorithm 1 re-derives the same palette structures every round: the
+//! color lists, the inverted bucket index feeding the candidate engine,
+//! and a family of scratch buffers (COO edge staging, oracle hit
+//! vectors, live-view index remapping). Before this module each conflict
+//! backend rebuilt its own `BucketIndex` and every build re-allocated
+//! its buffers; the [`IterationContext`] centralizes all of it:
+//!
+//! * **Built once per solve** — the context itself and every scratch
+//!   arena in [`IterationScratch`]; arenas persist across iterations and
+//!   only grow.
+//! * **Built at most once per iteration** — the [`ColorLists`] (Line 6,
+//!   re-assigned *in place* into the reused flat array) and the
+//!   [`BucketIndex`] (built lazily on the first backend that needs it,
+//!   then lent to every other stage of the round; a build counter makes
+//!   the at-most-once contract testable).
+//! * **Derived per iteration, pre-oracle** — the [`BucketLoad`]
+//!   histogram: bucket sizes estimate the iteration's conflict load
+//!   before a single oracle query runs, and are surfaced through
+//!   [`IterationStats`](crate::solver::IterationStats).
+//!
+//! The conflict builders ([`crate::conflict`]) all draw from the context
+//! — `build_sequential`, `build_parallel`, `build_device` and the
+//! sub-bucket-sharded `build_multi_device` share one engine view
+//! ([`CandidateEngine::with_index`]) over the context's lists and index,
+//! which is what guarantees every backend enumerates the identical
+//! candidate set.
+
+use crate::assign::{BucketIndex, BucketLoad, ColorLists};
+use crate::candidates::CandidateEngine;
+
+/// Reusable scratch arenas lent to the conflict builders. All buffers
+/// persist across iterations (and across backends within an iteration):
+/// they are cleared, never dropped, so steady-state sequential builds
+/// re-allocate none of them (the remaining per-build allocations are
+/// the output CSR and the pair sources' run staging buffer).
+#[derive(Debug, Default)]
+pub struct IterationScratch {
+    /// COO edge staging / merge buffer (`(u, v)` pairs).
+    pub edges: Vec<(u32, u32)>,
+    /// Oracle hit vector for batched `has_edge_block` queries.
+    pub hits: Vec<bool>,
+    /// Index-remapping arena for [`crate::LiveView`]'s batched path
+    /// ([`graph::EdgeOracle::has_edge_block_scratch`]).
+    pub mapped: Vec<usize>,
+}
+
+/// The per-iteration workspace: owns the color lists, the shared bucket
+/// index, and the scratch arenas. Constructed once per solve; every
+/// stage of every round borrows from it.
+#[derive(Debug)]
+pub struct IterationContext {
+    lists: ColorLists,
+    index: BucketIndex,
+    /// Whether `index` reflects the current lists.
+    index_valid: bool,
+    /// Engine decision for the current lists (pure function of them).
+    bucketed: bool,
+    /// Bucket-size histogram of the current lists (pre-oracle).
+    load: BucketLoad,
+    /// Total index builds across the context's lifetime; at most one per
+    /// iteration by construction (the validity flag), counted so tests
+    /// can pin the shared-index contract.
+    index_builds: usize,
+    scratch: IterationScratch,
+}
+
+impl Default for IterationContext {
+    fn default() -> Self {
+        IterationContext::new()
+    }
+}
+
+impl IterationContext {
+    /// An empty workspace (no vertices, warm nothing). Arenas fill and
+    /// persist as iterations run.
+    pub fn new() -> IterationContext {
+        IterationContext {
+            lists: ColorLists::empty(),
+            index: BucketIndex::empty(),
+            index_valid: false,
+            bucketed: false,
+            load: BucketLoad::default(),
+            index_builds: 0,
+            scratch: IterationScratch::default(),
+        }
+    }
+
+    /// Line 6 for the solver: re-assigns the color lists **in place**
+    /// (reusing the flat array), invalidates the previous iteration's
+    /// index, and refreshes the bucket histogram / engine decision.
+    /// Output is identical to a fresh [`ColorLists::assign`] with the
+    /// same arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign_lists(
+        &mut self,
+        n: usize,
+        palette_base: u32,
+        palette_size: u32,
+        list_size: u32,
+        seed: u64,
+        iteration: u64,
+    ) {
+        self.lists
+            .reassign(n, palette_base, palette_size, list_size, seed, iteration);
+        self.refresh_after_lists_change();
+    }
+
+    /// Adopts externally built lists (tests, benches, direct builder
+    /// use). Equivalent to [`IterationContext::assign_lists`] with the
+    /// arguments that produced `lists`.
+    pub fn set_lists(&mut self, lists: ColorLists) {
+        self.lists = lists;
+        self.refresh_after_lists_change();
+    }
+
+    fn refresh_after_lists_change(&mut self) {
+        self.index_valid = false;
+        self.load = self.lists.bucket_load();
+        self.bucketed =
+            CandidateEngine::bucketed_is_cheaper(self.load.total_pairs, self.lists.len());
+    }
+
+    /// The current iteration's color lists.
+    pub fn lists(&self) -> &ColorLists {
+        &self.lists
+    }
+
+    /// The pre-oracle bucket-size histogram of the current lists.
+    pub fn bucket_load(&self) -> BucketLoad {
+        self.load
+    }
+
+    /// Whether the current iteration's engine decision is the bucketed
+    /// scan (identical to [`CandidateEngine::prefers_buckets`] on the
+    /// current lists).
+    pub fn prefers_buckets(&self) -> bool {
+        self.bucketed
+    }
+
+    /// Total bucket-index builds performed so far — at most one per
+    /// iteration, however many backends ran in that iteration.
+    pub fn index_builds(&self) -> usize {
+        self.index_builds
+    }
+
+    /// Builds the bucket index for the current lists if the bucketed
+    /// engine is selected and the index has not been built this
+    /// iteration yet. Idempotent within an iteration.
+    fn ensure_index(&mut self) {
+        if self.bucketed && !self.index_valid {
+            self.lists.bucket_index_into(&mut self.index);
+            self.index_valid = true;
+            self.index_builds += 1;
+        }
+    }
+
+    /// The candidate engine for the current iteration plus the scratch
+    /// arenas — the borrow every engine-driven conflict builder starts
+    /// from. Builds the shared index on first use (at most once per
+    /// iteration).
+    pub fn engine_and_scratch(&mut self) -> (CandidateEngine<'_>, &mut IterationScratch) {
+        self.ensure_index();
+        let index = if self.bucketed {
+            Some(&self.index)
+        } else {
+            None
+        };
+        (
+            CandidateEngine::with_index(&self.lists, index),
+            &mut self.scratch,
+        )
+    }
+
+    /// The lists plus scratch arenas, without touching the engine or
+    /// index — the borrow of the forced all-pairs reference path.
+    pub fn lists_and_scratch(&mut self) -> (&ColorLists, &mut IterationScratch) {
+        (&self.lists, &mut self.scratch)
+    }
+
+    /// Current arena capacities `(edges, hits, mapped)` — introspection
+    /// hook for the reuse tests and the `conflict_build` bench.
+    pub fn scratch_capacities(&self) -> (usize, usize, usize) {
+        (
+            self.scratch.edges.capacity(),
+            self.scratch.hits.capacity(),
+            self.scratch.mapped.capacity(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::collect_pairs;
+
+    #[test]
+    fn index_is_built_lazily_and_at_most_once_per_iteration() {
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(ColorLists::assign(120, 0, 30, 4, 3, 1));
+        assert!(ctx.prefers_buckets());
+        assert_eq!(ctx.index_builds(), 0, "lazy: no build before first use");
+        // Three "backends" of the same iteration share one build.
+        for _ in 0..3 {
+            let (engine, _) = ctx.engine_and_scratch();
+            assert!(engine.is_bucketed());
+        }
+        assert_eq!(ctx.index_builds(), 1);
+        // Next iteration: exactly one more build.
+        ctx.assign_lists(100, 30, 25, 4, 3, 2);
+        let _ = ctx.engine_and_scratch();
+        let _ = ctx.engine_and_scratch();
+        assert_eq!(ctx.index_builds(), 2);
+    }
+
+    #[test]
+    fn all_pairs_iterations_never_build_the_index() {
+        let mut ctx = IterationContext::new();
+        // L = P: buckets degenerate, engine falls back.
+        ctx.set_lists(ColorLists::assign(80, 0, 3, 3, 5, 1));
+        assert!(!ctx.prefers_buckets());
+        let (engine, _) = ctx.engine_and_scratch();
+        assert!(!engine.is_bucketed());
+        assert_eq!(ctx.index_builds(), 0);
+    }
+
+    #[test]
+    fn context_engine_emits_the_same_pairs_as_a_standalone_engine() {
+        let lists = ColorLists::assign(90, 7, 20, 4, 11, 3);
+        let index = lists.bucket_index();
+        let standalone = collect_pairs(&CandidateEngine::with_index(&lists, Some(&index)));
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(lists);
+        let (engine, _) = ctx.engine_and_scratch();
+        assert_eq!(collect_pairs(&engine), standalone);
+        assert_eq!(engine.index().unwrap().total_pairs(), index.total_pairs());
+    }
+
+    #[test]
+    fn bucket_load_matches_lists() {
+        let lists = ColorLists::assign(70, 0, 15, 3, 9, 2);
+        let expected = lists.bucket_load();
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(lists);
+        assert_eq!(ctx.bucket_load(), expected);
+        assert!(ctx.bucket_load().total_pairs > 0);
+    }
+
+    #[test]
+    fn scratch_arenas_persist_across_iterations() {
+        use crate::conflict::build_sequential;
+        use crate::oracle::LiveView;
+        use graph::FnOracle;
+        let inner = FnOracle::new(300, |u, v| (u * 13 + v * 7) % 3 == 0);
+        let live: Vec<u32> = (0..150u32).map(|i| i * 2).collect();
+        let oracle = LiveView::new(&inner, &live);
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(ColorLists::assign(150, 0, 30, 4, 3, 1));
+        let _ = build_sequential(&oracle, &mut ctx);
+        let warm = ctx.scratch_capacities();
+        assert!(warm.0 > 0 && warm.1 > 0 && warm.2 > 0, "arenas warmed");
+        // Subsequent same-shape iterations must not grow the arenas.
+        for iter in 2..5u64 {
+            ctx.assign_lists(150, 0, 30, 4, 3, iter);
+            let _ = build_sequential(&oracle, &mut ctx);
+            assert_eq!(ctx.scratch_capacities(), warm, "iteration {iter}");
+        }
+    }
+}

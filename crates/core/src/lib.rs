@@ -10,9 +10,11 @@
 //!    random list of `L = α·log₂ n` of them ([`assign`]),
 //! 2. materializes only the **conflict graph** — edges whose endpoints
 //!    share a list color ([`conflict`]). Candidates come from the
-//!    palette's inverted index (`color → vertex bucket`, [`candidates`])
-//!    rather than an all-pairs scan, and the sequential, rayon-parallel
-//!    and simulated-GPU backends produce identical graphs,
+//!    palette's inverted index (`color → vertex bucket`, [`candidates`]),
+//!    built once per iteration by the solver-owned [`iteration`]
+//!    workspace and lent to every backend — and the sequential,
+//!    rayon-parallel, simulated-GPU and sub-bucket-sharded multi-GPU
+//!    backends produce identical graphs,
 //! 3. colors unconflicted vertices with any list color,
 //! 4. list-colors the conflict graph with the dynamic bucket greedy of
 //!    Algorithm 2 ([`listcolor`]),
@@ -44,16 +46,18 @@ pub mod assign;
 pub mod candidates;
 pub mod config;
 pub mod conflict;
+pub mod iteration;
 pub mod listcolor;
 pub mod oracle;
 pub mod partition;
 pub mod solver;
 pub mod sweep;
 
-pub use assign::{BucketIndex, ColorLists};
+pub use assign::{BucketIndex, BucketLoad, ColorLists};
 pub use candidates::{AllPairsSource, BucketSource, CandidateEngine, PairSource};
 pub use config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 pub use conflict::ConflictBuild;
+pub use iteration::{IterationContext, IterationScratch};
 pub use oracle::{LiveView, PauliComplementOracle};
 pub use partition::{partition_operator, UnitaryGroup, UnitaryPartition};
 pub use solver::{IterationStats, Picasso, PicassoResult, SolveError};

@@ -78,10 +78,30 @@ impl<O: EdgeOracle> EdgeOracle for LiveView<'_, O> {
     /// Translates the whole candidate run to original ids once, then
     /// forwards it to the inner oracle's batched path, so the live-set
     /// indirection does not break the block amortization underneath.
+    ///
+    /// Allocates a fresh mapping buffer per run — context-driven callers
+    /// use [`EdgeOracle::has_edge_block_scratch`] instead, which reuses a
+    /// caller-owned arena.
     fn has_edge_block(&self, u: usize, vs: &[usize], out: &mut [bool]) {
-        let mapped: Vec<usize> = vs.iter().map(|&v| self.live[v] as usize).collect();
+        let mut mapped: Vec<usize> = Vec::new();
+        self.has_edge_block_scratch(u, vs, out, &mut mapped);
+    }
+
+    /// The allocation-free batched path: the candidate run is remapped to
+    /// original ids inside the caller-provided `scratch` arena, so a
+    /// build that reuses one arena performs no per-run allocation — the
+    /// last allocation of the oracle hot path.
+    fn has_edge_block_scratch(
+        &self,
+        u: usize,
+        vs: &[usize],
+        out: &mut [bool],
+        scratch: &mut Vec<usize>,
+    ) {
+        scratch.clear();
+        scratch.extend(vs.iter().map(|&v| self.live[v] as usize));
         self.oracle
-            .has_edge_block(self.live[u] as usize, &mapped, out);
+            .has_edge_block(self.live[u] as usize, scratch, out);
     }
 }
 

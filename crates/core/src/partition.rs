@@ -207,6 +207,7 @@ mod tests {
                 iterations: vec![],
                 total_secs: 0.0,
                 device_stats: None,
+                index_builds: 0,
             },
         };
         let mut op = PauliSum::zero(2);

@@ -1,8 +1,8 @@
 //! The Picasso iteration driver (Algorithm 1).
 
-use crate::assign::ColorLists;
 use crate::config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 use crate::conflict::{self, ConflictBuild};
+use crate::iteration::IterationContext;
 use crate::listcolor;
 use crate::oracle::{LiveView, PauliComplementOracle};
 use coloring::UNCOLORED;
@@ -18,12 +18,20 @@ pub enum SolveError {
     /// The device backend ran out of memory while building a conflict
     /// graph — the paper's failure mode for its largest instance.
     DeviceOom(DeviceError),
+    /// [`ConflictBackend::MultiDevice`] was configured with zero
+    /// devices. Earlier versions silently clamped this to a one-device
+    /// run; a fleet of zero devices is a configuration error and is
+    /// rejected loudly.
+    NoDevices,
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::DeviceOom(e) => write!(f, "conflict graph build failed: {e}"),
+            SolveError::NoDevices => {
+                write!(f, "multi-device backend configured with zero devices")
+            }
         }
     }
 }
@@ -41,6 +49,15 @@ pub struct IterationStats {
     pub palette_size: u32,
     /// List size `L_ℓ`.
     pub list_size: u32,
+    /// Deepest palette bucket `max_c |B_c|` of this iteration's lists —
+    /// part of the pre-oracle bucket histogram the context derives the
+    /// moment lists are assigned.
+    pub max_bucket: usize,
+    /// `Σ_c |B_c|·(|B_c|−1)/2`, the bucket-histogram estimate of the
+    /// conflict build's enumeration work, available **before any oracle
+    /// query runs** (equals `candidate_pairs` whenever the bucketed
+    /// engine is selected).
+    pub bucket_pairs_estimate: u64,
     /// Conflicted vertices `|Vc|`.
     pub conflict_vertices: usize,
     /// Conflict edges `|Ec|`.
@@ -80,6 +97,10 @@ pub struct PicassoResult {
     pub total_secs: f64,
     /// Device counters, when the device backend was used.
     pub device_stats: Option<DeviceStats>,
+    /// Bucket-index builds performed by the iteration context across the
+    /// whole solve — at most one per iteration (the context builds the
+    /// index lazily and lends it to every backend stage of the round).
+    pub index_builds: usize,
 }
 
 impl PicassoResult {
@@ -187,13 +208,27 @@ impl Picasso {
             ConflictBackend::MultiDevice {
                 devices,
                 capacity_each,
-            } => Some(
-                (0..devices.max(1))
-                    .map(|_| DeviceSim::new(capacity_each))
-                    .collect(),
-            ),
+            } => {
+                if devices == 0 {
+                    return Err(SolveError::NoDevices);
+                }
+                Some(
+                    (0..devices)
+                        .map(|_| DeviceSim::new(capacity_each))
+                        .collect(),
+                )
+            }
             _ => None,
         };
+
+        // The per-iteration workspace: constructed once, lent to every
+        // stage of every round. Lists are re-assigned in place, the
+        // bucket index is built at most once per iteration and shared by
+        // whichever backend(s) run, and the scratch arenas (COO staging,
+        // oracle hit vectors, live-view remapping) persist across
+        // iterations.
+        let mut ctx = IterationContext::new();
+        let mut conflicted: Vec<u32> = Vec::new();
 
         let mut iter = 0usize;
         while !live.is_empty() {
@@ -210,35 +245,36 @@ impl Picasso {
             let palette = cfg.palette_size(m);
             let list_size = cfg.list_size(m);
 
-            // Line 6: random list assignment from the fresh palette.
+            // Line 6: random list assignment from the fresh palette,
+            // into the context's reused flat array.
             let t0 = Instant::now();
-            let lists = ColorLists::assign(m, next_base, palette, list_size, cfg.seed, iter as u64);
+            ctx.assign_lists(m, next_base, palette, list_size, cfg.seed, iter as u64);
             let assign_secs = t0.elapsed().as_secs_f64();
+            // Pre-oracle conflict-load estimate from the bucket
+            // histogram, captured before any build runs.
+            let load = ctx.bucket_load();
 
-            // Line 7: conflict graph over the live subgraph.
+            // Line 7: conflict graph over the live subgraph, every
+            // backend drawing from the shared context.
             let view = LiveView::new(oracle, &live);
+            let input_bpv =
+                words_bytes_per_vertex + ctx.lists().list_size() * std::mem::size_of::<u32>();
             let t1 = Instant::now();
             let build: ConflictBuild = match cfg.backend {
-                ConflictBackend::Sequential => conflict::build_sequential(&view, &lists),
-                ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, &lists),
-                ConflictBackend::Parallel => conflict::build_parallel(&view, &lists),
+                ConflictBackend::Sequential => conflict::build_sequential(&view, &mut ctx),
+                ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, &mut ctx),
+                ConflictBackend::Parallel => conflict::build_parallel(&view, &mut ctx),
                 ConflictBackend::Device { .. } => {
-                    let input_bpv =
-                        words_bytes_per_vertex + lists.list_size() * std::mem::size_of::<u32>();
-                    conflict::build_device(&view, &lists, dev.as_ref().unwrap(), input_bpv)
+                    conflict::build_device(&view, &mut ctx, dev.as_ref().unwrap(), input_bpv)
                         .map_err(SolveError::DeviceOom)?
                 }
-                ConflictBackend::MultiDevice { .. } => {
-                    let input_bpv =
-                        words_bytes_per_vertex + lists.list_size() * std::mem::size_of::<u32>();
-                    conflict::build_multi_device(
-                        &view,
-                        &lists,
-                        multi_dev.as_ref().unwrap(),
-                        input_bpv,
-                    )
-                    .map_err(SolveError::DeviceOom)?
-                }
+                ConflictBackend::MultiDevice { .. } => conflict::build_multi_device(
+                    &view,
+                    &mut ctx,
+                    multi_dev.as_ref().unwrap(),
+                    input_bpv,
+                )
+                .map_err(SolveError::DeviceOom)?,
             };
             let conflict_secs = t1.elapsed().as_secs_f64();
             let gc = build.graph;
@@ -246,11 +282,11 @@ impl Picasso {
             // Lines 8-9: color unconflicted vertices, then the conflict
             // graph.
             let t2 = Instant::now();
-            let mut conflicted: Vec<u32> = Vec::new();
+            conflicted.clear();
             let mut colored_unconflicted = 0usize;
             for local in 0..m {
                 if gc.degree(local) == 0 {
-                    colors[live[local] as usize] = lists.row(local)[0];
+                    colors[live[local] as usize] = ctx.lists().row(local)[0];
                     colored_unconflicted += 1;
                 } else {
                     conflicted.push(local as u32);
@@ -259,13 +295,13 @@ impl Picasso {
             let outcome = match cfg.scheme {
                 ListColoringScheme::DynamicGreedy => listcolor::greedy_list_color(
                     &gc,
-                    &lists,
+                    ctx.lists(),
                     &conflicted,
                     cfg.seed ^ (iter as u64).wrapping_mul(0x9E3779B97F4A7C15),
                 ),
                 ListColoringScheme::Static(h) => listcolor::static_list_color(
                     &gc,
-                    &lists,
+                    ctx.lists(),
                     &conflicted,
                     h,
                     cfg.seed ^ iter as u64,
@@ -287,6 +323,8 @@ impl Picasso {
                 live_vertices: m,
                 palette_size: palette,
                 list_size,
+                max_bucket: load.max_bucket,
+                bucket_pairs_estimate: load.total_pairs,
                 conflict_vertices: conflicted.len(),
                 conflict_edges: build.num_edges,
                 candidate_pairs: build.candidate_pairs,
@@ -330,6 +368,7 @@ impl Picasso {
             iterations,
             total_secs: start.elapsed().as_secs_f64(),
             device_stats,
+            index_builds: ctx.index_builds(),
         })
     }
 }
@@ -446,6 +485,74 @@ mod tests {
         assert_eq!(par.colors, multi.colors);
         let stats = multi.device_stats.expect("aggregated stats");
         assert!(stats.kernel_launches >= multi.iterations.len() * 3);
+    }
+
+    #[test]
+    fn zero_devices_is_a_configuration_error() {
+        // Regression: `devices = 0` used to be silently clamped to a
+        // one-device run.
+        let set = random_set(40, 6, 13);
+        let cfg = PicassoConfig::normal(1).with_backend(ConflictBackend::MultiDevice {
+            devices: 0,
+            capacity_each: 16 * 1024 * 1024,
+        });
+        let err = Picasso::new(cfg).solve_pauli(&set).unwrap_err();
+        assert_eq!(err, SolveError::NoDevices);
+        assert!(err.to_string().contains("zero devices"));
+    }
+
+    #[test]
+    fn bucket_index_is_built_at_most_once_per_iteration() {
+        let set = random_set(200, 10, 21);
+        let base = PicassoConfig::normal(4);
+        for backend in [
+            ConflictBackend::Sequential,
+            ConflictBackend::Parallel,
+            ConflictBackend::MultiDevice {
+                devices: 3,
+                capacity_each: 32 * 1024 * 1024,
+            },
+        ] {
+            let r = Picasso::new(base.with_backend(backend))
+                .solve_pauli(&set)
+                .unwrap();
+            assert!(
+                r.index_builds <= r.iterations.len(),
+                "{backend:?}: {} builds over {} iterations",
+                r.index_builds,
+                r.iterations.len()
+            );
+            // The Normal configuration starts in the bucketed regime, so
+            // at least the first iteration must have built the index.
+            assert!(r.index_builds >= 1, "{backend:?}");
+        }
+        // The forced all-pairs reference never builds one.
+        let r = Picasso::new(base.with_backend(ConflictBackend::AllPairs))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(r.index_builds, 0);
+    }
+
+    #[test]
+    fn stats_surface_the_pre_oracle_bucket_histogram() {
+        let set = random_set(180, 10, 22);
+        let r = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli(&set)
+            .unwrap();
+        for s in &r.iterations {
+            assert!(s.max_bucket >= 1, "iteration {}", s.iteration);
+            assert!(s.max_bucket <= s.live_vertices);
+            // The estimate is exact whenever the bucketed engine ran,
+            // and at least the examined all-pairs count otherwise (the
+            // engine only falls back when buckets would cost more).
+            assert!(
+                s.bucket_pairs_estimate >= s.candidate_pairs,
+                "iteration {}: estimate {} vs examined {}",
+                s.iteration,
+                s.bucket_pairs_estimate,
+                s.candidate_pairs
+            );
+        }
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! Property tests for the Picasso core: backend equivalence, list
 //! discipline and conflict-graph correctness on arbitrary oracles —
 //! including the equivalence suite pinning the bucketed candidate
-//! engine to the legacy all-pairs reference on random Pauli workloads.
+//! engine to the legacy all-pairs reference on random Pauli workloads,
+//! and the sub-bucket-sharding suite pinning the multi-device build to
+//! the sequential reference for every device count.
 
 use device::DeviceSim;
 use graph::FnOracle;
 use pauli::EncodedSet;
 use picasso::conflict::{
-    build_device, build_multi_device, build_parallel, build_sequential, build_sequential_allpairs,
+    build_device, build_multi_device, build_multi_device_rowsharded, build_parallel,
+    build_sequential, build_sequential_allpairs,
 };
 use picasso::listcolor::greedy_list_color;
-use picasso::{ColorLists, ConflictBackend, PauliComplementOracle, Picasso, PicassoConfig};
+use picasso::{
+    ColorLists, ConflictBackend, IterationContext, PauliComplementOracle, Picasso, PicassoConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,11 +33,18 @@ fn salted_oracle(n: usize, salt: u64) -> FnOracle<impl Fn(usize, usize) -> bool 
     })
 }
 
+fn ctx_for(lists: &ColorLists) -> IterationContext {
+    let mut ctx = IterationContext::new();
+    ctx.set_lists(lists.clone());
+    ctx
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// All four conflict builders produce the same graph for arbitrary
-    /// oracles, palettes and list sizes.
+    /// All conflict builders — including the sub-bucket-sharded
+    /// multi-device path — produce the same graph for arbitrary oracles,
+    /// palettes and list sizes, from one shared context.
     #[test]
     fn all_backends_build_identical_graphs(
         n in 2usize..90,
@@ -43,13 +55,14 @@ proptest! {
     ) {
         let oracle = salted_oracle(n, salt);
         let lists = ColorLists::assign(n, 5, palette, list, seed, 1);
-        let reference = build_sequential_allpairs(&oracle, &lists);
-        let a = build_sequential(&oracle, &lists);
-        let b = build_parallel(&oracle, &lists);
+        let mut ctx = ctx_for(&lists);
+        let reference = build_sequential_allpairs(&oracle, &mut ctx);
+        let a = build_sequential(&oracle, &mut ctx);
+        let b = build_parallel(&oracle, &mut ctx);
         let dev = DeviceSim::new(32 * 1024 * 1024);
-        let c = build_device(&oracle, &lists, &dev, 16).unwrap();
+        let c = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
         let devices: Vec<DeviceSim> = (0..3).map(|_| DeviceSim::new(16 * 1024 * 1024)).collect();
-        let d = build_multi_device(&oracle, &lists, &devices, 16).unwrap();
+        let d = build_multi_device(&oracle, &mut ctx, &devices, 16).unwrap();
         prop_assert_eq!(&reference.graph, &a.graph);
         prop_assert_eq!(&a.graph, &b.graph);
         prop_assert_eq!(&a.graph, &c.graph);
@@ -59,7 +72,10 @@ proptest! {
         // exceed the all-pairs count (the engine falls back otherwise).
         prop_assert_eq!(a.candidate_pairs, b.candidate_pairs);
         prop_assert_eq!(a.candidate_pairs, c.candidate_pairs);
+        prop_assert_eq!(a.candidate_pairs, d.candidate_pairs);
         prop_assert!(a.candidate_pairs <= reference.candidate_pairs);
+        // One context, many backends: the index was built at most once.
+        prop_assert!(ctx.index_builds() <= 1);
     }
 
     /// Every conflict edge really is an oracle edge with intersecting
@@ -72,7 +88,7 @@ proptest! {
     ) {
         let oracle = salted_oracle(n, salt);
         let lists = ColorLists::assign(n, 0, (n as u32 / 3).max(2), 3, seed, 2);
-        let built = build_sequential(&oracle, &lists);
+        let built = build_sequential(&oracle, &mut ctx_for(&lists));
         for u in 0..n {
             for v in (u + 1)..n {
                 use graph::EdgeOracle as _;
@@ -94,7 +110,7 @@ proptest! {
     ) {
         let oracle = salted_oracle(n, salt);
         let lists = ColorLists::assign(n, 0, palette, 3, seed, 1);
-        let built = build_sequential(&oracle, &lists);
+        let built = build_sequential(&oracle, &mut ctx_for(&lists));
         let active: Vec<u32> = (0..n as u32)
             .filter(|&v| built.graph.degree(v as usize) > 0)
             .collect();
@@ -138,11 +154,12 @@ proptest! {
         let list = ((alpha * (n.max(2) as f64).log10()).ceil() as u32).clamp(1, palette);
         let lists = ColorLists::assign(n, 3, palette, list, list_seed, 1);
 
-        let reference = build_sequential_allpairs(&oracle, &lists);
-        let seq = build_sequential(&oracle, &lists);
-        let par = build_parallel(&oracle, &lists);
+        let mut ctx = ctx_for(&lists);
+        let reference = build_sequential_allpairs(&oracle, &mut ctx);
+        let seq = build_sequential(&oracle, &mut ctx);
+        let par = build_parallel(&oracle, &mut ctx);
         let dev = DeviceSim::new(32 * 1024 * 1024);
-        let devb = build_device(&oracle, &lists, &dev, 16).unwrap();
+        let devb = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
         prop_assert_eq!(&reference.graph, &seq.graph);
         prop_assert_eq!(&reference.graph, &par.graph);
         prop_assert_eq!(&reference.graph, &devb.graph);
@@ -152,9 +169,50 @@ proptest! {
         prop_assert!(seq.candidate_pairs <= reference.candidate_pairs);
     }
 
+    /// Sub-bucket sharding acceptance contract: random Pauli sets ×
+    /// (palette, α) × device counts {1, 2, 3, 7} produce CSRs
+    /// bit-identical to the sequential reference — including the
+    /// degenerate two-color-palette case where two coarse buckets must
+    /// split across more devices than there are buckets — and the
+    /// row-sharded legacy reference agrees too.
+    #[test]
+    fn multi_device_sharding_matches_sequential_for_all_device_counts(
+        n in 2usize..60,
+        qubits in 4usize..16,
+        set_seed in any::<u64>(),
+        palette_choice in 0usize..4,
+        alpha in 0.5f64..6.0,
+        dev_choice in 0usize..4,
+        list_seed in any::<u64>(),
+    ) {
+        // Palette grid includes the two-color degenerate case.
+        let palette = [2u32, 3, 12, 40][palette_choice];
+        let num_devices = [1usize, 2, 3, 7][dev_choice];
+        let mut rng = StdRng::seed_from_u64(set_seed);
+        let strings = pauli::string::random_unique_set(n, qubits, &mut rng);
+        let set = EncodedSet::from_strings(&strings);
+        let oracle = PauliComplementOracle::new(&set);
+        let list = ((alpha * (n.max(2) as f64).log10()).ceil() as u32).clamp(1, palette);
+        let lists = ColorLists::assign(n, 3, palette, list, list_seed, 1);
+
+        let mut ctx = ctx_for(&lists);
+        let seq = build_sequential(&oracle, &mut ctx);
+        let devices: Vec<DeviceSim> = (0..num_devices)
+            .map(|_| DeviceSim::new(16 * 1024 * 1024))
+            .collect();
+        let multi = build_multi_device(&oracle, &mut ctx, &devices, 16).unwrap();
+        prop_assert_eq!(&seq.graph, &multi.graph, "devices={}", num_devices);
+        prop_assert_eq!(seq.num_edges, multi.num_edges);
+        prop_assert_eq!(seq.candidate_pairs, multi.candidate_pairs);
+        prop_assert!(ctx.index_builds() <= 1);
+        let rowsharded = build_multi_device_rowsharded(&oracle, &lists, &devices, 16).unwrap();
+        prop_assert_eq!(&seq.graph, &rowsharded.graph);
+    }
+
     /// End-to-end determinism across engines: for a fixed seed, a full
     /// solve over the all-pairs reference backend produces exactly the
-    /// colors of the bucketed backends.
+    /// colors of the bucketed backends — multi-device included, at every
+    /// device count.
     #[test]
     fn solver_colors_identical_across_engines(
         n in 2usize..60,
@@ -162,6 +220,7 @@ proptest! {
         cfg_seed in any::<u64>(),
         palette_fraction in 0.02f64..0.4,
         alpha in 0.5f64..5.0,
+        dev_choice in 0usize..4,
     ) {
         let mut rng = StdRng::seed_from_u64(set_seed);
         let strings = pauli::string::random_unique_set(n, 8, &mut rng);
@@ -178,9 +237,21 @@ proptest! {
         let par = Picasso::new(base.with_backend(ConflictBackend::Parallel))
             .solve_pauli(&set)
             .unwrap();
+        let multi = Picasso::new(base.with_backend(ConflictBackend::MultiDevice {
+            devices: [1usize, 2, 3, 7][dev_choice],
+            capacity_each: 32 * 1024 * 1024,
+        }))
+        .solve_pauli(&set)
+        .unwrap();
         prop_assert_eq!(&reference.colors, &seq.colors);
         prop_assert_eq!(&reference.colors, &par.colors);
+        prop_assert_eq!(&reference.colors, &multi.colors);
         prop_assert_eq!(reference.num_colors, seq.num_colors);
         prop_assert!(seq.total_candidate_pairs() <= reference.total_candidate_pairs());
+        prop_assert_eq!(seq.total_candidate_pairs(), multi.total_candidate_pairs());
+        // The reference backend never builds an index; the bucketed ones
+        // build at most one per iteration.
+        prop_assert_eq!(reference.index_builds, 0);
+        prop_assert!(seq.index_builds <= seq.iterations.len());
     }
 }

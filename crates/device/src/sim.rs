@@ -219,6 +219,26 @@ impl DeviceSim {
             }
         });
     }
+
+    /// Launches a weighted block kernel over a *span* of a larger flat
+    /// work space: `weights` describes items `base..base + weights.len()`
+    /// of some global enumeration (e.g. the pivot rows of a triangle
+    /// shard owned by this device), and the kernel receives **global**
+    /// item ranges. This is the launch shape of sub-bucket-sharded
+    /// multi-device builds, where each device owns a contiguous row span
+    /// that may start and end mid-bucket. An empty span is a valid
+    /// launch (counted, no blocks executed).
+    pub fn launch_weighted_span<F: Fn(usize, std::ops::Range<usize>) + Sync>(
+        &self,
+        weights: &[u64],
+        base: usize,
+        num_blocks: usize,
+        kernel: F,
+    ) {
+        self.launch_weighted_blocks(weights, num_blocks, |b, local| {
+            kernel(b, base + local.start..base + local.end)
+        });
+    }
 }
 
 /// Cuts `0..weights.len()` into at most `k` contiguous ranges whose total
@@ -341,6 +361,27 @@ mod tests {
         });
         assert!(seen.lock().iter().all(|&x| x));
         assert_eq!(dev.stats().kernel_launches, 1);
+    }
+
+    #[test]
+    fn weighted_span_launch_offsets_ranges_globally() {
+        let dev = DeviceSim::new(1024);
+        let weights: Vec<u64> = (0..40).map(|i| (i % 5) as u64 + 1).collect();
+        let base = 17usize;
+        let seen = Mutex::new(vec![false; 40]);
+        dev.launch_weighted_span(&weights, base, 4, |_b, range| {
+            assert!(range.start >= base && range.end <= base + 40, "{range:?}");
+            let mut s = seen.lock();
+            for i in range {
+                assert!(!s[i - base], "global item {i} covered twice");
+                s[i - base] = true;
+            }
+        });
+        assert!(seen.lock().iter().all(|&x| x));
+        assert_eq!(dev.stats().kernel_launches, 1);
+        // An empty span is still a (counted) launch with no blocks.
+        dev.launch_weighted_span(&[], 99, 3, |_b, _r| panic!("no blocks expected"));
+        assert_eq!(dev.stats().kernel_launches, 2);
     }
 
     #[test]

@@ -31,6 +31,30 @@ pub trait EdgeOracle: Sync {
             *o = self.has_edge(u, v);
         }
     }
+
+    /// Batched edge query with a caller-provided index scratch arena.
+    ///
+    /// Adapters that must remap the candidate run before forwarding it
+    /// (e.g. a live-subset view translating local ids to original ids)
+    /// override this to stage the remapped indices in `scratch` instead
+    /// of allocating a fresh buffer per run — the conflict builders call
+    /// this entry point with an arena that persists across a whole build
+    /// (and, via the solver's iteration context, across iterations).
+    ///
+    /// The default ignores `scratch` and delegates to
+    /// [`EdgeOracle::has_edge_block`]; `scratch` contents on return are
+    /// unspecified either way.
+    #[inline]
+    fn has_edge_block_scratch(
+        &self,
+        u: usize,
+        vs: &[usize],
+        out: &mut [bool],
+        scratch: &mut Vec<usize>,
+    ) {
+        let _ = scratch;
+        self.has_edge_block(u, vs, out);
+    }
 }
 
 impl EdgeOracle for CsrGraph {

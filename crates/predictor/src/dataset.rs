@@ -17,6 +17,12 @@ pub struct TrainingSample {
     pub num_vertices: f64,
     /// Graph edge count.
     pub num_edges: f64,
+    /// Enumeration-cost feature: candidate pairs the conflict builds
+    /// enumerate on this instance (the mean `total_candidate_pairs`
+    /// across the instance's sweep — an instance-level scale proxy; at
+    /// inference any consistent estimate works, e.g. a single
+    /// Normal-configuration probe solve).
+    pub candidate_pairs: f64,
     /// Optimal palette percent `P′` for this (graph, β).
     pub palette_percent: f64,
     /// Optimal α for this (graph, β).
@@ -24,18 +30,30 @@ pub struct TrainingSample {
 }
 
 impl TrainingSample {
-    /// The model's raw feature vector. `|V|` and `|E|` enter as log10,
-    /// since the instances span orders of magnitude.
-    pub fn features(&self) -> [f64; 3] {
-        Self::raw_features(self.beta, self.num_vertices as u64, self.num_edges as u64)
+    /// The model's raw feature vector. `|V|`, `|E|` and the candidate
+    /// pairs enter as log10, since the instances span orders of
+    /// magnitude.
+    pub fn features(&self) -> [f64; 4] {
+        Self::raw_features(
+            self.beta,
+            self.num_vertices as u64,
+            self.num_edges as u64,
+            self.candidate_pairs as u64,
+        )
     }
 
     /// Feature transform shared by training and inference.
-    pub fn raw_features(beta: f64, num_vertices: u64, num_edges: u64) -> [f64; 3] {
+    pub fn raw_features(
+        beta: f64,
+        num_vertices: u64,
+        num_edges: u64,
+        candidate_pairs: u64,
+    ) -> [f64; 4] {
         [
             beta,
             (num_vertices.max(1) as f64).log10(),
             (num_edges.max(1) as f64).log10(),
+            (candidate_pairs.max(1) as f64).log10(),
         ]
     }
 
@@ -43,6 +61,20 @@ impl TrainingSample {
     pub fn targets(&self) -> Vec<f64> {
         vec![self.palette_percent, self.alpha]
     }
+}
+
+/// The enumeration-cost feature of an instance: mean
+/// `total_candidate_pairs` over its sweep points (total conflict-build
+/// work is recorded in every [`SweepPoint`]).
+pub fn sweep_candidate_pairs(sweep: &[SweepPoint]) -> f64 {
+    if sweep.is_empty() {
+        return 0.0;
+    }
+    sweep
+        .iter()
+        .map(|p| p.total_candidate_pairs as f64)
+        .sum::<f64>()
+        / sweep.len() as f64
 }
 
 /// Step 2–3: for each β, select the sweep point minimizing
@@ -63,6 +95,7 @@ pub fn optimal_points_per_beta(
         .max()
         .unwrap()
         .max(1) as f64;
+    let candidate_pairs = sweep_candidate_pairs(sweep);
     betas
         .iter()
         .map(|&beta| {
@@ -80,6 +113,7 @@ pub fn optimal_points_per_beta(
                 beta,
                 num_vertices: num_vertices as f64,
                 num_edges: num_edges as f64,
+                candidate_pairs,
                 palette_percent: best.palette_fraction * 100.0,
                 alpha: best.alpha,
             }
@@ -150,10 +184,22 @@ mod tests {
         let betas = paper_betas();
         let samples = optimal_points_per_beta(&sweep, 1000, 500_000, &betas);
         assert_eq!(samples.len(), 9);
+        let expected_cp = sweep_candidate_pairs(&sweep);
         for (s, &b) in samples.iter().zip(betas.iter()) {
             assert_eq!(s.beta, b);
             assert_eq!(s.num_vertices, 1000.0);
+            // Every β sample of one instance carries the same
+            // enumeration-cost feature.
+            assert_eq!(s.candidate_pairs, expected_cp);
         }
+    }
+
+    #[test]
+    fn candidate_pairs_feature_is_the_sweep_mean() {
+        let sweep = fake_sweep();
+        let mean = (100_000u64 * 4 + 10_000 * 4 + 1_000 * 4) as f64 / 3.0;
+        assert_eq!(sweep_candidate_pairs(&sweep), mean);
+        assert_eq!(sweep_candidate_pairs(&[]), 0.0);
     }
 
     #[test]
@@ -168,9 +214,13 @@ mod tests {
 
     #[test]
     fn features_use_log_scale() {
-        let f = TrainingSample::raw_features(0.5, 1000, 1_000_000);
+        let f = TrainingSample::raw_features(0.5, 1000, 1_000_000, 100_000_000);
+        assert_eq!(f.len(), 4);
         assert_eq!(f[0], 0.5);
         assert!((f[1] - 3.0).abs() < 1e-12);
         assert!((f[2] - 6.0).abs() < 1e-12);
+        assert!((f[3] - 8.0).abs() < 1e-12);
+        // Zero work clamps instead of producing -inf.
+        assert_eq!(TrainingSample::raw_features(0.1, 0, 0, 0)[3], 0.0);
     }
 }

@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod scaler;
 pub mod tree;
 
-pub use dataset::{optimal_points_per_beta, TrainingSample};
+pub use dataset::{optimal_points_per_beta, sweep_candidate_pairs, TrainingSample};
 pub use forest::{RandomForest, RandomForestConfig};
 pub use linear::{LassoRegression, RidgeRegression};
 pub use metrics::{mape, mse, r2_score};
@@ -37,7 +37,8 @@ pub use tree::{DecisionTree, TreeConfig};
 use serde::Serialize;
 
 /// The end-to-end parameter predictor: a random forest over standardized
-/// `(β, log₁₀|V|, log₁₀|E|)` features predicting `(P′ percent, α)`.
+/// `(β, log₁₀|V|, log₁₀|E|, log₁₀ candidate-pairs)` features predicting
+/// `(P′ percent, α)`.
 #[derive(Clone, Debug)]
 pub struct PalettePredictor {
     forest: RandomForest,
@@ -57,7 +58,7 @@ impl PalettePredictor {
     /// Fits the forest on training samples (Step 5).
     pub fn fit(samples: &[TrainingSample], config: RandomForestConfig) -> PalettePredictor {
         assert!(!samples.is_empty(), "cannot fit on an empty training set");
-        let x_raw: Vec<[f64; 3]> = samples.iter().map(|s| s.features()).collect();
+        let x_raw: Vec<[f64; 4]> = samples.iter().map(|s| s.features()).collect();
         let y: Vec<Vec<f64>> = samples
             .iter()
             .map(|s| vec![s.palette_percent, s.alpha])
@@ -69,8 +70,21 @@ impl PalettePredictor {
     }
 
     /// Predicts `(P′, α)` for a new graph and trade-off β (Step 6).
-    pub fn predict(&self, beta: f64, num_vertices: u64, num_edges: u64) -> ParamPrediction {
-        let features = TrainingSample::raw_features(beta, num_vertices, num_edges);
+    /// `candidate_pairs` is the instance's enumeration-cost estimate.
+    /// In training it is the sweep mean of `total_candidate_pairs`
+    /// ([`sweep_candidate_pairs`]); at inference, supply the closest
+    /// available proxy — a probe solve's `total_candidate_pairs()` is a
+    /// cheap monotone stand-in, though it sits below the sweep-mean
+    /// scale (the sweep includes large-`L` configurations), so treat the
+    /// feature as a size ranking rather than a calibrated magnitude.
+    pub fn predict(
+        &self,
+        beta: f64,
+        num_vertices: u64,
+        num_edges: u64,
+        candidate_pairs: u64,
+    ) -> ParamPrediction {
+        let features = TrainingSample::raw_features(beta, num_vertices, num_edges, candidate_pairs);
         let x = self.scaler.transform(&features);
         let y = self.forest.predict(&x);
         ParamPrediction {
@@ -101,6 +115,7 @@ mod tests {
                 beta,
                 num_vertices: v,
                 num_edges: e,
+                candidate_pairs: e / 5.0,
                 palette_percent: 15.0 - 10.0 * beta,
                 alpha: 0.5 + 4.0 * beta,
             });
@@ -112,8 +127,8 @@ mod tests {
     fn fit_predict_round_trip_is_sane() {
         let samples = synthetic_samples();
         let model = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(1));
-        let lo = model.predict(0.1, 3000, 2_250_000);
-        let hi = model.predict(0.9, 3000, 2_250_000);
+        let lo = model.predict(0.1, 3000, 2_250_000, 450_000);
+        let hi = model.predict(0.9, 3000, 2_250_000, 450_000);
         // Learned trend: larger beta -> smaller palette, larger alpha.
         assert!(
             hi.palette_percent < lo.palette_percent,
@@ -131,8 +146,8 @@ mod tests {
         let samples = synthetic_samples();
         let a = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(7));
         let b = PalettePredictor::fit(&samples, RandomForestConfig::paper_default(7));
-        let pa = a.predict(0.5, 5000, 6_000_000);
-        let pb = b.predict(0.5, 5000, 6_000_000);
+        let pa = a.predict(0.5, 5000, 6_000_000, 1_200_000);
+        let pb = b.predict(0.5, 5000, 6_000_000, 1_200_000);
         assert_eq!(pa, pb);
     }
 }

@@ -8,13 +8,16 @@ pub struct StandardScaler {
 }
 
 impl StandardScaler {
-    /// Fits on raw feature rows.
-    pub fn fit(rows: &[[f64; 3]]) -> StandardScaler {
+    /// Fits on raw feature rows (any fixed width ≥ 1; all rows must
+    /// share it).
+    pub fn fit<R: AsRef<[f64]>>(rows: &[R]) -> StandardScaler {
         assert!(!rows.is_empty());
-        let d = 3;
+        let d = rows[0].as_ref().len();
         let n = rows.len() as f64;
         let mut means = vec![0.0; d];
         for r in rows {
+            let r = r.as_ref();
+            debug_assert_eq!(r.len(), d, "ragged feature rows");
             for (m, v) in means.iter_mut().zip(r.iter()) {
                 *m += v;
             }
@@ -24,6 +27,7 @@ impl StandardScaler {
         }
         let mut stds = vec![0.0; d];
         for r in rows {
+            let r = r.as_ref();
             for j in 0..d {
                 stds[j] += (r[j] - means[j]).powi(2);
             }
@@ -37,8 +41,9 @@ impl StandardScaler {
         StandardScaler { means, stds }
     }
 
-    /// Standardizes one row.
-    pub fn transform(&self, row: &[f64; 3]) -> Vec<f64> {
+    /// Standardizes one row (same width as the fitted rows).
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(row.len(), self.means.len());
         row.iter()
             .zip(self.means.iter().zip(self.stds.iter()))
             .map(|(v, (m, s))| (v - m) / s)

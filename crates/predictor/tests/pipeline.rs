@@ -9,7 +9,7 @@ use predictor::{
 };
 use qchem::{generate_pauli_set, BasisSet, Dimensionality};
 
-fn corpus_for(terms: usize, seed: u64) -> (Vec<TrainingSample>, u64, u64) {
+fn corpus_for(terms: usize, seed: u64) -> (Vec<TrainingSample>, u64, u64, u64) {
     let strings = generate_pauli_set(3, Dimensionality::OneD, BasisSet::Sto3g, terms, seed);
     let set = EncodedSet::from_strings(&strings);
     let edges = pauli::oracle::count_edges(&set).complement;
@@ -20,10 +20,12 @@ fn corpus_for(terms: usize, seed: u64) -> (Vec<TrainingSample>, u64, u64) {
         PicassoConfig::normal(1),
     )
     .unwrap();
+    let cand = predictor::sweep_candidate_pairs(&sweep) as u64;
     (
         optimal_points_per_beta(&sweep, strings.len() as u64, edges, &paper_betas()),
         strings.len() as u64,
         edges,
+        cand,
     )
 }
 
@@ -36,11 +38,11 @@ fn end_to_end_train_and_predict() {
     assert_eq!(train.len(), 27); // 3 molecules x 9 betas
 
     let model = PalettePredictor::fit(&train, RandomForestConfig::paper_default(5));
-    let (test, v, e) = corpus_for(250, 9);
+    let (test, v, e, cand) = corpus_for(250, 9);
 
     // Predictions stay within the swept parameter ranges.
     for s in &test {
-        let p = model.predict(s.beta, v, e);
+        let p = model.predict(s.beta, v, e, cand);
         assert!(
             p.palette_percent >= 1.0 && p.palette_percent <= 30.0,
             "{p:?}"
@@ -56,7 +58,7 @@ fn forest_is_competitive_with_linear_models() {
     for (terms, seed) in [(100usize, 1u64), (160, 2), (240, 3), (320, 4)] {
         train.extend(corpus_for(terms, seed).0);
     }
-    let (test, _, _) = corpus_for(200, 8);
+    let (test, _, _, _) = corpus_for(200, 8);
 
     let x_tr: Vec<Vec<f64>> = train.iter().map(|s| s.features().to_vec()).collect();
     let y_tr: Vec<Vec<f64>> = train.iter().map(|s| s.targets()).collect();
@@ -67,7 +69,12 @@ fn forest_is_competitive_with_linear_models() {
     let rf_pred: Vec<Vec<f64>> = test
         .iter()
         .map(|s| {
-            let p = model.predict(s.beta, s.num_vertices as u64, s.num_edges as u64);
+            let p = model.predict(
+                s.beta,
+                s.num_vertices as u64,
+                s.num_edges as u64,
+                s.candidate_pairs as u64,
+            );
             vec![p.palette_percent, p.alpha]
         })
         .collect();
@@ -91,7 +98,12 @@ fn forest_is_competitive_with_linear_models() {
     let rf_train: Vec<Vec<f64>> = train
         .iter()
         .map(|s| {
-            let p = model.predict(s.beta, s.num_vertices as u64, s.num_edges as u64);
+            let p = model.predict(
+                s.beta,
+                s.num_vertices as u64,
+                s.num_edges as u64,
+                s.candidate_pairs as u64,
+            );
             vec![p.palette_percent, p.alpha]
         })
         .collect();

@@ -40,6 +40,9 @@ fn main() {
             Err(SolveError::DeviceOom(e)) => {
                 println!("{capacity_mib:>3} MiB: {e}");
             }
+            Err(e) => {
+                println!("{capacity_mib:>3} MiB: unexpected failure: {e}");
+            }
         }
     }
     println!("\nsmaller devices force host CSR assembly, then fail outright —");

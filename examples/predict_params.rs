@@ -53,8 +53,19 @@ fn main() {
         strings.len()
     );
 
+    // The enumeration-cost feature for an unseen instance: one cheap
+    // Normal-configuration probe solve records total_candidate_pairs.
+    // (Scale caveat: training used the sweep mean, which includes
+    // large-L configurations and sits above a Normal probe — the probe
+    // serves as a monotone size proxy; a closed-form estimate is a
+    // ROADMAP follow-on.)
+    let probe = Picasso::new(PicassoConfig::normal(1))
+        .solve_pauli(&set)
+        .unwrap();
+    let candidate_pairs = probe.total_candidate_pairs();
+
     for beta in [0.2, 0.8] {
-        let p = model.predict(beta, strings.len() as u64, edges);
+        let p = model.predict(beta, strings.len() as u64, edges, candidate_pairs);
         println!(
             "beta={beta}: predicted P' = {:.2}%, alpha = {:.2}",
             p.palette_percent, p.alpha

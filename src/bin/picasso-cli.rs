@@ -183,6 +183,7 @@ fn main() {
             "color_percentage": result.color_percentage(),
             "iterations": result.iterations.len(),
             "total_candidate_pairs": result.total_candidate_pairs(),
+            "index_builds": result.index_builds,
             "total_secs": result.total_secs,
             "groups": groups,
         });
@@ -206,14 +207,16 @@ fn main() {
     }
 
     if args.stats {
-        eprintln!("iter |live |palette |L |cand.pairs |Vc |Ec |uncolored");
+        eprintln!("iter |live |palette |L |maxB |est.pairs |cand.pairs |Vc |Ec |uncolored");
         for s in &result.iterations {
             eprintln!(
-                "{:>4} {:>6} {:>7} {:>3} {:>10} {:>6} {:>8} {:>6}",
+                "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>8} {:>6}",
                 s.iteration,
                 s.live_vertices,
                 s.palette_size,
                 s.list_size,
+                s.max_bucket,
+                s.bucket_pairs_estimate,
                 s.candidate_pairs,
                 s.conflict_vertices,
                 s.conflict_edges,
