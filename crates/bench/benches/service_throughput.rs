@@ -1,0 +1,126 @@
+//! Solve-service serving-path microbenchmarks: the cost of a cold solve
+//! through the full service stack (admission → queue → worker →
+//! cache-store) versus a content-addressed cache hit, and batch
+//! throughput across worker counts.
+//!
+//! The headline comparison pins the acceptance bar of the service PR:
+//! at n = 2048 the cache-hit path must be at least 10× faster than the
+//! cold solve — the hit replays a stored outcome and never touches the
+//! solver.
+//!
+//! Set `PICASSO_BENCH_SMOKE=1` for the seconds-scale CI version (it
+//! still runs the n = 2048 cold/hit comparison, which is the assertion
+//! that keeps this target honest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use picasso_service::{
+    AdmissionConfig, JobOutcome, ServiceConfig, SolveRequest, SolveService, Workload,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("PICASSO_BENCH_SMOKE").is_some()
+}
+
+fn config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        admission: AdmissionConfig::default(),
+    }
+}
+
+fn synth(id: &str, n: usize, seed: u64) -> SolveRequest {
+    SolveRequest::new(
+        id,
+        Workload::SyntheticPauli {
+            n,
+            qubits: 16,
+            seed,
+        },
+    )
+}
+
+fn bench_service(c: &mut Criterion) {
+    // Cold solve vs cache hit, through the whole service stack.
+    let n = 2048;
+    {
+        let service = SolveService::new(config(1));
+        let t = Instant::now();
+        let cold_report = service.process_batch(vec![synth("cold", n, 1)]);
+        let cold_secs = t.elapsed().as_secs_f64();
+        assert!(matches!(
+            cold_report.responses[0].outcome,
+            JobOutcome::Solved(_)
+        ));
+        let t = Instant::now();
+        let hit_report = service.process_batch(vec![synth("hit", n, 1)]);
+        let hit_secs = t.elapsed().as_secs_f64();
+        assert_eq!(hit_report.metrics.cache_hits, 1);
+        assert_eq!(
+            cold_report.responses[0].outcome, hit_report.responses[0].outcome,
+            "replay must be bit-identical"
+        );
+        println!(
+            "service_throughput_n{n}: cold={:.2}ms cache-hit={:.3}ms ({:.0}x faster)",
+            cold_secs * 1e3,
+            hit_secs * 1e3,
+            cold_secs / hit_secs.max(1e-9)
+        );
+        assert!(
+            cold_secs >= 10.0 * hit_secs,
+            "cache-hit path must be >= 10x faster than a cold solve at n={n} \
+             (cold {cold_secs:.4}s vs hit {hit_secs:.4}s)"
+        );
+    }
+
+    let mut group = c.benchmark_group(format!("service_n{n}"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    group.bench_function("cold_solve", |b| {
+        b.iter(|| {
+            // A fresh service per iteration: nothing cached, nothing warm.
+            let service = SolveService::new(config(1));
+            black_box(
+                service
+                    .process_batch(vec![synth("cold", n, 1)])
+                    .metrics
+                    .solved,
+            )
+        })
+    });
+    group.bench_function("cache_hit", |b| {
+        let service = SolveService::new(config(1));
+        service.process_batch(vec![synth("warm", n, 1)]);
+        b.iter(|| {
+            black_box(
+                service
+                    .process_batch(vec![synth("replay", n, 1)])
+                    .metrics
+                    .cache_hits,
+            )
+        })
+    });
+    group.finish();
+
+    // Batch throughput across worker counts: 8 distinct mid-size jobs.
+    let batch_n = if smoke() { 256 } else { 512 };
+    let mut group = c.benchmark_group(format!("service_batch8_n{batch_n}"));
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for workers in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                let service = SolveService::new(config(workers));
+                let reqs: Vec<SolveRequest> = (0..8)
+                    .map(|i| synth(&format!("j{i}"), batch_n, i))
+                    .collect();
+                black_box(service.process_batch(reqs).metrics.solved)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

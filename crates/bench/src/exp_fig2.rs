@@ -82,8 +82,11 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                     "ok".into(),
                 ]);
             }
-            // The device backend never reports a zero-device fleet.
-            Err(SolveError::NoDevices) => unreachable!("single-device backend"),
+            // The device backend never reports a zero-device fleet, and
+            // strict forecasting is off in this experiment.
+            Err(SolveError::NoDevices | SolveError::ForecastOverBudget { .. }) => {
+                unreachable!("single-device backend, lazy forecast")
+            }
             Err(SolveError::DeviceOom(_)) => {
                 // The paper's remedy for the large tier: keep P = 12.5%
                 // but drop α to 1, shrinking the conflict graph to fit.
@@ -107,7 +110,9 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                         continue;
                     }
                     Err(SolveError::DeviceOom(_)) => "OOM@a2, OOM@a1",
-                    Err(SolveError::NoDevices) => unreachable!("single-device backend"),
+                    Err(SolveError::NoDevices | SolveError::ForecastOverBudget { .. }) => {
+                        unreachable!("single-device backend, lazy forecast")
+                    }
                 };
                 table.push_row(vec![
                     spec.name.to_string(),

@@ -50,6 +50,37 @@ pub fn expected_conflict_degree(degree: f64, palette: u32, list: u32) -> f64 {
     degree * list_intersection_probability(palette, list)
 }
 
+/// Closed-form estimate of the bucketed engine's enumeration work for one
+/// iteration over `m` live vertices: each vertex holds `L` of `P` colors,
+/// so the expected bucket depth is `mL/P` and
+///
+/// ```text
+/// Σ_c |B_c|·(|B_c|−1)/2 ≈ P · (mL/P)² / 2 = m²L² / 2P.
+/// ```
+///
+/// The estimate is capped at the all-pairs count `m(m−1)/2`: the
+/// candidate engine never examines more (it falls back to the all-pairs
+/// scan when buckets degenerate), so neither does the forecast. Unlike
+/// [`crate::ColorLists::bucket_load`] — the exact histogram of lists
+/// already drawn — this needs only `(m, P, L)`, making it free to
+/// evaluate *before* any assignment: the predictor's inference-time cost
+/// feature and the solve service's admission pre-check both use it.
+pub fn estimate_candidate_pairs(m: usize, palette: u32, list_size: u32) -> u64 {
+    let m64 = m as u64;
+    let all_pairs = m64.saturating_mul(m64.saturating_sub(1)) / 2;
+    if palette == 0 || m < 2 {
+        return all_pairs;
+    }
+    let m_f = m as f64;
+    let l = f64::from(list_size.min(palette));
+    let est = m_f * m_f * l * l / (2.0 * f64::from(palette));
+    if est >= all_pairs as f64 {
+        all_pairs
+    } else {
+        est as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +156,40 @@ mod tests {
         let q = list_intersection_probability(128, 6);
         assert!((expected_conflict_edges(1000, 128, 6) - 1000.0 * q).abs() < 1e-9);
         assert!((expected_conflict_degree(50.0, 128, 6) - 50.0 * q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_pair_estimate_tracks_the_measured_bucket_load() {
+        // The closed form m²L²/2P concentrates tightly around the exact
+        // pre-oracle histogram total of actually-drawn lists.
+        for (m, palette, list, seed) in [
+            (800usize, 100u32, 6u32, 3u64),
+            (2000, 250, 7, 5),
+            (500, 16, 3, 9),
+        ] {
+            let estimate = estimate_candidate_pairs(m, palette, list) as f64;
+            let measured = ColorLists::assign(m, 0, palette, list, seed, 1)
+                .bucket_load()
+                .total_pairs as f64;
+            assert!(
+                (estimate / measured - 1.0).abs() < 0.10,
+                "m={m} P={palette} L={list}: estimate {estimate} vs measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_pair_estimate_caps_at_all_pairs() {
+        // L = P: every bucket is the whole vertex set; the engine falls
+        // back to all-pairs and so does the estimate.
+        assert_eq!(estimate_candidate_pairs(100, 4, 4), 100 * 99 / 2);
+        assert_eq!(estimate_candidate_pairs(50, 1, 1), 50 * 49 / 2);
+        // Degenerate inputs.
+        assert_eq!(estimate_candidate_pairs(0, 10, 2), 0);
+        assert_eq!(estimate_candidate_pairs(1, 10, 2), 0);
+        // Sparse regime is far below the cap.
+        let est = estimate_candidate_pairs(10_000, 1250, 8);
+        assert!(est < 10_000u64 * 9_999 / 2 / 10);
+        assert!(est > 0);
     }
 }

@@ -72,6 +72,20 @@ pub trait PairSource: Sync {
     /// callback.
     fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize]));
 
+    /// Like [`PairSource::scan_shard`] with the run staging buffer drawn
+    /// from the caller (cleared per pivot, never shrunk) instead of
+    /// allocated per call — the entry point of pooled-arena tasks.
+    /// Defaults to the allocating scan; both concrete sources override.
+    fn scan_shard_scratch(
+        &self,
+        s: usize,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        let _ = run;
+        self.scan_shard(s, emit);
+    }
+
     /// Total pivot rows in the flattened row space (the sub-bucket
     /// sharding granularity). Defaults to one row per shard.
     fn num_rows(&self) -> usize {
@@ -94,6 +108,19 @@ pub trait PairSource: Sync {
     fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
         for s in rows {
             self.scan_shard(s, emit);
+        }
+    }
+
+    /// [`PairSource::scan_rows`] with a caller-provided run staging
+    /// buffer (see [`PairSource::scan_shard_scratch`]).
+    fn scan_rows_scratch(
+        &self,
+        rows: Range<usize>,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        for s in rows {
+            self.scan_shard_scratch(s, run, emit);
         }
     }
 }
@@ -133,15 +160,24 @@ impl PairSource for AllPairsSource<'_> {
     }
 
     fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
+        self.scan_shard_scratch(s, &mut Vec::new(), emit);
+    }
+
+    fn scan_shard_scratch(
+        &self,
+        s: usize,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
         let m = self.lists.len();
-        let mut run: Vec<usize> = Vec::new();
+        run.clear();
         for j in (s + 1)..m {
             if self.lists.intersects(s, j) {
                 run.push(j);
             }
         }
         if !run.is_empty() {
-            emit(s, &run);
+            emit(s, run);
         }
     }
 }
@@ -218,8 +254,16 @@ impl PairSource for BucketSource<'_> {
     }
 
     fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
-        let mut run: Vec<usize> = Vec::new();
-        self.scan_positions(s, 0..self.index.bucket(s).len(), &mut run, emit);
+        self.scan_shard_scratch(s, &mut Vec::new(), emit);
+    }
+
+    fn scan_shard_scratch(
+        &self,
+        s: usize,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        self.scan_positions(s, 0..self.index.bucket(s).len(), run, emit);
     }
 
     #[inline]
@@ -240,10 +284,18 @@ impl PairSource for BucketSource<'_> {
     /// bucket's pair triangle between callers while every pivot row is
     /// still scanned by exactly one of them.
     fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
+        self.scan_rows_scratch(rows, &mut Vec::new(), emit);
+    }
+
+    fn scan_rows_scratch(
+        &self,
+        rows: Range<usize>,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
         if rows.is_empty() {
             return;
         }
-        let mut run: Vec<usize> = Vec::new();
         let mut k = self.index.row_bucket(rows.start);
         let mut r = rows.start;
         while r < rows.end {
@@ -253,7 +305,7 @@ impl PairSource for BucketSource<'_> {
                 continue;
             }
             let hi = rows.end.min(be) - bs;
-            self.scan_positions(k, (r - bs)..hi, &mut run, emit);
+            self.scan_positions(k, (r - bs)..hi, run, emit);
             r = bs + hi;
             k += 1;
         }
@@ -358,6 +410,18 @@ impl PairSource for CandidateEngine<'_> {
         }
     }
 
+    fn scan_shard_scratch(
+        &self,
+        s: usize,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_shard_scratch(s, run, emit),
+            CandidateEngine::AllPairs(src) => src.scan_shard_scratch(s, run, emit),
+        }
+    }
+
     fn num_rows(&self) -> usize {
         match self {
             CandidateEngine::Buckets(s) => s.num_rows(),
@@ -376,6 +440,18 @@ impl PairSource for CandidateEngine<'_> {
         match self {
             CandidateEngine::Buckets(src) => src.scan_rows(rows, emit),
             CandidateEngine::AllPairs(src) => src.scan_rows(rows, emit),
+        }
+    }
+
+    fn scan_rows_scratch(
+        &self,
+        rows: Range<usize>,
+        run: &mut Vec<usize>,
+        emit: &mut dyn FnMut(usize, &[usize]),
+    ) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_rows_scratch(rows, run, emit),
+            CandidateEngine::AllPairs(src) => src.scan_rows_scratch(rows, run, emit),
         }
     }
 }
@@ -517,6 +593,40 @@ mod tests {
                 assert!(vs.windows(2).all(|w| w[0] < w[1]));
                 assert!(vs.iter().all(|&v| v > u));
             });
+        }
+    }
+
+    #[test]
+    fn scratch_scans_match_the_allocating_scans() {
+        // The pooled-arena entry points must emit exactly what the
+        // allocating ones do, for both sources, at shard and row grain.
+        let lists = ColorLists::assign(64, 3, 14, 4, 13, 2);
+        let index = lists.bucket_index();
+        for source in [
+            CandidateEngine::Buckets(BucketSource::new(&lists, &index)),
+            CandidateEngine::AllPairs(AllPairsSource::new(&lists)),
+        ] {
+            let mut run = Vec::new();
+            let mut scratch_pairs = Vec::new();
+            for s in 0..source.num_shards() {
+                source.scan_shard_scratch(s, &mut run, &mut |u, vs| {
+                    for &v in vs {
+                        scratch_pairs.push((u.min(v) as u32, u.max(v) as u32));
+                    }
+                });
+            }
+            scratch_pairs.sort_unstable();
+            assert_eq!(scratch_pairs, collect_pairs(&source));
+
+            let rows = source.num_rows();
+            let mut row_pairs = Vec::new();
+            source.scan_rows_scratch(0..rows, &mut run, &mut |u, vs| {
+                for &v in vs {
+                    row_pairs.push((u.min(v) as u32, u.max(v) as u32));
+                }
+            });
+            row_pairs.sort_unstable();
+            assert_eq!(row_pairs, collect_pairs(&source));
         }
     }
 

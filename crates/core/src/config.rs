@@ -76,6 +76,18 @@ pub struct PicassoConfig {
     /// fresh singleton colors. The algorithm colors ≥1 vertex per
     /// iteration, so this only triggers on adversarial configurations.
     pub max_iterations: usize,
+    /// Device backends only: when set, every iteration's worst-case
+    /// device footprint (input replica + counters + bucket index + a COO
+    /// arena of two slots per [`BucketLoad::total_pairs`] candidate) is
+    /// checked against the device budget **before any oracle query or
+    /// kernel launch**, and an over-budget iteration fails fast with
+    /// [`crate::SolveError::ForecastOverBudget`] instead of discovering
+    /// the overflow mid-kernel. Off by default: the legacy behavior caps
+    /// the arena at whatever fits and only fails if the actual edge list
+    /// overflows it.
+    ///
+    /// [`BucketLoad::total_pairs`]: crate::BucketLoad::total_pairs
+    pub strict_device_forecast: bool,
 }
 
 impl PicassoConfig {
@@ -90,6 +102,7 @@ impl PicassoConfig {
             log_base: 10.0,
             min_palette: 4,
             max_iterations: 10_000,
+            strict_device_forecast: false,
         }
     }
 
@@ -145,6 +158,22 @@ impl PicassoConfig {
     pub fn with_log_base(mut self, base: f64) -> PicassoConfig {
         self.log_base = base;
         self
+    }
+
+    /// Builder-style [`PicassoConfig::strict_device_forecast`] override.
+    pub fn with_strict_forecast(mut self, strict: bool) -> PicassoConfig {
+        self.strict_device_forecast = strict;
+        self
+    }
+
+    /// Closed-form forecast of the *first iteration's* candidate-pair
+    /// enumeration work for an `n`-vertex instance under this
+    /// configuration ([`crate::analysis::estimate_candidate_pairs`] at
+    /// this configuration's `P(n)` and `L(n)`). Free to evaluate — no
+    /// probe solve, no list assignment — which is what makes it usable as
+    /// an admission pre-check before any work is committed to a job.
+    pub fn candidate_pairs_estimate(&self, n: usize) -> u64 {
+        crate::analysis::estimate_candidate_pairs(n, self.palette_size(n), self.list_size(n))
     }
 }
 

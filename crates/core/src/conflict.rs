@@ -51,7 +51,7 @@
 
 use crate::assign::ColorLists;
 use crate::candidates::PairSource;
-use crate::iteration::{IterationContext, IterationScratch};
+use crate::iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
 use device::{DeviceError, DeviceSim};
 use graph::{csr_from_coo_parallel, csr_from_coo_sequential, CsrGraph, EdgeOracle};
 use rayon::prelude::*;
@@ -76,18 +76,22 @@ pub struct ConflictBuild {
 
 /// Runs the candidates of contiguous flat rows `rows` through the
 /// batched-with-scratch oracle path, pushing hits as `(u, v)` pairs via
-/// `push`. `hits` and `mapped` are caller-owned arenas (context scratch
-/// on single-threaded paths, per-task locals on parallel ones).
+/// `push`. `run`, `hits` and `mapped` are caller-owned arenas (context
+/// scratch on single-threaded paths, pooled [`TaskArena`] buffers on
+/// parallel ones), so a warm scan allocates nothing.
+///
+/// [`TaskArena`]: crate::iteration::TaskArena
 #[inline]
 fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     oracle: &O,
     source: &S,
     rows: std::ops::Range<usize>,
+    run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
-    source.scan_rows(rows, &mut |u, vs| {
+    source.scan_rows_scratch(rows, run, &mut |u, vs| {
         hits.clear();
         hits.resize(vs.len(), false);
         oracle.has_edge_block_scratch(u, vs, hits, mapped);
@@ -100,17 +104,18 @@ fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
 }
 
 /// Like [`scan_rows_edges`] but over one whole shard — the granularity
-/// of the rayon- and single-device-parallel paths.
+/// of the single-device kernel blocks.
 #[inline]
 fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     oracle: &O,
     source: &S,
     shard: usize,
+    run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
-    source.scan_shard(shard, &mut |u, vs| {
+    source.scan_shard_scratch(shard, run, &mut |u, vs| {
         hits.clear();
         hits.resize(vs.len(), false);
         oracle.has_edge_block_scratch(u, vs, hits, mapped);
@@ -123,9 +128,8 @@ fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
 }
 
 /// Sequential bucketed build: one pass over the flat pivot-row space,
-/// with the COO/hit/remap arenas drawn from the context — steady-state
-/// iterations allocate only the output CSR plus the scan's single run
-/// staging buffer.
+/// with the COO/run/hit/remap arenas all drawn from the context —
+/// steady-state iterations allocate only the output CSR.
 pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
     let (engine, scratch) = ctx.engine_and_scratch();
     let m = engine.num_vertices();
@@ -134,12 +138,15 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         edges,
         hits,
         mapped,
+        run,
+        ..
     } = scratch;
     edges.clear();
     scan_rows_edges(
         oracle,
         &engine,
         0..engine.num_rows(),
+        run,
         hits,
         mapped,
         |u, v| edges.push((u, v)),
@@ -184,28 +191,49 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
     }
 }
 
-/// Rayon-parallel bucketed build: shards (buckets) are scanned in
-/// parallel with per-shard edge buffers; rayon's ordered collect keeps
-/// the edge order identical to the sequential build.
+/// Rayon-parallel bucketed build over pair-balanced blocks of the flat
+/// pivot-row space. Every block checks a [`TaskArena`] out of the
+/// context's [`ScratchPool`] for its staging/run/hit/remap buffers and
+/// returns it afterwards, so once the pool has warmed to the concurrency
+/// high-water mark (during the first build) the parallel path allocates
+/// **no staging buffers per task** — the per-thread extension of the
+/// context's zero-allocation property. Blocks merge into the context's
+/// COO arena under a lock; the merge is sorted before CSR assembly, so
+/// the output is bit-identical to the sequential build under any
+/// scheduling.
 pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
-    let (engine, _scratch) = ctx.engine_and_scratch();
+    let (engine, scratch) = ctx.engine_and_scratch();
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
-    let edges: Vec<(u32, u32)> = (0..engine.num_shards())
-        .into_par_iter()
-        .flat_map_iter(|s| {
-            let mut local: Vec<(u32, u32)> = Vec::new();
-            let mut hits: Vec<bool> = Vec::new();
-            let mut mapped: Vec<usize> = Vec::new();
-            scan_shard_edges(oracle, &engine, s, &mut hits, &mut mapped, |u, v| {
-                local.push((u, v))
-            });
-            local
-        })
-        .collect();
+    let IterationScratch { edges, pool, .. } = scratch;
+    let pool: &ScratchPool = pool;
+    edges.clear();
+    let row_weights = engine.row_weights();
+    let cuts = device::balanced_weight_cuts(&row_weights, rayon::current_num_threads() * 4);
+    let merged = std::sync::Mutex::new(std::mem::take(edges));
+    cuts.into_par_iter().for_each(|rows| {
+        let mut arena = pool.take();
+        let TaskArena {
+            edges: staged,
+            run,
+            hits,
+            mapped,
+            ..
+        } = &mut arena;
+        staged.clear();
+        scan_rows_edges(oracle, &engine, rows, run, hits, mapped, |u, v| {
+            staged.push((u, v))
+        });
+        if !staged.is_empty() {
+            merged.lock().unwrap().extend_from_slice(staged);
+        }
+        pool.put(arena);
+    });
+    *edges = merged.into_inner().unwrap();
+    edges.sort_unstable();
     let num_edges = edges.len();
     ConflictBuild {
-        graph: csr_from_coo_parallel(m, &edges),
+        graph: csr_from_coo_parallel(m, edges),
         num_edges,
         candidate_pairs: engine.candidate_pairs(),
         csr_on_device: None,
@@ -253,6 +281,8 @@ pub fn build_device<O: EdgeOracle>(
     let (engine, scratch) = ctx.engine_and_scratch();
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
+    let IterationScratch { edges, pool, .. } = scratch;
+    let pool: &ScratchPool = pool;
     if m == 0 {
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(0),
@@ -332,27 +362,39 @@ pub fn build_device<O: EdgeOracle>(
         let weights: Vec<u64> = (0..engine.num_shards())
             .map(|s| engine.shard_weight(s))
             .collect();
+        // Kernel blocks draw their staging buffers from the context's
+        // arena pool instead of allocating per launch.
         dev.launch_weighted_blocks(&weights, num_blocks, |_b, shards| {
-            let mut staged: Vec<u32> = Vec::new();
-            let mut hits: Vec<bool> = Vec::new();
-            let mut mapped: Vec<usize> = Vec::new();
+            let mut arena = pool.take();
+            let TaskArena {
+                staged,
+                run,
+                hits,
+                mapped,
+                ..
+            } = &mut arena;
+            staged.clear();
             for s in shards {
-                scan_shard_edges(oracle, &engine, s, &mut hits, &mut mapped, |u, v| {
+                scan_shard_edges(oracle, &engine, s, run, hits, mapped, |u, v| {
                     staged.push(u);
                     staged.push(v);
                 });
             }
-            if staged.is_empty() {
-                return;
+            if !staged.is_empty() {
+                let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
+                if at + staged.len() > edge_slots {
+                    overflow.store(true, Ordering::Relaxed);
+                } else {
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            staged.as_ptr(),
+                            out_ref.0.add(at),
+                            staged.len(),
+                        );
+                    }
+                }
             }
-            let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
-            if at + staged.len() > edge_slots {
-                overflow.store(true, Ordering::Relaxed);
-                return;
-            }
-            unsafe {
-                std::ptr::copy_nonoverlapping(staged.as_ptr(), out_ref.0.add(at), staged.len());
-            }
+            pool.put(arena);
         });
     }
     if overflow.load(Ordering::Relaxed) {
@@ -367,7 +409,6 @@ pub fn build_device<O: EdgeOracle>(
     // Canonicalize into the context's COO arena: block scheduling
     // perturbs edge order, but CSR construction sorts adjacency, so the
     // result is order-independent.
-    let edges = &mut scratch.edges;
     edges.clear();
     edges.extend(
         edge_buf.as_slice()[..used_slots]
@@ -456,6 +497,8 @@ pub fn build_multi_device<O: EdgeOracle>(
     let (engine, scratch) = ctx.engine_and_scratch();
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
+    let IterationScratch { edges, pool, .. } = scratch;
+    let pool: &ScratchPool = pool;
     if m < 2 {
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(m),
@@ -483,7 +526,6 @@ pub fn build_multi_device<O: EdgeOracle>(
         "truncated span carries candidate pairs"
     );
 
-    let edges = &mut scratch.edges;
     edges.clear();
     for (span, dev) in cuts.iter().zip(devices.iter()) {
         // (1) Input replica, charged to this device's budget.
@@ -533,26 +575,37 @@ pub fn build_multi_device<O: EdgeOracle>(
             let out_ref = &out;
             let num_blocks = rayon::current_num_threads() * 2;
             // (5) Triangle-sharded kernel: blocks own pair-balanced row
-            // ranges of this device's span (global row ids).
+            // ranges of this device's span (global row ids), drawing
+            // their staging buffers from the context's arena pool.
             dev.launch_weighted_span(span_weights, span.start, num_blocks, |_b, rows| {
-                let mut staged: Vec<u32> = Vec::new();
-                let mut hits: Vec<bool> = Vec::new();
-                let mut mapped: Vec<usize> = Vec::new();
-                scan_rows_edges(oracle, &engine, rows, &mut hits, &mut mapped, |u, v| {
+                let mut arena = pool.take();
+                let TaskArena {
+                    staged,
+                    run,
+                    hits,
+                    mapped,
+                    ..
+                } = &mut arena;
+                staged.clear();
+                scan_rows_edges(oracle, &engine, rows, run, hits, mapped, |u, v| {
                     staged.push(u);
                     staged.push(v);
                 });
-                if staged.is_empty() {
-                    return;
+                if !staged.is_empty() {
+                    let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
+                    if at + staged.len() > edge_slots {
+                        overflow.store(true, Ordering::Relaxed);
+                    } else {
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                staged.as_ptr(),
+                                out_ref.0.add(at),
+                                staged.len(),
+                            );
+                        }
+                    }
                 }
-                let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
-                if at + staged.len() > edge_slots {
-                    overflow.store(true, Ordering::Relaxed);
-                    return;
-                }
-                unsafe {
-                    std::ptr::copy_nonoverlapping(staged.as_ptr(), out_ref.0.add(at), staged.len());
-                }
+                pool.put(arena);
             });
         }
         if overflow.load(Ordering::Relaxed) {
@@ -782,6 +835,39 @@ mod tests {
             assert!(devb.csr_on_device.is_some());
             assert!(ctx.index_builds() <= 1, "index shared across backends");
         }
+    }
+
+    #[test]
+    fn parallel_build_warms_the_arena_pool_once() {
+        // The pool grows to the concurrency high-water mark during the
+        // first parallel build; same-shape rebuilds create no arenas and
+        // return every arena to the pool.
+        let m = 300;
+        let oracle = dense_oracle(m);
+        let mut ctx = ctx_for(&ColorLists::assign(m, 0, 40, 4, 3, 1));
+        let first = build_parallel(&oracle, &mut ctx);
+        let created = ctx.scratch_pool().arenas_created();
+        assert!(created > 0, "parallel blocks must draw from the pool");
+        assert_eq!(ctx.scratch_pool().arenas_pooled(), created, "all returned");
+        for iter in 2..5u64 {
+            ctx.set_lists(ColorLists::assign(m, 0, 40, 4, 3, iter));
+            let again = build_parallel(&oracle, &mut ctx);
+            assert_eq!(
+                ctx.scratch_pool().arenas_created(),
+                created,
+                "iteration {iter} created new arenas"
+            );
+            assert_eq!(ctx.scratch_pool().arenas_pooled(), created);
+            assert_eq!(again.graph.num_vertices(), first.graph.num_vertices());
+        }
+        // The device kernels share the same pool.
+        let dev = DeviceSim::new(64 * 1024 * 1024);
+        let _ = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
+        assert_eq!(
+            ctx.scratch_pool().arenas_pooled(),
+            ctx.scratch_pool().arenas_created(),
+            "device blocks must return their arenas too"
+        );
     }
 
     #[test]

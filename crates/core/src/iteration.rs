@@ -29,6 +29,70 @@
 
 use crate::assign::{BucketIndex, BucketLoad, ColorLists};
 use crate::candidates::CandidateEngine;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The per-task staging buffers one block of a parallel build checks out
+/// of a [`ScratchPool`]: COO edge staging (tuple form for the host
+/// paths, flat form for the device kernels), the oracle hit vector, and
+/// the live-view remap arena. Buffers are cleared by the borrower, never
+/// shrunk, so a recycled arena serves a same-shape block without
+/// allocating.
+#[derive(Debug, Default)]
+pub struct TaskArena {
+    /// `(u, v)` edge staging for the rayon-parallel build.
+    pub edges: Vec<(u32, u32)>,
+    /// Flat `u, v, u, v, …` edge staging for the device kernels.
+    pub staged: Vec<u32>,
+    /// Candidate-run staging for [`crate::PairSource::scan_rows`].
+    pub run: Vec<usize>,
+    /// Oracle hit vector for batched `has_edge_block` queries.
+    pub hits: Vec<bool>,
+    /// Index-remapping arena for [`crate::LiveView`]'s batched path.
+    pub mapped: Vec<usize>,
+}
+
+/// A pool of [`TaskArena`]s shared by the tasks of the parallel conflict
+/// builds (rayon blocks, device kernel blocks). Arenas are created only
+/// when a task finds the pool empty and are returned after use, so the
+/// pool warms up to the concurrency high-water mark on the first build
+/// and the parallel backends allocate **no staging buffers per task**
+/// from then on — the per-thread extension of the iteration context's
+/// zero-allocation property ([`ScratchPool::arenas_created`] lets tests
+/// pin it).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    arenas: Mutex<Vec<TaskArena>>,
+    created: AtomicUsize,
+}
+
+impl ScratchPool {
+    /// Checks an arena out of the pool, creating an empty one only when
+    /// every pooled arena is already lent out.
+    pub fn take(&self) -> TaskArena {
+        if let Some(arena) = self.arenas.lock().unwrap().pop() {
+            return arena;
+        }
+        self.created.fetch_add(1, Ordering::Relaxed);
+        TaskArena::default()
+    }
+
+    /// Returns an arena (its grown buffers intact) for reuse.
+    pub fn put(&self, arena: TaskArena) {
+        self.arenas.lock().unwrap().push(arena);
+    }
+
+    /// Total arenas ever created — stable across same-shape builds once
+    /// the pool has warmed to the concurrency high-water mark.
+    pub fn arenas_created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Arenas currently resting in the pool.
+    pub fn arenas_pooled(&self) -> usize {
+        self.arenas.lock().unwrap().len()
+    }
+}
 
 /// Reusable scratch arenas lent to the conflict builders. All buffers
 /// persist across iterations (and across backends within an iteration):
@@ -44,6 +108,14 @@ pub struct IterationScratch {
     /// Index-remapping arena for [`crate::LiveView`]'s batched path
     /// ([`graph::EdgeOracle::has_edge_block_scratch`]).
     pub mapped: Vec<usize>,
+    /// Candidate-run staging for the sequential scan
+    /// ([`crate::PairSource::scan_rows_scratch`]) — the buffer that used
+    /// to be the last per-build allocation of the sequential backend.
+    pub run: Vec<usize>,
+    /// Per-task arena pool for the parallel backends (rayon blocks and
+    /// device kernel blocks draw their staging buffers from here instead
+    /// of allocating per task).
+    pub pool: ScratchPool,
 }
 
 /// The per-iteration workspace: owns the color lists, the shared bucket
@@ -179,6 +251,12 @@ impl IterationContext {
         (&self.lists, &mut self.scratch)
     }
 
+    /// The per-task arena pool the parallel backends draw from —
+    /// introspection hook for the reuse tests and benches.
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.scratch.pool
+    }
+
     /// Current arena capacities `(edges, hits, mapped)` — introspection
     /// hook for the reuse tests and the `conflict_build` bench.
     pub fn scratch_capacities(&self) -> (usize, usize, usize) {
@@ -187,6 +265,97 @@ impl IterationContext {
             self.scratch.hits.capacity(),
             self.scratch.mapped.capacity(),
         )
+    }
+
+    /// Worst-case bytes Algorithm 3 can charge **one device** for this
+    /// iteration's build, computable pre-oracle and pre-index from the
+    /// lists' metadata and bucket histogram alone: the encoded-input
+    /// replica, the per-vertex edge-offset counters, the (bucketed)
+    /// inverted-index upload, and a COO arena of two `u32` slots per
+    /// candidate pair (each candidate yields at most one edge, so a
+    /// build that passes this forecast can never overflow mid-kernel).
+    /// [`crate::PicassoConfig::strict_device_forecast`] compares this
+    /// against the device budget before any kernel launches.
+    pub fn device_forecast_bytes(&self, input_bytes_per_vertex: usize) -> usize {
+        let m = self.lists.len();
+        let input = m * input_bytes_per_vertex;
+        if m < 2 {
+            return input;
+        }
+        let m64 = m as u64;
+        let wide_counters = m64.saturating_mul(m64) >= u32::MAX as u64;
+        let counters = m * if wide_counters { 8 } else { 4 };
+        let coo = 2u64
+            .saturating_mul(self.forecast_pairs())
+            .saturating_mul(std::mem::size_of::<u32>() as u64)
+            .min(usize::MAX as u64) as usize;
+        input
+            .saturating_add(counters)
+            .saturating_add(self.index_forecast_bytes())
+            .saturating_add(coo)
+    }
+
+    /// Worst-case bytes charged to **each of `devices` budgets** by the
+    /// sub-bucket-sharded multi-device build: the full input and index
+    /// replicas plus this device's pair-balanced span share of the COO
+    /// arena. Span balancing is row-granular, so the pair share is
+    /// padded by one deepest-bucket row — a conservative bound on how
+    /// far [`device::balanced_weight_cuts`] can overshoot the ideal
+    /// `pairs / devices` split — and the edge-offset counters are
+    /// charged for the *whole* row space: spans are balanced by pair
+    /// weight, not row count, so a skewed histogram can hand one device
+    /// nearly every row while its pair share stays fair.
+    pub fn multi_device_forecast_bytes(
+        &self,
+        input_bytes_per_vertex: usize,
+        devices: usize,
+    ) -> usize {
+        let m = self.lists.len();
+        let input = m * input_bytes_per_vertex;
+        if m < 2 || devices == 0 {
+            return input;
+        }
+        let pairs = self.forecast_pairs();
+        let span_pairs = pairs.div_ceil(devices as u64) + self.load.max_bucket as u64;
+        let rows = if self.bucketed {
+            m * self.lists.list_size()
+        } else {
+            m
+        };
+        let counters = rows.saturating_mul(4);
+        let coo = 2u64
+            .saturating_mul(span_pairs.min(pairs))
+            .saturating_mul(std::mem::size_of::<u32>() as u64)
+            .min(usize::MAX as u64) as usize;
+        input
+            .saturating_add(counters)
+            .saturating_add(self.index_forecast_bytes())
+            .saturating_add(coo)
+    }
+
+    /// Candidate pairs the selected engine will examine this iteration —
+    /// exact, from the pre-oracle bucket histogram (equals
+    /// [`BucketIndex::total_pairs`] when bucketed, `m(m−1)/2` otherwise).
+    fn forecast_pairs(&self) -> u64 {
+        if self.bucketed {
+            self.load.total_pairs
+        } else {
+            let m = self.lists.len() as u64;
+            m * m.saturating_sub(1) / 2
+        }
+    }
+
+    /// Bytes of the shared bucket index a device replica would hold
+    /// (`(N·L + P + 1)` u32 values, matching
+    /// [`BucketIndex::device_bytes`]), zero for the all-pairs fallback —
+    /// computed without building the index.
+    fn index_forecast_bytes(&self) -> usize {
+        if self.bucketed {
+            (self.lists.len() * self.lists.list_size() + self.lists.palette_size() as usize + 1)
+                * std::mem::size_of::<u32>()
+        } else {
+            0
+        }
     }
 }
 
@@ -245,6 +414,66 @@ mod tests {
         ctx.set_lists(lists);
         assert_eq!(ctx.bucket_load(), expected);
         assert!(ctx.bucket_load().total_pairs > 0);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_arenas() {
+        let pool = ScratchPool::default();
+        assert_eq!(pool.arenas_created(), 0);
+        let mut a = pool.take();
+        assert_eq!(pool.arenas_created(), 1);
+        a.edges.reserve(1000);
+        let grown = a.edges.capacity();
+        pool.put(a);
+        assert_eq!(pool.arenas_pooled(), 1);
+        // A recycled arena keeps its grown buffers.
+        let b = pool.take();
+        assert_eq!(pool.arenas_created(), 1, "no new arena while one rests");
+        assert!(b.edges.capacity() >= grown);
+        pool.put(b);
+    }
+
+    #[test]
+    fn device_forecast_is_pre_index_and_bounds_the_real_build() {
+        use crate::conflict::build_device;
+        use device::DeviceSim;
+        use graph::FnOracle;
+        let m = 150;
+        let oracle = FnOracle::new(m, |u, v| (u * 13 + v * 7) % 3 == 0);
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(ColorLists::assign(m, 0, 30, 4, 3, 1));
+        let forecast = ctx.device_forecast_bytes(16);
+        // The forecast is derived from metadata and the histogram alone.
+        assert_eq!(ctx.index_builds(), 0, "forecast must not build the index");
+        // It is a true worst-case bound: a device with exactly that
+        // budget always completes the build.
+        let dev = DeviceSim::new(forecast);
+        let built = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
+        assert!(built.num_edges > 0);
+        assert!(dev.stats().peak_bytes <= forecast);
+    }
+
+    #[test]
+    fn multi_device_forecast_bounds_every_replica() {
+        use crate::conflict::build_multi_device;
+        use device::DeviceSim;
+        use graph::FnOracle;
+        let m = 150;
+        let oracle = FnOracle::new(m, |u, v| (u * 11 + v * 5) % 2 == 0);
+        for devices in [1usize, 2, 5] {
+            let mut ctx = IterationContext::new();
+            ctx.set_lists(ColorLists::assign(m, 0, 20, 4, 7, 1));
+            let forecast = ctx.multi_device_forecast_bytes(16, devices);
+            let fleet: Vec<DeviceSim> = (0..devices).map(|_| DeviceSim::new(forecast)).collect();
+            build_multi_device(&oracle, &mut ctx, &fleet, 16).unwrap();
+            for d in &fleet {
+                assert!(
+                    d.stats().peak_bytes <= forecast,
+                    "devices={devices}: replica peaked {} over forecast {forecast}",
+                    d.stats().peak_bytes
+                );
+            }
+        }
     }
 
     #[test]

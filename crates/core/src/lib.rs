@@ -53,11 +53,12 @@ pub mod partition;
 pub mod solver;
 pub mod sweep;
 
+pub use analysis::estimate_candidate_pairs;
 pub use assign::{BucketIndex, BucketLoad, ColorLists};
 pub use candidates::{AllPairsSource, BucketSource, CandidateEngine, PairSource};
 pub use config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 pub use conflict::ConflictBuild;
-pub use iteration::{IterationContext, IterationScratch};
+pub use iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
 pub use oracle::{LiveView, PauliComplementOracle};
 pub use partition::{partition_operator, UnitaryGroup, UnitaryPartition};
 pub use solver::{IterationStats, Picasso, PicassoResult, SolveError};

@@ -23,6 +23,18 @@ pub enum SolveError {
     /// run; a fleet of zero devices is a configuration error and is
     /// rejected loudly.
     NoDevices,
+    /// [`PicassoConfig::strict_device_forecast`] is set and an
+    /// iteration's pre-oracle worst-case footprint
+    /// ([`IterationContext::device_forecast_bytes`](crate::IterationContext::device_forecast_bytes))
+    /// exceeded the device budget: the iteration was rejected **before
+    /// any oracle query or kernel launch**, instead of discovering the
+    /// overflow mid-kernel as the legacy capped-arena path does.
+    ForecastOverBudget {
+        /// Worst-case bytes the iteration could charge a device.
+        estimate_bytes: usize,
+        /// The configured per-device budget.
+        budget_bytes: usize,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -32,6 +44,14 @@ impl std::fmt::Display for SolveError {
             SolveError::NoDevices => {
                 write!(f, "multi-device backend configured with zero devices")
             }
+            SolveError::ForecastOverBudget {
+                estimate_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "device forecast over budget: iteration could need {estimate_bytes} B \
+                 of a {budget_bytes} B device"
+            ),
         }
     }
 }
@@ -175,22 +195,48 @@ impl Picasso {
     /// Colors the complement graph of a Pauli-string set; color classes
     /// are anticommuting cliques (the unitary partition).
     pub fn solve_pauli<S: AntiCommuteSet>(&self, set: &S) -> Result<PicassoResult, SolveError> {
+        self.solve_pauli_in(set, &mut IterationContext::new())
+    }
+
+    /// [`Picasso::solve_pauli`] with a caller-owned
+    /// [`IterationContext`]. The context's lists, index storage and
+    /// scratch arenas are reused across calls, so a long-lived worker
+    /// (e.g. one thread of a solve service) serving a stream of
+    /// similar-shape instances reaches an allocation-free steady state
+    /// instead of paying the workspace warm-up on every job. Results are
+    /// identical to a fresh-context solve.
+    pub fn solve_pauli_in<S: AntiCommuteSet>(
+        &self,
+        set: &S,
+        ctx: &mut IterationContext,
+    ) -> Result<PicassoResult, SolveError> {
         let oracle = PauliComplementOracle::new(set);
         let words_bytes = pauli::encode::words_for(set.num_qubits()) * std::mem::size_of::<u64>();
-        self.solve_inner(&oracle, words_bytes)
+        self.solve_inner(&oracle, words_bytes, ctx)
     }
 
     /// Colors an arbitrary implicit graph given by an edge oracle.
     pub fn solve_oracle<O: EdgeOracle>(&self, oracle: &O) -> Result<PicassoResult, SolveError> {
+        self.solve_oracle_in(oracle, &mut IterationContext::new())
+    }
+
+    /// [`Picasso::solve_oracle`] with a caller-owned
+    /// [`IterationContext`] (see [`Picasso::solve_pauli_in`]).
+    pub fn solve_oracle_in<O: EdgeOracle>(
+        &self,
+        oracle: &O,
+        ctx: &mut IterationContext,
+    ) -> Result<PicassoResult, SolveError> {
         // Nominal one-word-per-vertex device payload for non-Pauli
         // oracles.
-        self.solve_inner(oracle, std::mem::size_of::<u64>())
+        self.solve_inner(oracle, std::mem::size_of::<u64>(), ctx)
     }
 
     fn solve_inner<O: EdgeOracle>(
         &self,
         oracle: &O,
         words_bytes_per_vertex: usize,
+        ctx: &mut IterationContext,
     ) -> Result<PicassoResult, SolveError> {
         let cfg = &self.config;
         let n = oracle.num_vertices();
@@ -221,13 +267,15 @@ impl Picasso {
             _ => None,
         };
 
-        // The per-iteration workspace: constructed once, lent to every
-        // stage of every round. Lists are re-assigned in place, the
-        // bucket index is built at most once per iteration and shared by
+        // The per-iteration workspace: constructed once per solve (or
+        // owned by a long-lived worker and lent in), used by every stage
+        // of every round. Lists are re-assigned in place, the bucket
+        // index is built at most once per iteration and shared by
         // whichever backend(s) run, and the scratch arenas (COO staging,
-        // oracle hit vectors, live-view remapping) persist across
-        // iterations.
-        let mut ctx = IterationContext::new();
+        // oracle hit vectors, live-view remapping, the per-task pool)
+        // persist across iterations — and across solves when the caller
+        // reuses the context. `index_builds` is reported per solve.
+        let index_builds_at_start = ctx.index_builds();
         let mut conflicted: Vec<u32> = Vec::new();
 
         let mut iter = 0usize;
@@ -259,22 +307,49 @@ impl Picasso {
             let view = LiveView::new(oracle, &live);
             let input_bpv =
                 words_bytes_per_vertex + ctx.lists().list_size() * std::mem::size_of::<u32>();
+            // Strict forecast gate: compare the iteration's worst-case
+            // device footprint (pre-oracle, from the bucket histogram)
+            // against the budget, so an over-budget iteration fails here
+            // — before any oracle query or kernel launch — with a typed
+            // error instead of a mid-kernel overflow. A build that
+            // passes gets a full-worst-case COO arena and cannot OOM
+            // mid-kernel.
+            if cfg.strict_device_forecast {
+                let checked = match cfg.backend {
+                    ConflictBackend::Device { capacity_bytes } => {
+                        Some((ctx.device_forecast_bytes(input_bpv), capacity_bytes))
+                    }
+                    ConflictBackend::MultiDevice {
+                        devices,
+                        capacity_each,
+                    } => Some((
+                        ctx.multi_device_forecast_bytes(input_bpv, devices),
+                        capacity_each,
+                    )),
+                    _ => None,
+                };
+                if let Some((estimate_bytes, budget_bytes)) = checked {
+                    if estimate_bytes > budget_bytes {
+                        return Err(SolveError::ForecastOverBudget {
+                            estimate_bytes,
+                            budget_bytes,
+                        });
+                    }
+                }
+            }
             let t1 = Instant::now();
             let build: ConflictBuild = match cfg.backend {
-                ConflictBackend::Sequential => conflict::build_sequential(&view, &mut ctx),
-                ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, &mut ctx),
-                ConflictBackend::Parallel => conflict::build_parallel(&view, &mut ctx),
+                ConflictBackend::Sequential => conflict::build_sequential(&view, ctx),
+                ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, ctx),
+                ConflictBackend::Parallel => conflict::build_parallel(&view, ctx),
                 ConflictBackend::Device { .. } => {
-                    conflict::build_device(&view, &mut ctx, dev.as_ref().unwrap(), input_bpv)
+                    conflict::build_device(&view, ctx, dev.as_ref().unwrap(), input_bpv)
                         .map_err(SolveError::DeviceOom)?
                 }
-                ConflictBackend::MultiDevice { .. } => conflict::build_multi_device(
-                    &view,
-                    &mut ctx,
-                    multi_dev.as_ref().unwrap(),
-                    input_bpv,
-                )
-                .map_err(SolveError::DeviceOom)?,
+                ConflictBackend::MultiDevice { .. } => {
+                    conflict::build_multi_device(&view, ctx, multi_dev.as_ref().unwrap(), input_bpv)
+                        .map_err(SolveError::DeviceOom)?
+                }
             };
             let conflict_secs = t1.elapsed().as_secs_f64();
             let gc = build.graph;
@@ -368,7 +443,7 @@ impl Picasso {
             iterations,
             total_secs: start.elapsed().as_secs_f64(),
             device_stats,
-            index_builds: ctx.index_builds(),
+            index_builds: ctx.index_builds() - index_builds_at_start,
         })
     }
 }
@@ -553,6 +628,86 @@ mod tests {
                 s.candidate_pairs
             );
         }
+    }
+
+    #[test]
+    fn context_reuse_across_solves_matches_fresh_context() {
+        // A long-lived worker context must serve a stream of different
+        // instances with results identical to fresh-context solves, and
+        // report per-solve (not cumulative) index builds.
+        let base = PicassoConfig::normal(5);
+        let mut ctx = IterationContext::new();
+        for seed in [1u64, 2, 3] {
+            let set = random_set(130, 9, seed);
+            let fresh = Picasso::new(base).solve_pauli(&set).unwrap();
+            let reused = Picasso::new(base).solve_pauli_in(&set, &mut ctx).unwrap();
+            assert_eq!(fresh.colors, reused.colors, "seed {seed}");
+            assert_eq!(fresh.num_colors, reused.num_colors);
+            assert_eq!(fresh.index_builds, reused.index_builds, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strict_forecast_rejects_over_budget_before_any_device_work() {
+        let set = random_set(300, 8, 5);
+        // A device far too small for the worst-case footprint: strict
+        // mode fails fast with the typed forecast error (the legacy path
+        // would instead discover an OOM mid-kernel).
+        let cfg = PicassoConfig::normal(1)
+            .with_backend(ConflictBackend::Device {
+                capacity_bytes: 4 * 1024,
+            })
+            .with_strict_forecast(true);
+        let err = Picasso::new(cfg).solve_pauli(&set).unwrap_err();
+        match err {
+            SolveError::ForecastOverBudget {
+                estimate_bytes,
+                budget_bytes,
+            } => {
+                assert!(estimate_bytes > budget_bytes);
+                assert_eq!(budget_bytes, 4 * 1024);
+            }
+            other => panic!("expected forecast rejection, got {other:?}"),
+        }
+        assert!(err.to_string().contains("forecast over budget"));
+    }
+
+    #[test]
+    fn strict_forecast_passes_and_matches_plain_solve_when_budget_fits() {
+        let set = random_set(200, 8, 6);
+        for backend in [
+            ConflictBackend::Device {
+                capacity_bytes: 64 * 1024 * 1024,
+            },
+            ConflictBackend::MultiDevice {
+                devices: 3,
+                capacity_each: 32 * 1024 * 1024,
+            },
+        ] {
+            let plain = Picasso::new(PicassoConfig::normal(2).with_backend(backend))
+                .solve_pauli(&set)
+                .unwrap();
+            let strict = Picasso::new(
+                PicassoConfig::normal(2)
+                    .with_backend(backend)
+                    .with_strict_forecast(true),
+            )
+            .solve_pauli(&set)
+            .unwrap();
+            assert_eq!(plain.colors, strict.colors, "{backend:?}");
+        }
+        // Strict mode on a too-small multi-device fleet also rejects.
+        let err = Picasso::new(
+            PicassoConfig::normal(2)
+                .with_backend(ConflictBackend::MultiDevice {
+                    devices: 2,
+                    capacity_each: 2 * 1024,
+                })
+                .with_strict_forecast(true),
+        )
+        .solve_pauli(&set)
+        .unwrap_err();
+        assert!(matches!(err, SolveError::ForecastOverBudget { .. }));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Admission control: decide a job's fate **before any solve work runs**.
+//!
+//! The pre-oracle load estimates grown in the core crate make this
+//! possible with zero cost per decision: the closed-form candidate-pair
+//! estimate [`picasso::estimate_candidate_pairs`] (`≈ m²L²/2P`) needs
+//! only the vertex count and the resolved configuration — no list
+//! assignment, no oracle query, no probe solve — and from it the
+//! controller forecasts the job's worst-case host footprint. Jobs whose
+//! forecast exceeds the hard budget are rejected outright (their
+//! response carries the numbers); jobs above the soft budget are
+//! *demoted* to the lowest priority so small interactive work overtakes
+//! them in the queue.
+
+use crate::job::{SolveRequest, Workload};
+use picasso::PicassoConfig;
+
+/// Byte budgets the controller enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Hard ceiling: forecasts above this are rejected.
+    pub max_forecast_bytes: usize,
+    /// Soft ceiling: forecasts above this are admitted at priority 0.
+    pub demote_forecast_bytes: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_forecast_bytes: 256 * 1024 * 1024,
+            demote_forecast_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// The controller's verdict on one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Under the soft budget: queue at the requested priority.
+    Admit {
+        /// The forecast that cleared the budgets.
+        forecast_bytes: usize,
+    },
+    /// Between the soft and hard budgets: queue at priority 0.
+    Demote {
+        /// The forecast that tripped the soft budget.
+        forecast_bytes: usize,
+    },
+    /// Over the hard budget (or unresolvable): do not queue.
+    Reject {
+        /// Why (budget numbers or the configuration error).
+        reason: String,
+    },
+}
+
+/// Worst-case host bytes one solve of `workload` under `cfg` can hold
+/// live at once, from closed-form estimates alone: the encoded input,
+/// the first iteration's color lists and bucket index, and — every
+/// candidate pessimistically an edge — the COO staging and output CSR.
+/// Later iterations run on strictly smaller live sets, so the first
+/// iteration dominates.
+pub fn forecast_peak_bytes(workload: &Workload, cfg: &PicassoConfig) -> usize {
+    let n = workload.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let palette = cfg.palette_size(n) as usize;
+    let list = cfg.list_size(n) as usize;
+    let pairs = cfg.candidate_pairs_estimate(n);
+    let input = n * workload.input_bytes_per_vertex();
+    let lists = n * list * std::mem::size_of::<u32>();
+    let index = (n * list + palette + 1) * std::mem::size_of::<u32>();
+    let coo = pairs.saturating_mul(8).min(usize::MAX as u64) as usize;
+    let csr = pairs.saturating_mul(8).min(usize::MAX as u64) as usize
+        + (n + 1) * std::mem::size_of::<usize>();
+    input
+        .saturating_add(lists)
+        .saturating_add(index)
+        .saturating_add(coo)
+        .saturating_add(csr)
+}
+
+/// The admission controller.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> AdmissionController {
+        AdmissionController { config }
+    }
+
+    /// The enforced budgets.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Assesses one request. Pure and allocation-light: resolves the
+    /// configuration, evaluates the closed-form forecast, compares
+    /// against the two budgets. No list is assigned and no oracle edge
+    /// is examined on any path, including rejection.
+    pub fn assess(&self, request: &SolveRequest) -> AdmissionDecision {
+        let cfg = match request.config.effective() {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                return AdmissionDecision::Reject {
+                    reason: format!("invalid configuration: {e}"),
+                }
+            }
+        };
+        let forecast_bytes = forecast_peak_bytes(&request.workload, &cfg);
+        if forecast_bytes > self.config.max_forecast_bytes {
+            AdmissionDecision::Reject {
+                reason: format!(
+                    "forecast {forecast_bytes} B exceeds the {} B admission budget \
+                     (n={}, estimated candidate pairs={})",
+                    self.config.max_forecast_bytes,
+                    request.workload.num_vertices(),
+                    cfg.candidate_pairs_estimate(request.workload.num_vertices()),
+                ),
+            }
+        } else if forecast_bytes > self.config.demote_forecast_bytes {
+            AdmissionDecision::Demote { forecast_bytes }
+        } else {
+            AdmissionDecision::Admit { forecast_bytes }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobConfig;
+
+    fn synthetic(n: usize) -> SolveRequest {
+        SolveRequest::new(
+            format!("n{n}"),
+            Workload::SyntheticPauli {
+                n,
+                qubits: 10,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn forecast_grows_with_instance_size() {
+        let cfg = PicassoConfig::normal(1);
+        let small = forecast_peak_bytes(&synthetic(100).workload, &cfg);
+        let large = forecast_peak_bytes(&synthetic(10_000).workload, &cfg);
+        assert!(large > 20 * small, "{small} -> {large}");
+        assert_eq!(
+            forecast_peak_bytes(
+                &Workload::Pauli { strings: vec![] },
+                &PicassoConfig::normal(1)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn decisions_follow_the_two_budgets() {
+        let cfg = PicassoConfig::normal(1);
+        let mid = forecast_peak_bytes(&synthetic(1000).workload, &cfg);
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_forecast_bytes: mid * 4,
+            demote_forecast_bytes: mid / 2,
+        });
+        assert!(matches!(
+            ctl.assess(&synthetic(100)),
+            AdmissionDecision::Admit { .. }
+        ));
+        match ctl.assess(&synthetic(1000)) {
+            AdmissionDecision::Demote { forecast_bytes } => assert_eq!(forecast_bytes, mid),
+            other => panic!("expected demotion, got {other:?}"),
+        }
+        match ctl.assess(&synthetic(100_000)) {
+            AdmissionDecision::Reject { reason } => {
+                assert!(reason.contains("admission budget"), "{reason}");
+                assert!(reason.contains("candidate pairs"), "{reason}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected_with_the_error() {
+        let mut req = synthetic(10);
+        req.config = JobConfig {
+            palette_fraction: Some(2.0),
+            ..JobConfig::default()
+        };
+        match AdmissionController::default().assess(&req) {
+            AdmissionDecision::Reject { reason } => {
+                assert!(reason.contains("invalid configuration"), "{reason}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggressive_jobs_forecast_higher_than_normal() {
+        // Aggressive (huge α) means deeper buckets and more candidate
+        // pairs — the forecast must reflect the configuration, not just
+        // the size.
+        let normal = forecast_peak_bytes(&synthetic(2000).workload, &PicassoConfig::normal(1));
+        let aggressive =
+            forecast_peak_bytes(&synthetic(2000).workload, &PicassoConfig::aggressive(1));
+        assert!(aggressive > normal, "{aggressive} vs {normal}");
+    }
+}

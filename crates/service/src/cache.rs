@@ -1,0 +1,192 @@
+//! The content-addressed result cache.
+//!
+//! Keys are [`SolveRequest::instance_key`](crate::SolveRequest::instance_key)
+//! hashes — workload plus *resolved* configuration, never the job id —
+//! so resubmissions of the same instance under any name hit. Values are
+//! complete [`JobOutcome`]s: a hit replays the stored outcome verbatim,
+//! which (outcomes carry no timing) makes the cached response
+//! bit-identical to the one the original solve produced. Eviction is
+//! least-recently-used at a fixed entry capacity; hit/miss/eviction
+//! counts are kept for the service metrics.
+
+use crate::job::JobOutcome;
+use std::collections::HashMap;
+
+/// Counter snapshot of a cache's life so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    /// The full content identity the 64-bit key hashes — compared on
+    /// every lookup so a key collision reads as a miss, never as another
+    /// instance's result.
+    fingerprint: String,
+    outcome: JobOutcome,
+    /// Logical clock of the last touch (insert or hit) — the LRU order.
+    last_used: u64,
+}
+
+/// A bounded LRU map from instance key to solve outcome.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` outcomes (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up an instance, refreshing its LRU position on a hit. The
+    /// stored fingerprint must match — a hash collision on the slot is
+    /// reported as a miss, not as the occupant's outcome.
+    pub fn get(&mut self, key: u64, fingerprint: &str) -> Option<JobOutcome> {
+        self.clock += 1;
+        match self.map.get_mut(&key) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some(entry.outcome.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an outcome, evicting the least-recently-used entry when
+    /// the bound is reached. (Eviction scans the map — linear in the
+    /// entry count, which the capacity keeps small; the trade for not
+    /// maintaining an intrusive list.) On a key collision the newer
+    /// instance takes the slot: one of the two simply never stays
+    /// cached, which costs a re-solve but never a wrong answer.
+    pub fn insert(&mut self, key: u64, fingerprint: &str, outcome: JobOutcome) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            CacheEntry {
+                fingerprint: fingerprint.to_string(),
+                outcome,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SolveSummary;
+
+    fn outcome(tag: u32) -> JobOutcome {
+        JobOutcome::Solved(SolveSummary {
+            num_vertices: 1,
+            num_colors: tag,
+            colors: vec![tag],
+            iterations: 1,
+            candidate_pairs: 0,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_stored_outcome_verbatim() {
+        let mut c = ResultCache::new(4);
+        assert_eq!(c.get(7, "fp-7"), None);
+        c.insert(7, "fp-7", outcome(3));
+        assert_eq!(c.get(7, "fp-7"), Some(outcome(3)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_collisions_miss_instead_of_serving_the_occupant() {
+        // Two distinct instances hashing to one 64-bit slot: the
+        // fingerprint check turns the lookup into a miss — the wrong
+        // colors are never replayed.
+        let mut c = ResultCache::new(4);
+        c.insert(7, "instance-a", outcome(1));
+        assert_eq!(c.get(7, "instance-b"), None, "collision must miss");
+        assert_eq!(c.get(7, "instance-a"), Some(outcome(1)));
+        // The collider may take the slot (latest wins)…
+        c.insert(7, "instance-b", outcome(2));
+        assert_eq!(c.get(7, "instance-b"), Some(outcome(2)));
+        // …after which the original reads as a miss, not as outcome(2).
+        assert_eq!(c.get(7, "instance-a"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "fp-1", outcome(1));
+        c.insert(2, "fp-2", outcome(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1, "fp-1").is_some());
+        c.insert(3, "fp-3", outcome(3));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(2, "fp-2").is_none(), "LRU entry evicted");
+        assert!(c.get(1, "fp-1").is_some());
+        assert!(c.get(3, "fp-3").is_some());
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, "fp-1", outcome(1));
+        c.insert(2, "fp-2", outcome(2));
+        c.insert(2, "fp-2", outcome(9));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(2, "fp-2"), Some(outcome(9)), "value refreshed");
+        assert!(c.get(1, "fp-1").is_some());
+    }
+}

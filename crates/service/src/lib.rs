@@ -1,0 +1,52 @@
+//! **picasso-service** — a batched, admission-controlled solve service
+//! over the Picasso solver.
+//!
+//! The library crates expose one-shot solves; this crate serves *many*
+//! concurrent instances under a shared budget — the multi-tenant shape
+//! of the quantum workload, where streams of Pauli-grouping jobs of
+//! wildly different sizes arrive together. The job lifecycle:
+//!
+//! ```text
+//! submit ──► admit ──► queue ──► solve ──► cache
+//!              │                             │
+//!              └── reject (zero solve work)  └── replay on repeat
+//! ```
+//!
+//! * **Admission** ([`AdmissionController`]) — every request is costed
+//!   *before any work runs* with the closed-form candidate-pair
+//!   estimate (`≈ m²L²/2P`, [`picasso::estimate_candidate_pairs`]) and
+//!   a worst-case memory forecast. Over the hard budget: rejected, with
+//!   zero candidate pairs ever scanned. Over the soft budget: demoted
+//!   behind interactive work.
+//! * **Queue** ([`JobQueue`]) — bounded and deterministic: priority
+//!   descending, submission order within a priority; the bound is
+//!   backpressure (waves), not loss.
+//! * **Workers** ([`SolveService`]) — a thread pool in which every
+//!   worker checks a long-lived [`picasso::IterationContext`] out of the
+//!   service pool, so steady-state serving reuses solver workspaces
+//!   across jobs and batches.
+//! * **Cache** ([`ResultCache`]) — content-addressed by workload +
+//!   resolved configuration (never the job id); outcomes carry no
+//!   timing, so a cache replay is bit-identical to the original
+//!   response.
+//!
+//! Requests and responses are serde-serializable and travel as JSONL —
+//! the `picasso-cli serve` subcommand is a thin file-driven shell over
+//! [`SolveService::process_batch`].
+
+pub mod admission;
+pub mod cache;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use admission::{forecast_peak_bytes, AdmissionConfig, AdmissionController, AdmissionDecision};
+pub use cache::{CacheStats, ResultCache};
+pub use job::{
+    parse_request_lines, HashOracle, JobConfig, JobOutcome, SolveRequest, SolveResponse,
+    SolveSummary, Workload,
+};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use queue::{JobQueue, QueueFull, QueuedJob};
+pub use service::{BatchReport, ServiceConfig, SolveService};

@@ -1,0 +1,121 @@
+//! Service-level counters: admission, queue, solve, and cache activity.
+//!
+//! Counters are relaxed atomics bumped from worker threads; a
+//! [`MetricsSnapshot`] is the plain-value view handed to callers and
+//! serialized into the CLI's metrics summary. The headline invariant
+//! the tests pin: `candidate_pairs_scanned` counts enumeration work from
+//! *executed* solves only — a rejected job contributes exactly zero,
+//! because admission runs before any conflict build.
+
+use crate::cache::CacheStats;
+use serde::Serialize;
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters (shared across worker threads).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) demoted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) solved: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) candidate_pairs_scanned: AtomicU64,
+    pub(crate) conflict_edges_built: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, value: u64) {
+        counter.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot, merged with the cache's counters.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            demoted: self.demoted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            candidate_pairs_scanned: self.candidate_pairs_scanned.load(Ordering::Relaxed),
+            conflict_edges_built: self.conflict_edges_built.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter values at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests handed to the service.
+    pub submitted: u64,
+    /// Requests that passed admission (includes demoted).
+    pub admitted: u64,
+    /// Requests admitted but demoted to priority 0.
+    pub demoted: u64,
+    /// Requests refused by admission.
+    pub rejected: u64,
+    /// Jobs solved (fresh solves, not cache replays).
+    pub solved: u64,
+    /// Jobs whose solve reported an error.
+    pub failed: u64,
+    /// Jobs served from the result cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries displaced by the capacity bound.
+    pub cache_evictions: u64,
+    /// Entries resident in the cache.
+    pub cache_entries: usize,
+    /// Candidate pairs enumerated by executed solves (rejected jobs
+    /// contribute zero — the admission contract).
+    pub candidate_pairs_scanned: u64,
+    /// Conflict edges built by executed solves.
+    pub conflict_edges_built: u64,
+}
+
+impl MetricsSnapshot {
+    /// JSON form for the CLI's metrics summary.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "demoted": self.demoted,
+            "rejected": self.rejected,
+            "solved": self.solved,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_entries": self.cache_entries,
+            "candidate_pairs_scanned": self.candidate_pairs_scanned,
+            "conflict_edges_built": self.conflict_edges_built,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let m = ServiceMetrics::default();
+        ServiceMetrics::bump(&m.submitted);
+        ServiceMetrics::bump(&m.submitted);
+        ServiceMetrics::add(&m.candidate_pairs_scanned, 41);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.candidate_pairs_scanned, 41);
+        assert_eq!(s.to_json()["submitted"], 2);
+    }
+}

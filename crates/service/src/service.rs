@@ -1,0 +1,464 @@
+//! The solve service: admission → bounded priority queue → worker pool
+//! → content-addressed cache.
+//!
+//! A [`SolveService`] is long-lived. Each [`SolveService::process_batch`]
+//! call drains one batch of requests: every request is assessed by the
+//! [`AdmissionController`] *at submission* (rejections produce their
+//! response immediately, with zero solve work), survivors enter the
+//! bounded [`JobQueue`], and a pool of worker threads pops jobs in
+//! deterministic priority order. Every worker checks a long-lived
+//! [`IterationContext`] out of the service's context pool, so
+//! steady-state serving reuses the solver workspaces across jobs *and*
+//! across batches — the service-level extension of the context's
+//! allocation-free property. Solved outcomes are stored in (and served
+//! from) the [`ResultCache`] under the request's content address.
+//!
+//! The queue bound is backpressure: when a batch outgrows it, the driver
+//! drains a full wave before admitting more, so memory stays bounded by
+//! `queue_capacity` jobs rather than the batch size.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+use crate::cache::ResultCache;
+use crate::job::{
+    synthetic_pauli_strings, HashOracle, JobOutcome, SolveRequest, SolveResponse, SolveSummary,
+    Workload,
+};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::queue::{JobQueue, QueueFull, QueuedJob};
+use parking_lot::Mutex;
+use picasso::{IterationContext, Picasso};
+
+/// Service-level knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads per drain wave (clamped to the wave's job count).
+    pub workers: usize,
+    /// Queue bound — the backpressure unit (jobs, not bytes).
+    pub queue_capacity: usize,
+    /// Result-cache bound, in entries.
+    pub cache_capacity: usize,
+    /// Admission budgets.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(2, std::num::NonZero::get),
+            queue_capacity: 1024,
+            cache_capacity: 256,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Everything one [`SolveService::process_batch`] call produced.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One response per request, **in submission order** regardless of
+    /// scheduling.
+    pub responses: Vec<SolveResponse>,
+    /// Cumulative service metrics after the batch.
+    pub metrics: MetricsSnapshot,
+    /// Request ids in the order workers started them — with one worker
+    /// this is exactly the queue's deterministic priority order.
+    pub execution_order: Vec<String>,
+}
+
+/// The batched, admission-controlled solve service.
+pub struct SolveService {
+    config: ServiceConfig,
+    admission: AdmissionController,
+    metrics: ServiceMetrics,
+    cache: Mutex<ResultCache>,
+    /// Long-lived solver workspaces, checked out by workers per wave and
+    /// returned after — they outlive batches, so a stream of batches
+    /// reaches the same steady state one long solve would.
+    ctx_pool: Mutex<Vec<IterationContext>>,
+    /// Instance keys currently being solved — the single-flight set. A
+    /// worker landing on a key another worker is already solving waits
+    /// on `inflight_done` and then replays the cached outcome, so
+    /// duplicate submissions in one batch cost one solve, not two.
+    /// (std primitives: the condvar must pair with its own mutex.)
+    inflight: std::sync::Mutex<std::collections::HashSet<u64>>,
+    inflight_done: std::sync::Condvar,
+}
+
+impl SolveService {
+    /// A service with the given configuration and a cold cache.
+    pub fn new(config: ServiceConfig) -> SolveService {
+        SolveService {
+            admission: AdmissionController::new(config.admission),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            metrics: ServiceMetrics::default(),
+            ctx_pool: Mutex::new(Vec::new()),
+            inflight: std::sync::Mutex::new(std::collections::HashSet::new()),
+            inflight_done: std::sync::Condvar::new(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Cumulative metrics (admission, solve and cache counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.lock().stats())
+    }
+
+    /// Solver workspaces currently resting in the context pool.
+    pub fn pooled_contexts(&self) -> usize {
+        self.ctx_pool.lock().len()
+    }
+
+    /// Drains one batch: admission at submission, queued survivors
+    /// solved by the worker pool (in waves when the batch exceeds the
+    /// queue bound), responses returned in submission order.
+    pub fn process_batch(&self, requests: Vec<SolveRequest>) -> BatchReport {
+        let queue = JobQueue::new(self.config.queue_capacity);
+        let slots: Mutex<Vec<Option<SolveResponse>>> =
+            Mutex::new(requests.iter().map(|_| None).collect());
+        let execution_order: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+        for (seq, request) in requests.into_iter().enumerate() {
+            ServiceMetrics::bump(&self.metrics.submitted);
+            let priority = match self.admission.assess(&request) {
+                AdmissionDecision::Admit { .. } => {
+                    ServiceMetrics::bump(&self.metrics.admitted);
+                    request.priority
+                }
+                AdmissionDecision::Demote { .. } => {
+                    ServiceMetrics::bump(&self.metrics.admitted);
+                    ServiceMetrics::bump(&self.metrics.demoted);
+                    0
+                }
+                AdmissionDecision::Reject { reason } => {
+                    ServiceMetrics::bump(&self.metrics.rejected);
+                    slots.lock()[seq] = Some(SolveResponse {
+                        id: request.id,
+                        outcome: JobOutcome::Rejected { reason },
+                    });
+                    continue;
+                }
+            };
+            let mut job = QueuedJob {
+                seq,
+                priority,
+                request,
+            };
+            // Backpressure: a full queue means the wave is ready — drain
+            // it, then the push must succeed.
+            if let Err(QueueFull(back)) = queue.push(job) {
+                self.drain_wave(&queue, &slots, &execution_order);
+                job = back;
+                queue.push(job).expect("queue drained before re-push");
+            }
+        }
+        self.drain_wave(&queue, &slots, &execution_order);
+
+        let responses = slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every submitted job produces a response"))
+            .collect();
+        BatchReport {
+            responses,
+            metrics: self.metrics(),
+            execution_order: execution_order.into_inner(),
+        }
+    }
+
+    /// Runs worker threads until the queue is empty. Each worker owns a
+    /// pooled [`IterationContext`] for the whole wave.
+    fn drain_wave(
+        &self,
+        queue: &JobQueue,
+        slots: &Mutex<Vec<Option<SolveResponse>>>,
+        execution_order: &Mutex<Vec<String>>,
+    ) {
+        let pending = queue.len();
+        if pending == 0 {
+            return;
+        }
+        let workers = self.config.workers.clamp(1, pending);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut ctx = self.ctx_pool.lock().pop().unwrap_or_default();
+                    while let Some(job) = queue.pop() {
+                        execution_order.lock().push(job.request.id.clone());
+                        let response = self.execute(job.request, &mut ctx);
+                        slots.lock()[job.seq] = Some(response);
+                    }
+                    self.ctx_pool.lock().push(ctx);
+                });
+            }
+        });
+    }
+
+    /// Serves one job: cache lookup by content address (the fingerprint
+    /// is verified, so a 64-bit key collision reads as a miss), then —
+    /// on a miss — the actual solve in the worker's long-lived context,
+    /// with the solved outcome stored back. Concurrent duplicates
+    /// coalesce: the first worker to claim a key solves it; the rest
+    /// wait and replay the cached outcome.
+    fn execute(&self, request: SolveRequest, ctx: &mut IterationContext) -> SolveResponse {
+        let fingerprint = request.instance_fingerprint();
+        let key = crate::job::fnv1a64(fingerprint.as_bytes());
+        {
+            let mut inflight = lock_inflight(&self.inflight);
+            loop {
+                if let Some(outcome) = self.cache.lock().get(key, &fingerprint) {
+                    return SolveResponse {
+                        id: request.id,
+                        outcome,
+                    };
+                }
+                if !inflight.contains(&key) {
+                    inflight.insert(key);
+                    break;
+                }
+                // Another worker owns this instance: wait for it, then
+                // re-check the cache. (A failed solve is not cached, so
+                // the waiter takes over the key on wake — duplicates of
+                // a failing job each fail independently.)
+                inflight = self
+                    .inflight_done
+                    .wait(inflight)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        // Guard the claim: released (and waiters woken) on every exit
+        // from here on, including a panicking solve — a leaked key would
+        // park coalesced duplicates forever.
+        let _claim = InflightClaim { service: self, key };
+        let outcome = match self.solve(&request, ctx) {
+            Ok(summary) => {
+                ServiceMetrics::bump(&self.metrics.solved);
+                ServiceMetrics::add(
+                    &self.metrics.candidate_pairs_scanned,
+                    summary.candidate_pairs,
+                );
+                let outcome = JobOutcome::Solved(summary);
+                self.cache.lock().insert(key, &fingerprint, outcome.clone());
+                outcome
+            }
+            Err(error) => {
+                ServiceMetrics::bump(&self.metrics.failed);
+                JobOutcome::Failed { error }
+            }
+        };
+        SolveResponse {
+            id: request.id,
+            outcome,
+        }
+    }
+
+    fn solve(
+        &self,
+        request: &SolveRequest,
+        ctx: &mut IterationContext,
+    ) -> Result<SolveSummary, String> {
+        let cfg = request.config.effective()?;
+        let solver = Picasso::new(cfg);
+        let result = match &request.workload {
+            Workload::Pauli { strings } => {
+                let parsed: Vec<pauli::PauliString> = strings
+                    .iter()
+                    .map(|s| s.parse().map_err(|e| format!("bad pauli string: {e}")))
+                    .collect::<Result<_, String>>()?;
+                let set = pauli::EncodedSet::from_strings(&parsed);
+                solver.solve_pauli_in(&set, ctx)
+            }
+            Workload::SyntheticPauli { n, qubits, seed } => {
+                let strings = synthetic_pauli_strings(*n, *qubits, *seed)?;
+                let set = pauli::EncodedSet::from_strings(&strings);
+                solver.solve_pauli_in(&set, ctx)
+            }
+            Workload::SyntheticGraph { n, density, seed } => {
+                solver.solve_oracle_in(&HashOracle::new(*n, *density, *seed), ctx)
+            }
+        };
+        let result = result.map_err(|e| e.to_string())?;
+        ServiceMetrics::add(
+            &self.metrics.conflict_edges_built,
+            result.total_conflict_edges() as u64,
+        );
+        Ok(SolveSummary {
+            num_vertices: result.colors.len(),
+            num_colors: result.num_colors,
+            iterations: result.iterations.len(),
+            candidate_pairs: result.total_candidate_pairs(),
+            colors: result.colors,
+        })
+    }
+}
+
+/// Locks the single-flight set, shrugging off poison: the set only ever
+/// holds plain `u64`s, so a panic between lock and unlock cannot leave
+/// it logically inconsistent.
+fn lock_inflight(
+    m: &std::sync::Mutex<std::collections::HashSet<u64>>,
+) -> std::sync::MutexGuard<'_, std::collections::HashSet<u64>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII release of a single-flight claim: removes the key and wakes
+/// coalesced waiters on drop — which happens even when the owning solve
+/// panics, so waiters re-check the cache and take the key over instead
+/// of parking forever.
+struct InflightClaim<'a> {
+    service: &'a SolveService,
+    key: u64,
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        lock_inflight(&self.service.inflight).remove(&self.key);
+        self.service.inflight_done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_service(workers: usize) -> SolveService {
+        SolveService::new(ServiceConfig {
+            workers,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            admission: AdmissionConfig::default(),
+        })
+    }
+
+    fn synth(id: &str, n: usize, seed: u64) -> SolveRequest {
+        SolveRequest::new(id, Workload::SyntheticPauli { n, qubits: 8, seed })
+    }
+
+    #[test]
+    fn batch_solves_every_job_and_keeps_submission_order() {
+        let service = small_service(3);
+        let reqs: Vec<SolveRequest> = (0..6).map(|i| synth(&format!("j{i}"), 60, i)).collect();
+        let report = service.process_batch(reqs);
+        assert_eq!(report.responses.len(), 6);
+        for (i, resp) in report.responses.iter().enumerate() {
+            assert_eq!(resp.id, format!("j{i}"), "submission order preserved");
+            assert!(
+                matches!(&resp.outcome, JobOutcome::Solved(s) if s.num_vertices == 60),
+                "{:?}",
+                resp.outcome
+            );
+        }
+        assert_eq!(report.metrics.solved, 6);
+        assert_eq!(report.metrics.failed, 0);
+        assert!(report.metrics.candidate_pairs_scanned > 0);
+        // Worker contexts returned for the next batch.
+        assert!(service.pooled_contexts() >= 1);
+        assert!(service.pooled_contexts() <= 3);
+    }
+
+    #[test]
+    fn batches_larger_than_the_queue_run_in_waves() {
+        let service = SolveService::new(ServiceConfig {
+            workers: 2,
+            queue_capacity: 3,
+            cache_capacity: 16,
+            admission: AdmissionConfig::default(),
+        });
+        let reqs: Vec<SolveRequest> = (0..10).map(|i| synth(&format!("w{i}"), 40, i)).collect();
+        let report = service.process_batch(reqs);
+        assert_eq!(report.responses.len(), 10);
+        assert_eq!(report.metrics.solved, 10);
+        assert_eq!(report.execution_order.len(), 10);
+    }
+
+    #[test]
+    fn solver_failures_surface_as_failed_outcomes() {
+        let service = small_service(1);
+        let bad = SolveRequest::new(
+            "bad",
+            Workload::Pauli {
+                strings: vec!["XQ".into(), "XX".into()],
+            },
+        );
+        let report = service.process_batch(vec![bad]);
+        match &report.responses[0].outcome {
+            JobOutcome::Failed { error } => assert!(error.contains("bad pauli string"), "{error}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(report.metrics.failed, 1);
+        assert_eq!(report.metrics.solved, 0);
+    }
+
+    #[test]
+    fn impossible_synthetic_workload_fails_the_job_not_the_batch() {
+        // Constructed directly (bypassing JSON validation): the solve
+        // path re-checks and yields a per-job Failed response instead of
+        // panicking a worker thread.
+        let service = small_service(2);
+        let report = service.process_batch(vec![
+            SolveRequest::new(
+                "impossible",
+                Workload::SyntheticPauli {
+                    n: 100,
+                    qubits: 2,
+                    seed: 1,
+                },
+            ),
+            synth("fine", 40, 1),
+        ]);
+        match &report.responses[0].outcome {
+            JobOutcome::Failed { error } => {
+                assert!(error.contains("distinct strings"), "{error}")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(report.responses[1].outcome, JobOutcome::Solved(_)));
+        assert_eq!(report.metrics.failed, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let service = small_service(2);
+        let report = service.process_batch(Vec::new());
+        assert!(report.responses.is_empty());
+        assert_eq!(report.metrics.submitted, 0);
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_into_one_solve() {
+        // Eight copies of one instance across four workers: single-flight
+        // guarantees exactly one solve, with every duplicate replayed
+        // from the cache — however the scheduler interleaves them.
+        let service = small_service(4);
+        let reqs: Vec<SolveRequest> = (0..8)
+            .map(|i| {
+                let mut r = synth(&format!("dup{i}"), 120, 42);
+                r.priority = (i % 3) as u8;
+                r
+            })
+            .collect();
+        let report = service.process_batch(reqs);
+        assert_eq!(report.metrics.solved, 1, "one solve for eight copies");
+        assert_eq!(report.metrics.cache_hits, 7);
+        let first = &report.responses[0].outcome;
+        for resp in &report.responses {
+            assert_eq!(&resp.outcome, first);
+        }
+    }
+
+    #[test]
+    fn identical_content_across_batches_hits_the_cache() {
+        let service = small_service(2);
+        let first = service.process_batch(vec![synth("a", 50, 3)]);
+        let second = service.process_batch(vec![synth("renamed", 50, 3)]);
+        assert_eq!(second.metrics.cache_hits, 1);
+        assert_eq!(second.metrics.solved, 1, "only the first batch solved");
+        // Same content → same payload, different echoed id.
+        assert_eq!(first.responses[0].outcome, second.responses[0].outcome);
+        assert_eq!(second.responses[0].id, "renamed");
+    }
+}

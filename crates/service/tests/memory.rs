@@ -1,0 +1,119 @@
+//! The admission controller's reason to exist, as an executable
+//! assertion: with budgets enforced, a batch's peak heap stays bounded
+//! by what was *admitted* — far below what the rejected work would have
+//! consumed.
+
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
+
+use memtrack::PeakRegion;
+use picasso_service::{
+    forecast_peak_bytes, AdmissionConfig, JobOutcome, ServiceConfig, SolveRequest, SolveService,
+    Workload,
+};
+use std::sync::Mutex;
+
+// Peak counters are process-global; measured sections are serialized.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn synth(id: &str, n: usize, seed: u64) -> SolveRequest {
+    SolveRequest::new(id, Workload::SyntheticPauli { n, qubits: 8, seed })
+}
+
+#[test]
+fn admission_enforces_a_peak_memory_ceiling() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let base_cfg = picasso::PicassoConfig::normal(1);
+    // The budget: what one admitted job may forecast.
+    let small_forecast = forecast_peak_bytes(&synth("probe", 400, 0).workload, &base_cfg);
+    // The threat: a job whose forecast dwarfs the budget.
+    let giant = synth("giant", 30_000, 9);
+    let giant_forecast = forecast_peak_bytes(&giant.workload, &base_cfg);
+    assert!(
+        giant_forecast > 16 * small_forecast,
+        "test needs a giant ({giant_forecast}) ≫ budget ({small_forecast})"
+    );
+
+    let workers = 2;
+    let svc = SolveService::new(ServiceConfig {
+        workers,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        admission: AdmissionConfig {
+            max_forecast_bytes: small_forecast,
+            demote_forecast_bytes: small_forecast / 2,
+        },
+    });
+
+    let mut batch: Vec<SolveRequest> = (0..6).map(|i| synth(&format!("s{i}"), 400, i)).collect();
+    batch.insert(3, giant);
+
+    let region = PeakRegion::start();
+    let report = svc.process_batch(batch);
+    let peak = region.peak_bytes();
+
+    // The giant was refused; everything else ran.
+    assert!(matches!(
+        report.responses[3].outcome,
+        JobOutcome::Rejected { .. }
+    ));
+    assert_eq!(report.metrics.solved, 6);
+    // The ceiling: concurrent workers can each hold one admitted job's
+    // forecast (plus the batch's fixed bookkeeping) — nowhere near what
+    // solving the giant would have required. The forecast is a
+    // *worst-case* per job, so real peaks sit well under it; the
+    // assertion leaves one extra forecast of slack for inputs and
+    // bookkeeping.
+    let ceiling = (workers + 1) * small_forecast;
+    assert!(
+        peak < ceiling,
+        "peak {} must stay under the admitted ceiling {} (giant would have needed ≥ {})",
+        memtrack::format_bytes(peak),
+        memtrack::format_bytes(ceiling),
+        memtrack::format_bytes(giant_forecast)
+    );
+    assert!(
+        peak < giant_forecast / 4,
+        "peak {} must sit far below the rejected job's forecast {}",
+        memtrack::format_bytes(peak),
+        memtrack::format_bytes(giant_forecast)
+    );
+}
+
+#[test]
+fn steady_state_serving_reuses_worker_contexts() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // One worker, a stream of same-shape batches: after warm-up, each
+    // batch's allocation count settles (contexts and caches are reused;
+    // per-batch cost is the solve itself, not workspace rebuilding).
+    let svc = SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        admission: AdmissionConfig::default(),
+    });
+    // Distinct seeds so the cache never short-circuits the solve.
+    let batch = |seed: u64| vec![synth(&format!("b{seed}"), 300, seed)];
+    svc.process_batch(batch(1));
+    svc.process_batch(batch(2));
+    let before = memtrack::total_allocations();
+    svc.process_batch(batch(3));
+    let warm = memtrack::total_allocations() - before;
+    let mut cold_svc_allocs = 0;
+    {
+        let before = memtrack::total_allocations();
+        let fresh = SolveService::new(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 4,
+            admission: AdmissionConfig::default(),
+        });
+        fresh.process_batch(batch(3));
+        cold_svc_allocs += memtrack::total_allocations() - before;
+    }
+    assert!(
+        warm < cold_svc_allocs,
+        "a warm service ({warm} allocs) must beat a cold one ({cold_svc_allocs})"
+    );
+    assert_eq!(svc.pooled_contexts(), 1, "the worker context persists");
+}

@@ -53,16 +53,14 @@ fn main() {
         strings.len()
     );
 
-    // The enumeration-cost feature for an unseen instance: one cheap
-    // Normal-configuration probe solve records total_candidate_pairs.
-    // (Scale caveat: training used the sweep mean, which includes
-    // large-L configurations and sits above a Normal probe — the probe
-    // serves as a monotone size proxy; a closed-form estimate is a
-    // ROADMAP follow-on.)
-    let probe = Picasso::new(PicassoConfig::normal(1))
-        .solve_pauli(&set)
-        .unwrap();
-    let candidate_pairs = probe.total_candidate_pairs();
+    // The enumeration-cost feature for an unseen instance: the closed
+    // form `m²L²/2P` at the Normal configuration — zero solves, zero
+    // list assignments. (Scale caveat as before: training used the
+    // sweep mean, which includes large-L configurations and sits above
+    // the Normal-point estimate — the estimate serves as a monotone
+    // size proxy, exactly as the probe solve it replaced did, at no
+    // cost.)
+    let candidate_pairs = PicassoConfig::normal(1).candidate_pairs_estimate(strings.len());
 
     for beta in [0.2, 0.8] {
         let p = model.predict(beta, strings.len() as u64, edges, candidate_pairs);

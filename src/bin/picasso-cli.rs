@@ -1,17 +1,30 @@
 //! `picasso-cli` — group a file of Pauli strings into anticommuting
-//! cliques from the command line.
+//! cliques from the command line, or serve a batch of solve jobs.
 //!
 //! ```text
 //! picasso-cli strings.txt [--palette PCT] [--alpha A] [--seed N]
 //!             [--aggressive] [--backend seq|par|allpairs|device:MIB]
 //!             [--json] [--stats]
+//!
+//! picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N]
+//!             [--queue N] [--cache N] [--budget-mib M] [--demote-mib M]
+//!             [--once]
 //! ```
 //!
-//! Input: one Pauli string per line (`IXYZ…`), `#` comments allowed.
-//! Output: one group per line (`U<k>: S1 S2 …`), or a JSON document with
-//! `--json`.
+//! One-shot mode: one Pauli string per line (`IXYZ…`), `#` comments
+//! allowed; output is one group per line (`U<k>: S1 S2 …`), or a JSON
+//! document with `--json`.
+//!
+//! Serve mode: drains a JSONL request file through the
+//! admission-controlled [`picasso_service::SolveService`] and emits one
+//! JSONL response per request (stdout or `--out`), plus a metrics
+//! summary on stderr. `--once` runs a built-in smoke batch — solves,
+//! a cache replay, and an admission rejection — without an input file.
 
 use picasso::{color_classes, ConflictBackend, Picasso, PicassoConfig};
+use picasso_service::{
+    parse_request_lines, AdmissionConfig, ServiceConfig, SolveRequest, SolveService, Workload,
+};
 use picasso_suite::io::parse_pauli_lines;
 use std::io::Read;
 use std::process::exit;
@@ -117,7 +130,201 @@ fn parse_args() -> CliArgs {
     out
 }
 
+struct ServeArgs {
+    input: Option<String>,
+    out: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    cache: Option<usize>,
+    budget_mib: Option<usize>,
+    demote_mib: Option<usize>,
+    once: bool,
+}
+
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N] \
+         [--queue N] [--cache N] [--budget-mib M] [--demote-mib M] [--once]"
+    );
+    exit(2);
+}
+
+fn parse_serve_args(args: &[String]) -> ServeArgs {
+    let mut out = ServeArgs {
+        input: None,
+        out: None,
+        workers: None,
+        queue: None,
+        cache: None,
+        budget_mib: None,
+        demote_mib: None,
+        once: false,
+    };
+    let mut i = 0;
+    let numeric = |i: &mut usize, args: &[String]| -> usize {
+        let v = args.get(*i + 1).and_then(|v| v.parse().ok());
+        *i += 2;
+        v.unwrap_or_else(|| serve_usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out.out = args.get(i + 1).cloned();
+                if out.out.is_none() {
+                    serve_usage();
+                }
+                i += 2;
+            }
+            "--workers" => out.workers = Some(numeric(&mut i, args)),
+            "--queue" => out.queue = Some(numeric(&mut i, args)),
+            "--cache" => out.cache = Some(numeric(&mut i, args)),
+            "--budget-mib" => out.budget_mib = Some(numeric(&mut i, args)),
+            "--demote-mib" => out.demote_mib = Some(numeric(&mut i, args)),
+            "--once" => {
+                out.once = true;
+                i += 1;
+            }
+            "--help" | "-h" => serve_usage(),
+            other if !other.starts_with('-') || other == "-" => {
+                if out.input.is_some() {
+                    serve_usage();
+                }
+                out.input = Some(other.to_string());
+                i += 1;
+            }
+            _ => serve_usage(),
+        }
+    }
+    out
+}
+
+/// The `--once` smoke batch: two distinct solves (one Pauli, one
+/// oracle-graph), a duplicate that must replay from the cache, and an
+/// instance large enough that the default admission budget rejects it.
+fn smoke_requests() -> Vec<SolveRequest> {
+    let mut dup = SolveRequest::new(
+        "smoke-pauli-again",
+        Workload::SyntheticPauli {
+            n: 200,
+            qubits: 10,
+            seed: 7,
+        },
+    );
+    dup.priority = 0;
+    vec![
+        SolveRequest::new(
+            "smoke-pauli",
+            Workload::SyntheticPauli {
+                n: 200,
+                qubits: 10,
+                seed: 7,
+            },
+        ),
+        SolveRequest::new(
+            "smoke-graph",
+            Workload::SyntheticGraph {
+                n: 150,
+                density: 0.4,
+                seed: 3,
+            },
+        ),
+        dup,
+        SolveRequest::new(
+            "smoke-over-budget",
+            Workload::SyntheticPauli {
+                n: 2_000_000,
+                qubits: 24,
+                seed: 1,
+            },
+        ),
+    ]
+}
+
+fn run_serve(args: &[String]) -> ! {
+    let args = parse_serve_args(args);
+    let requests = if args.once {
+        smoke_requests()
+    } else {
+        let text = match args.input.as_deref() {
+            None | Some("-") => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error reading stdin: {e}");
+                        exit(1);
+                    });
+                buf
+            }
+            Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error reading {path}: {e}");
+                exit(1);
+            }),
+        };
+        parse_request_lines(&text).unwrap_or_else(|e| {
+            eprintln!("request parse error: {e}");
+            exit(1);
+        })
+    };
+
+    let defaults = ServiceConfig::default();
+    let admission_defaults = AdmissionConfig::default();
+    let service = SolveService::new(ServiceConfig {
+        workers: args.workers.unwrap_or(defaults.workers),
+        queue_capacity: args.queue.unwrap_or(defaults.queue_capacity),
+        cache_capacity: args.cache.unwrap_or(defaults.cache_capacity),
+        admission: AdmissionConfig {
+            max_forecast_bytes: args
+                .budget_mib
+                .map(|m| m * 1024 * 1024)
+                .unwrap_or(admission_defaults.max_forecast_bytes),
+            demote_forecast_bytes: args
+                .demote_mib
+                .map(|m| m * 1024 * 1024)
+                .unwrap_or(admission_defaults.demote_forecast_bytes),
+        },
+    });
+
+    let num_requests = requests.len();
+    let report = service.process_batch(requests);
+    let mut lines = String::new();
+    for resp in &report.responses {
+        lines.push_str(&resp.to_json_line());
+        lines.push('\n');
+    }
+    match args.out.as_deref() {
+        None => print!("{lines}"),
+        Some(path) => std::fs::write(path, &lines).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            exit(1);
+        }),
+    }
+    let m = &report.metrics;
+    eprintln!(
+        "served {num_requests} requests: {} solved, {} cache hits, {} demoted, \
+         {} rejected, {} failed; {} candidate pairs scanned",
+        m.solved, m.cache_hits, m.demoted, m.rejected, m.failed, m.candidate_pairs_scanned
+    );
+    eprintln!(
+        "{}",
+        serde_json::to_string(&m.to_json()).expect("metrics json")
+    );
+    // The smoke batch doubles as a self-check in CI.
+    if args.once {
+        let ok = m.solved == 2 && m.cache_hits == 1 && m.rejected == 1 && m.failed == 0;
+        if !ok {
+            eprintln!("smoke batch produced unexpected metrics");
+            exit(1);
+        }
+    }
+    exit(0);
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(&argv[1..]);
+    }
     let args = parse_args();
 
     let text = match args.input.as_deref() {

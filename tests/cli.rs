@@ -117,6 +117,92 @@ fn deterministic_given_seed() {
 }
 
 #[test]
+fn serve_once_smoke_self_checks() {
+    let out = Command::new(CLI)
+        .args(["serve", "--once", "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per smoke request");
+    let statuses: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let doc: serde_json::Value = serde_json::from_str(l).expect("response json");
+            doc["status"].as_str().unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(statuses, vec!["solved", "solved", "solved", "rejected"]);
+    // The duplicate request replays bit-identically from the cache
+    // (only the echoed id differs).
+    assert_eq!(
+        lines[0].replace("smoke-pauli", "X"),
+        lines[2].replace("smoke-pauli-again", "X")
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 cache hits"), "{stderr}");
+    assert!(stderr.contains("1 rejected"), "{stderr}");
+}
+
+#[test]
+fn serve_drains_a_jsonl_request_file_deterministically() {
+    let reqs = concat!(
+        "# smoke requests\n",
+        r#"{"id": "a", "workload": {"type": "synthetic_pauli", "n": 80, "qubits": 8, "seed": 4}}"#,
+        "\n",
+        r#"{"id": "b", "workload": {"type": "synthetic_graph", "n": 60, "density": 0.3, "seed": 2}, "config": {"alpha": 1.5}}"#,
+        "\n",
+        r#"{"id": "a", "workload": {"type": "synthetic_pauli", "n": 80, "qubits": 8, "seed": 4}}"#,
+        "\n",
+    );
+    let path = write_input("cli_serve_reqs.jsonl", reqs);
+    let run = || {
+        let out = Command::new(CLI)
+            .arg("serve")
+            .arg(&path)
+            .args(["--workers", "2"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let first = run();
+    let lines: Vec<&str> = first.lines().collect();
+    assert_eq!(lines.len(), 3);
+    // Responses come back in submission order; the repeated request is a
+    // bit-identical cache replay.
+    let ids: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let doc: serde_json::Value = serde_json::from_str(l).unwrap();
+            assert_eq!(doc["status"], "solved", "{l}");
+            doc["id"].as_str().unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(ids, vec!["a", "b", "a"]);
+    assert_eq!(lines[0], lines[2], "cache replay is bit-identical");
+    // The whole run is deterministic across processes.
+    assert_eq!(first, run());
+}
+
+#[test]
+fn serve_rejects_malformed_request_files() {
+    let path = write_input("cli_serve_bad.jsonl", "{\"id\": 5}\n");
+    let out = Command::new(CLI).arg("serve").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+}
+
+#[test]
 fn custom_parameters_are_accepted() {
     let path = write_input("cli_params.txt", "XX\nYY\nZZ\nXY\nYX\nZI\nIZ\nXZ\n");
     let out = Command::new(CLI)

@@ -89,6 +89,57 @@ fn memory_gap_grows_with_instance_size() {
 }
 
 #[test]
+fn warm_parallel_builds_stop_allocating_per_task() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // The rayon backend draws its per-task staging buffers from the
+    // iteration context's arena pool, so a warm same-shape build performs
+    // a small, shard-count-independent number of allocations (the output
+    // CSR, the block cuts, and the thread-scope overhead of the rayon
+    // fan-out) — not the O(#buckets) per-task buffers of the pre-pool
+    // implementation.
+    use picasso::conflict::build_parallel;
+    use picasso::{IterationContext, PauliComplementOracle};
+    use rand::SeedableRng;
+    let warm_allocs = |n: usize| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let strings = pauli::string::random_unique_set(n, 12, &mut rng);
+        let set = EncodedSet::from_strings(&strings);
+        let oracle = PauliComplementOracle::new(&set);
+        let cfg = PicassoConfig::normal(1);
+        let (p, l) = (cfg.palette_size(n), cfg.list_size(n));
+        let mut ctx = IterationContext::new();
+        // Two warm-up builds grow every arena and fill the pool.
+        for iter in 1..=2u64 {
+            ctx.assign_lists(n, 0, p, l, 1, iter);
+            std::hint::black_box(build_parallel(&oracle, &mut ctx).num_edges);
+        }
+        ctx.assign_lists(n, 0, p, l, 1, 3);
+        let before = memtrack::total_allocations();
+        std::hint::black_box(build_parallel(&oracle, &mut ctx).num_edges);
+        let after = memtrack::total_allocations();
+        assert_eq!(
+            ctx.scratch_pool().arenas_pooled(),
+            ctx.scratch_pool().arenas_created(),
+            "every arena returned"
+        );
+        after - before
+    };
+    // n = 1600 has ~4x the palette buckets of n = 400: per-task
+    // allocation would scale the count with the bucket count, the pooled
+    // path must not (both sit near the fixed fan-out overhead).
+    let small = warm_allocs(400);
+    let large = warm_allocs(1600);
+    assert!(
+        large < small.max(8) * 4,
+        "warm allocations must not scale with shard count: {small} @400 vs {large} @1600"
+    );
+    assert!(
+        large < 256,
+        "warm parallel build made {large} allocations; expected a small constant"
+    );
+}
+
+#[test]
 fn conflict_graph_is_sublinear_fraction_of_input_graph() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     // Lemma 2's practical consequence: with P = 12.5% |V| and L = a·log n,
