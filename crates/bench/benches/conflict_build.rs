@@ -32,7 +32,7 @@ use picasso::conflict::{
     build_device, build_multi_device, build_multi_device_rowsharded, build_parallel,
     build_sequential, build_sequential_allpairs,
 };
-use picasso::{ColorLists, IterationContext, PauliComplementOracle, PicassoConfig};
+use picasso::{ColorLists, IterationContext, PackingMode, PauliComplementOracle, PicassoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -194,5 +194,83 @@ fn bench_conflict(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_conflict);
+/// Scalar block path vs the packed bucket-major oracle kernel, on the
+/// bucketed **sequential** engine (the apples-to-apples comparison: the
+/// only difference between the two contexts is the packing mode). The
+/// `≥ 1.5×` assertion at n = 2048 is the packed pipeline's acceptance
+/// bar; the smoke run covers n = 512 so CI keeps both arms compiling
+/// and agreeing without paying full measurement time.
+fn bench_oracle_batch(c: &mut Criterion) {
+    let sizes: &[usize] = if smoke() { &[512] } else { &[512, 2048] };
+    for &n in sizes {
+        let (set, lists) = setup(n);
+        let oracle = PauliComplementOracle::new(&set);
+        let mut packed_ctx = IterationContext::new();
+        packed_ctx.set_packing(PackingMode::Always);
+        packed_ctx.set_lists(lists.clone());
+        let mut scalar_ctx = IterationContext::new();
+        scalar_ctx.set_packing(PackingMode::Never);
+        scalar_ctx.set_lists(lists.clone());
+
+        // Correctness gate (and arena warm-up) before any timing.
+        let p = build_sequential(&oracle, &mut packed_ctx);
+        let s = build_sequential(&oracle, &mut scalar_ctx);
+        assert_eq!(p.graph, s.graph, "packed and scalar kernels must agree");
+        assert_eq!(p.packed_lanes, p.candidate_pairs, "packed arm must pack");
+        assert_eq!(s.packed_lanes, 0, "scalar arm must not pack");
+        packed_ctx.recycle_csr(p.graph);
+        scalar_ctx.recycle_csr(s.graph);
+
+        // Steady-state mean over warm repetitions, graphs recycled so
+        // both arms measure the kernel, not allocator traffic.
+        let reps = if smoke() { 3 } else { 12 };
+        let time = |ctx: &mut IterationContext| {
+            let t = Instant::now();
+            for _ in 0..reps {
+                let b = build_sequential(&oracle, ctx);
+                black_box(b.num_edges);
+                ctx.recycle_csr(b.graph);
+            }
+            t.elapsed().as_secs_f64() / reps as f64
+        };
+        let scalar_secs = time(&mut scalar_ctx);
+        let packed_secs = time(&mut packed_ctx);
+        let speedup = scalar_secs / packed_secs.max(1e-12);
+        println!(
+            "oracle_batch_n{n}: scalar-block={:.2}ms packed-kernel={:.2}ms ({speedup:.2}x faster)",
+            scalar_secs * 1e3,
+            packed_secs * 1e3,
+        );
+        if n == 2048 {
+            assert!(
+                speedup >= 1.5,
+                "packed kernel must be ≥1.5x faster than the scalar block path \
+                 on the bucketed sequential engine at n=2048 (got {speedup:.2}x)"
+            );
+        }
+
+        let mut group = c.benchmark_group(format!("oracle_batch_n{n}"));
+        group.throughput(Throughput::Elements(p.candidate_pairs));
+        group.sample_size(if smoke() { 2 } else { 10 });
+        group.bench_function("scalar_block", |b| {
+            b.iter(|| {
+                let built = build_sequential(&oracle, &mut scalar_ctx);
+                let edges = built.num_edges;
+                scalar_ctx.recycle_csr(built.graph);
+                black_box(edges)
+            })
+        });
+        group.bench_function("packed_kernel", |b| {
+            b.iter(|| {
+                let built = build_sequential(&oracle, &mut packed_ctx);
+                let edges = built.num_edges;
+                packed_ctx.recycle_csr(built.graph);
+                black_box(edges)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conflict, bench_oracle_batch);
 criterion_main!(benches);

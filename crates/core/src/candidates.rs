@@ -41,7 +41,27 @@
 //! [`CandidateEngine::with_index`].
 
 use crate::assign::{BucketIndex, ColorLists};
+use crate::packed::PackedBuckets;
 use std::ops::Range;
+
+std::thread_local! {
+    /// Run-staging buffer backing the non-`_scratch` scan defaults: one
+    /// reused buffer per thread instead of the fresh `Vec` per shard the
+    /// defaults used to construct. Taken (not borrowed) around each
+    /// scan, so a re-entrant scan inside an `emit` callback simply finds
+    /// an empty cell and allocates its own buffer instead of panicking.
+    static DEFAULT_RUN: std::cell::Cell<Vec<usize>> = const { std::cell::Cell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's shared run-staging buffer.
+fn with_default_run<R>(f: impl FnOnce(&mut Vec<usize>) -> R) -> R {
+    DEFAULT_RUN.with(|cell| {
+        let mut run = cell.take();
+        let out = f(&mut run);
+        cell.set(run);
+        out
+    })
+}
 
 /// A deterministic, sharded source of candidate pairs.
 ///
@@ -69,21 +89,60 @@ pub trait PairSource: Sync {
 
     /// Emits shard `s`'s candidates as `(pivot, ascending candidate
     /// run)` groups. The run slice is only valid for the duration of the
-    /// callback.
-    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize]));
+    /// callback. Defaults to [`PairSource::scan_shard_scratch`] over one
+    /// thread-shared staging buffer (it used to build a fresh `Vec` per
+    /// shard — the allocation-per-shard footgun).
+    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
+        with_default_run(|run| self.scan_shard_scratch(s, run, emit));
+    }
 
     /// Like [`PairSource::scan_shard`] with the run staging buffer drawn
-    /// from the caller (cleared per pivot, never shrunk) instead of
-    /// allocated per call — the entry point of pooled-arena tasks.
-    /// Defaults to the allocating scan; both concrete sources override.
+    /// from the caller (cleared per pivot, never shrunk) — the entry
+    /// point of pooled-arena tasks and the method concrete sources
+    /// implement.
     fn scan_shard_scratch(
         &self,
         s: usize,
         run: &mut Vec<usize>,
         emit: &mut dyn FnMut(usize, &[usize]),
+    );
+
+    /// Packed-kernel scan of shard `s`: every pivot's **whole bucket
+    /// tail** gets its edge bits from `packed`'s word-transposed lanes
+    /// in one straight-line loop
+    /// ([`PackedBuckets::tail_edge_bits`]), the
+    /// smallest-shared-color deduplication filter runs only on lanes
+    /// the oracle passed, and surviving pairs are emitted as **edges**
+    /// directly — the oracle-block stage of the scalar path disappears.
+    /// `hits` is the caller's reusable bit staging.
+    ///
+    /// Emits exactly `{(u, v) : scan_shard emits the pair ∧ the packed
+    /// oracle has the edge}`. Only the bucketed source supports it; the
+    /// builders route here only when the iteration context actually
+    /// packed (which implies a bucketed engine).
+    fn scan_shard_packed(
+        &self,
+        s: usize,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
     ) {
-        let _ = run;
-        self.scan_shard(s, emit);
+        let _ = (s, packed, hits, emit_edge);
+        unreachable!("packed scan on a source without bucket structure");
+    }
+
+    /// [`PairSource::scan_shard_packed`] over contiguous flat rows,
+    /// splitting bucket tails mid-bucket exactly like
+    /// [`PairSource::scan_rows`].
+    fn scan_rows_packed(
+        &self,
+        rows: Range<usize>,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        let _ = (rows, packed, hits, emit_edge);
+        unreachable!("packed scan on a source without bucket structure");
     }
 
     /// Total pivot rows in the flattened row space (the sub-bucket
@@ -159,10 +218,6 @@ impl PairSource for AllPairsSource<'_> {
         (self.lists.len() - 1 - s) as u64
     }
 
-    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
-        self.scan_shard_scratch(s, &mut Vec::new(), emit);
-    }
-
     fn scan_shard_scratch(
         &self,
         s: usize,
@@ -231,6 +286,39 @@ impl<'a> BucketSource<'a> {
             }
         }
     }
+
+    /// Packed-kernel twin of [`BucketSource::scan_positions`]: the
+    /// oracle runs first (whole-tail lane kernel), the dedup filter
+    /// second, only on hits — the emitted edge set is identical because
+    /// both filters are pure and intersection is order-independent. The
+    /// dedup itself is the packed bitmask test
+    /// ([`PackedBuckets::shares_color_below`]): both vertices hold this
+    /// bucket's color, so their smallest shared color is this one
+    /// exactly when they share nothing below it.
+    fn scan_positions_packed(
+        &self,
+        k: usize,
+        positions: Range<usize>,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        let bucket = self.index.bucket(k);
+        let start = self.index.bucket_start(k);
+        for a in positions {
+            let u = bucket[a] as usize;
+            packed.tail_edge_bits(start, bucket.len(), a, u, hits);
+            for (t, &hit) in hits.iter().enumerate() {
+                if hit {
+                    let v = bucket[a + 1 + t] as usize;
+                    // Emit only from the smallest shared color's bucket.
+                    if !packed.shares_color_below(u, v, k) {
+                        emit_edge(u as u32, v as u32);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl PairSource for BucketSource<'_> {
@@ -253,10 +341,6 @@ impl PairSource for BucketSource<'_> {
         self.index.bucket_pairs(s)
     }
 
-    fn scan_shard(&self, s: usize, emit: &mut dyn FnMut(usize, &[usize])) {
-        self.scan_shard_scratch(s, &mut Vec::new(), emit);
-    }
-
     fn scan_shard_scratch(
         &self,
         s: usize,
@@ -264,6 +348,16 @@ impl PairSource for BucketSource<'_> {
         emit: &mut dyn FnMut(usize, &[usize]),
     ) {
         self.scan_positions(s, 0..self.index.bucket(s).len(), run, emit);
+    }
+
+    fn scan_shard_packed(
+        &self,
+        s: usize,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        self.scan_positions_packed(s, 0..self.index.bucket(s).len(), packed, hits, emit_edge);
     }
 
     #[inline]
@@ -284,7 +378,7 @@ impl PairSource for BucketSource<'_> {
     /// bucket's pair triangle between callers while every pivot row is
     /// still scanned by exactly one of them.
     fn scan_rows(&self, rows: Range<usize>, emit: &mut dyn FnMut(usize, &[usize])) {
-        self.scan_rows_scratch(rows, &mut Vec::new(), emit);
+        with_default_run(|run| self.scan_rows_scratch(rows, run, emit));
     }
 
     fn scan_rows_scratch(
@@ -293,22 +387,54 @@ impl PairSource for BucketSource<'_> {
         run: &mut Vec<usize>,
         emit: &mut dyn FnMut(usize, &[usize]),
     ) {
-        if rows.is_empty() {
-            return;
-        }
-        let mut k = self.index.row_bucket(rows.start);
-        let mut r = rows.start;
-        while r < rows.end {
-            let (bs, be) = (self.index.bucket_start(k), self.index.bucket_start(k + 1));
-            if r >= be {
-                k += 1;
-                continue;
-            }
-            let hi = rows.end.min(be) - bs;
-            self.scan_positions(k, (r - bs)..hi, run, emit);
-            r = bs + hi;
+        walk_row_span(self.index, rows, |k, positions| {
+            self.scan_positions(k, positions, run, emit)
+        });
+    }
+
+    /// Packed sub-bucket scan, same mid-bucket splitting as
+    /// [`PairSource::scan_rows`] (literally: both walk the span through
+    /// [`walk_row_span`], so the packed and scalar row partitions cannot
+    /// drift apart).
+    fn scan_rows_packed(
+        &self,
+        rows: Range<usize>,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        walk_row_span(self.index, rows, |k, positions| {
+            self.scan_positions_packed(k, positions, packed, hits, emit_edge)
+        });
+    }
+}
+
+/// Decomposes a contiguous flat-row span into per-bucket position
+/// ranges: `leaf(k, positions)` receives each touched bucket `k` with
+/// the in-bucket positions the span covers — mid-bucket at either end.
+/// The single home of the sub-bucket splitting invariant (every pivot
+/// row visited exactly once), shared by the scalar and packed row
+/// scans.
+fn walk_row_span(
+    index: &BucketIndex,
+    rows: Range<usize>,
+    mut leaf: impl FnMut(usize, Range<usize>),
+) {
+    if rows.is_empty() {
+        return;
+    }
+    let mut k = index.row_bucket(rows.start);
+    let mut r = rows.start;
+    while r < rows.end {
+        let (bs, be) = (index.bucket_start(k), index.bucket_start(k + 1));
+        if r >= be {
             k += 1;
+            continue;
         }
+        let hi = rows.end.min(be) - bs;
+        leaf(k, (r - bs)..hi);
+        r = bs + hi;
+        k += 1;
     }
 }
 
@@ -452,6 +578,32 @@ impl PairSource for CandidateEngine<'_> {
         match self {
             CandidateEngine::Buckets(src) => src.scan_rows_scratch(rows, run, emit),
             CandidateEngine::AllPairs(src) => src.scan_rows_scratch(rows, run, emit),
+        }
+    }
+
+    fn scan_shard_packed(
+        &self,
+        s: usize,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_shard_packed(s, packed, hits, emit_edge),
+            CandidateEngine::AllPairs(src) => src.scan_shard_packed(s, packed, hits, emit_edge),
+        }
+    }
+
+    fn scan_rows_packed(
+        &self,
+        rows: Range<usize>,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        match self {
+            CandidateEngine::Buckets(src) => src.scan_rows_packed(rows, packed, hits, emit_edge),
+            CandidateEngine::AllPairs(src) => src.scan_rows_packed(rows, packed, hits, emit_edge),
         }
     }
 }
@@ -627,6 +779,65 @@ mod tests {
             });
             row_pairs.sort_unstable();
             assert_eq!(row_pairs, collect_pairs(&source));
+        }
+    }
+
+    #[test]
+    fn packed_scans_emit_exactly_the_oracle_filtered_pairs() {
+        use crate::oracle::PauliComplementOracle;
+        use graph::EdgeOracle;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        // Single-word and multi-word packed forms.
+        for qubits in [6usize, 25] {
+            let strings = pauli::string::random_unique_set(70, qubits, &mut rng);
+            let set = pauli::EncodedSet::from_strings(&strings);
+            let oracle = PauliComplementOracle::new(&set);
+            let lists = ColorLists::assign(70, 0, 14, 4, 13, 1);
+            let index = lists.bucket_index();
+            let source = BucketSource::new(&lists, &index);
+            let mut packed = PackedBuckets::new();
+            assert!(packed.pack_from(&oracle, &lists, &index));
+
+            // Ground truth: scalar candidate scan filtered by the
+            // scalar oracle.
+            let mut truth = Vec::new();
+            for s in 0..source.num_shards() {
+                source.scan_shard(s, &mut |u, vs| {
+                    for &v in vs {
+                        if oracle.has_edge(u, v) {
+                            truth.push((u as u32, v as u32));
+                        }
+                    }
+                });
+            }
+            truth.sort_unstable();
+
+            let mut hits = Vec::new();
+            let mut shard_edges = Vec::new();
+            for s in 0..source.num_shards() {
+                source
+                    .scan_shard_packed(s, &packed, &mut hits, &mut |u, v| shard_edges.push((u, v)));
+            }
+            shard_edges.sort_unstable();
+            assert_eq!(shard_edges, truth, "qubits={qubits} shard grain");
+
+            // Row grain, split at awkward cuts including mid-bucket.
+            for parts in [1usize, 3, 7] {
+                let rows = source.num_rows();
+                let step = rows.div_ceil(parts).max(1);
+                let mut row_edges = Vec::new();
+                let mut at = 0usize;
+                while at < rows {
+                    let hi = (at + step).min(rows);
+                    source.scan_rows_packed(at..hi, &packed, &mut hits, &mut |u, v| {
+                        row_edges.push((u, v))
+                    });
+                    at = hi;
+                }
+                row_edges.sort_unstable();
+                assert_eq!(row_edges, truth, "qubits={qubits} parts={parts}");
+            }
         }
     }
 

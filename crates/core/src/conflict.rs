@@ -52,8 +52,12 @@
 use crate::assign::ColorLists;
 use crate::candidates::PairSource;
 use crate::iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
+use crate::packed::PackedBuckets;
 use device::{DeviceError, DeviceSim};
-use graph::{csr_from_coo_parallel, csr_from_coo_sequential, CsrGraph, EdgeOracle};
+use graph::{
+    csr_from_coo_parallel, csr_from_coo_parallel_in, csr_from_coo_sequential_in, CsrGraph,
+    EdgeOracle,
+};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -68,6 +72,12 @@ pub struct ConflictBuild {
     /// work): `m(m−1)/2` for the all-pairs scan, the sum of bucket-pair
     /// counts for the bucketed engine.
     pub candidate_pairs: u64,
+    /// Key lanes streamed by the **packed** oracle kernel: equal to
+    /// `candidate_pairs` when this build ran on the packed replica
+    /// (every examined pair is one `u64`-lane AND), zero when it took a
+    /// scalar path — so `packed_lanes / candidate_pairs` is the build's
+    /// packed-lane utilization.
+    pub packed_lanes: u64,
     /// For the device backend: whether the CSR was assembled on-device
     /// (`Some(true)`), on the host after an edge-list download
     /// (`Some(false)`), or not built by a device at all (`None`).
@@ -75,22 +85,31 @@ pub struct ConflictBuild {
 }
 
 /// Runs the candidates of contiguous flat rows `rows` through the
-/// batched-with-scratch oracle path, pushing hits as `(u, v)` pairs via
-/// `push`. `run`, `hits` and `mapped` are caller-owned arenas (context
+/// oracle, pushing hits as `(u, v)` pairs via `push`. With a packed
+/// replica the edge bits come from the bucket-major lane kernel
+/// ([`PairSource::scan_rows_packed`] — no candidate-run staging, no
+/// per-row gather); otherwise the batched-with-scratch scalar path
+/// runs. `run`, `hits` and `mapped` are caller-owned arenas (context
 /// scratch on single-threaded paths, pooled [`TaskArena`] buffers on
-/// parallel ones), so a warm scan allocates nothing.
+/// parallel ones), so a warm scan allocates nothing either way.
 ///
 /// [`TaskArena`]: crate::iteration::TaskArena
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     oracle: &O,
     source: &S,
+    packed: Option<&PackedBuckets>,
     rows: std::ops::Range<usize>,
     run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
+    if let Some(packed) = packed {
+        source.scan_rows_packed(rows, packed, hits, &mut |u, v| push(u, v));
+        return;
+    }
     source.scan_rows_scratch(rows, run, &mut |u, vs| {
         hits.clear();
         hits.resize(vs.len(), false);
@@ -106,15 +125,21 @@ fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
 /// Like [`scan_rows_edges`] but over one whole shard — the granularity
 /// of the single-device kernel blocks.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     oracle: &O,
     source: &S,
+    packed: Option<&PackedBuckets>,
     shard: usize,
     run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
+    if let Some(packed) = packed {
+        source.scan_shard_packed(shard, packed, hits, &mut |u, v| push(u, v));
+        return;
+    }
     source.scan_shard_scratch(shard, run, &mut |u, vs| {
         hits.clear();
         hits.resize(vs.len(), false);
@@ -127,11 +152,15 @@ fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     });
 }
 
-/// Sequential bucketed build: one pass over the flat pivot-row space,
-/// with the COO/run/hit/remap arenas all drawn from the context —
-/// steady-state iterations allocate only the output CSR.
+/// Sequential bucketed build: one pass over the flat pivot-row space —
+/// through the packed lane kernel whenever the context packed this
+/// iteration — with the COO/run/hit/remap arenas *and* the CSR assembly
+/// arrays all drawn from the context. Once the arenas are warm (and
+/// retired graphs are recycled via
+/// [`IterationContext::recycle_csr`]), a steady-state build performs
+/// **zero** heap allocations, output CSR included.
 pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
-    let (engine, scratch) = ctx.engine_and_scratch();
+    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
     let IterationScratch {
@@ -139,12 +168,14 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         hits,
         mapped,
         run,
+        csr,
         ..
     } = scratch;
     edges.clear();
     scan_rows_edges(
         oracle,
         &engine,
+        packed,
         0..engine.num_rows(),
         run,
         hits,
@@ -152,10 +183,12 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         |u, v| edges.push((u, v)),
     );
     let num_edges = edges.len();
+    let candidate_pairs = engine.candidate_pairs();
     ConflictBuild {
-        graph: csr_from_coo_sequential(m, edges),
+        graph: csr_from_coo_sequential_in(m, edges, csr),
         num_edges,
-        candidate_pairs: engine.candidate_pairs(),
+        candidate_pairs,
+        packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
         csr_on_device: None,
     }
 }
@@ -172,7 +205,7 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
     let (lists, scratch) = ctx.lists_and_scratch();
     let m = oracle.num_vertices();
     debug_assert_eq!(m, lists.len());
-    let edges = &mut scratch.edges;
+    let IterationScratch { edges, csr, .. } = scratch;
     edges.clear();
     for i in 0..m {
         for j in (i + 1)..m {
@@ -184,9 +217,10 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
     let num_edges = edges.len();
     let m64 = m as u64;
     ConflictBuild {
-        graph: csr_from_coo_sequential(m, edges),
+        graph: csr_from_coo_sequential_in(m, edges, csr),
         num_edges,
         candidate_pairs: m64 * m64.saturating_sub(1) / 2,
+        packed_lanes: 0,
         csr_on_device: None,
     }
 }
@@ -202,10 +236,12 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
 /// the output is bit-identical to the sequential build under any
 /// scheduling.
 pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
-    let (engine, scratch) = ctx.engine_and_scratch();
+    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
-    let IterationScratch { edges, pool, .. } = scratch;
+    let IterationScratch {
+        edges, pool, csr, ..
+    } = scratch;
     let pool: &ScratchPool = pool;
     edges.clear();
     let row_weights = engine.row_weights();
@@ -221,7 +257,7 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
             ..
         } = &mut arena;
         staged.clear();
-        scan_rows_edges(oracle, &engine, rows, run, hits, mapped, |u, v| {
+        scan_rows_edges(oracle, &engine, packed, rows, run, hits, mapped, |u, v| {
             staged.push((u, v))
         });
         if !staged.is_empty() {
@@ -232,10 +268,12 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
     *edges = merged.into_inner().unwrap();
     edges.sort_unstable();
     let num_edges = edges.len();
+    let candidate_pairs = engine.candidate_pairs();
     ConflictBuild {
-        graph: csr_from_coo_parallel(m, edges),
+        graph: csr_from_coo_parallel_in(m, edges, csr),
         num_edges,
-        candidate_pairs: engine.candidate_pairs(),
+        candidate_pairs,
+        packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
         csr_on_device: None,
     }
 }
@@ -248,26 +286,35 @@ pub fn device_input_bytes_per_vertex(num_qubits: usize, list_size: usize) -> usi
 }
 
 /// Simulated-device implementation of Algorithm 3, extended with the
-/// bucketed candidate engine.
+/// bucketed candidate engine and the packed oracle replica.
 ///
 /// Budget layout, following the paper line by line:
-/// 1. upload the encoded strings + color lists
-///    (`input_bytes_per_vertex · m`),
-/// 2. allocate `m` edge-offset counters (4-byte, or 8-byte once
+/// 1. upload the kernel's input: the raw encoded strings + color lists
+///    (`input_bytes_per_vertex · m`) on the scalar path, or — when the
+///    iteration packed — the **packed replica** (bucket-major key lanes,
+///    query rows and palette bitmasks,
+///    [`PackedBuckets::device_bytes`]) plus the color lists, charged
+///    *instead of* the raw set: the replica is what the packed kernel
+///    actually reads,
+/// 2. reserve `m` edge-offset counters (4-byte, or 8-byte once
 ///    `m² ≥ 2³²`),
 /// 3. upload the bucket index (`N·L + P + 1` u32 values) when the
 ///    bucketed engine is selected — the enumeration structure is now
 ///    device-resident state and is charged like any other input,
-/// 4. allocate `min(2 · candidate_pairs, whatever fits)` u32 slots for
+/// 4. reserve `min(2 · candidate_pairs, whatever fits)` u32 slots for
 ///    the unordered COO edge list (each candidate yields at most one
-///    edge, so the arena is far below the legacy `2·m·(m−1)` bound),
+///    edge, so the arena is far below the legacy `2·m·(m−1)` bound).
+///    The budget charge is a [`device::DeviceLease`]; the backing
+///    storage is the context's reused COO word arena, so a warm build
+///    allocates no host memory for it,
 /// 5. launch the bucket-blocked pair kernel
 ///    ([`DeviceSim::launch_weighted_blocks`]: blocks own contiguous
 ///    shard ranges of near-equal pair weight, stage locally and
 ///    bulk-reserve slots with one atomic),
 /// 6. if the CSR (2·|Ec| adjacency slots) fits in the *remaining* device
 ///    memory, assemble it "on device" and download it; otherwise download
-///    the raw edge list and assemble on the host.
+///    the raw edge list and assemble on the host. Either way the arrays
+///    come from the context's CSR arena.
 ///
 /// Fails with [`DeviceError::OutOfMemory`] when the inputs don't fit or
 /// the kernel produces more edges than the allocation holds — the same
@@ -278,29 +325,42 @@ pub fn build_device<O: EdgeOracle>(
     dev: &DeviceSim,
     input_bytes_per_vertex: usize,
 ) -> Result<ConflictBuild, DeviceError> {
-    let (engine, scratch) = ctx.engine_and_scratch();
+    let list_bytes = ctx.lists().list_size() * std::mem::size_of::<u32>();
+    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
-    let IterationScratch { edges, pool, .. } = scratch;
+    let IterationScratch {
+        edges,
+        pool,
+        coo,
+        csr,
+        ..
+    } = scratch;
     let pool: &ScratchPool = pool;
     if m == 0 {
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(0),
             num_edges: 0,
             candidate_pairs: 0,
+            packed_lanes: 0,
             csr_on_device: Some(true),
         });
     }
 
     // (1) Inputs: charged to the budget and counted as an H2D transfer.
-    let input_bytes = m * input_bytes_per_vertex;
-    let _input = dev.alloc::<u8>(input_bytes)?;
+    // A packed iteration uploads the replica (what its kernel reads)
+    // plus the color lists instead of the raw encoded set.
+    let input_bytes = match packed {
+        Some(p) => m * list_bytes + p.device_bytes(),
+        None => m * input_bytes_per_vertex,
+    };
+    let _input = dev.reserve(input_bytes)?;
     dev.note_h2d(input_bytes);
 
     // (2) Edge-offset counters: 8-byte once |V|² overflows u32 (paper §V).
     let wide_counters = (m as u64).saturating_mul(m as u64) >= u32::MAX as u64;
     let counter_bytes = m * if wide_counters { 8 } else { 4 };
-    let _counters = dev.alloc::<u8>(counter_bytes)?;
+    let _counters = dev.reserve(counter_bytes)?;
 
     // A single vertex has no candidate pairs; nothing to build.
     if m < 2 {
@@ -308,6 +368,7 @@ pub fn build_device<O: EdgeOracle>(
             graph: CsrGraph::empty(m),
             num_edges: 0,
             candidate_pairs: 0,
+            packed_lanes: 0,
             csr_on_device: Some(true),
         });
     }
@@ -315,12 +376,12 @@ pub fn build_device<O: EdgeOracle>(
     // (3) A bucketed engine choice makes the shared inverted index
     // device-resident input, charged and uploaded like the rest.
     let candidate_pairs = engine.candidate_pairs();
-    let _index_buf = match engine.index() {
+    let _index_lease = match engine.index() {
         Some(index) => {
             let bytes = index.device_bytes();
-            let buf = dev.alloc::<u8>(bytes)?;
+            let lease = dev.reserve(bytes)?;
             dev.note_h2d(bytes);
-            Some(buf)
+            Some(lease)
         }
         None => None,
     };
@@ -329,12 +390,15 @@ pub fn build_device<O: EdgeOracle>(
             graph: CsrGraph::empty(m),
             num_edges: 0,
             candidate_pairs: 0,
+            packed_lanes: 0,
             csr_on_device: Some(true),
         });
     }
+    let packed_lanes = if packed.is_some() { candidate_pairs } else { 0 };
 
     // (4) The unordered COO edge list: all remaining memory, capped at
     // two u32 slots per candidate pair (each yields at most one edge).
+    // Budget via lease; storage from the context's reused word arena.
     let worst_slots = 2u64.saturating_mul(candidate_pairs).min(usize::MAX as u64) as usize;
     let avail_slots = dev.available_bytes() / std::mem::size_of::<u32>();
     let edge_slots = worst_slots.min(avail_slots);
@@ -344,7 +408,9 @@ pub fn build_device<O: EdgeOracle>(
             available: dev.available_bytes(),
         });
     }
-    let mut edge_buf = dev.alloc::<u32>(edge_slots)?;
+    let _edge_lease = dev.reserve(edge_slots * std::mem::size_of::<u32>())?;
+    coo.clear();
+    coo.resize(edge_slots, 0);
 
     // (5) Bucket-blocked pair kernel: blocks own contiguous shard ranges
     // of near-equal pair weight; each block stages edges locally and
@@ -356,7 +422,7 @@ pub fn build_device<O: EdgeOracle>(
         struct SendPtr(*mut u32);
         unsafe impl Send for SendPtr {}
         unsafe impl Sync for SendPtr {}
-        let out = SendPtr(edge_buf.as_mut_slice().as_mut_ptr());
+        let out = SendPtr(coo.as_mut_ptr());
         let out_ref = &out;
         let num_blocks = rayon::current_num_threads() * 4;
         let weights: Vec<u64> = (0..engine.num_shards())
@@ -375,7 +441,7 @@ pub fn build_device<O: EdgeOracle>(
             } = &mut arena;
             staged.clear();
             for s in shards {
-                scan_shard_edges(oracle, &engine, s, run, hits, mapped, |u, v| {
+                scan_shard_edges(oracle, &engine, packed, s, run, hits, mapped, |u, v| {
                     staged.push(u);
                     staged.push(v);
                 });
@@ -410,11 +476,7 @@ pub fn build_device<O: EdgeOracle>(
     // perturbs edge order, but CSR construction sorts adjacency, so the
     // result is order-independent.
     edges.clear();
-    edges.extend(
-        edge_buf.as_slice()[..used_slots]
-            .chunks_exact(2)
-            .map(|p| (p[0], p[1])),
-    );
+    edges.extend(coo[..used_slots].chunks_exact(2).map(|p| (p[0], p[1])));
 
     // (6) CSR placement decision (Line 5 of Algorithm 3, `|Ecoo| <=
     // AvailMem/2`): the CSR stores each edge twice; build it on-device
@@ -425,22 +487,22 @@ pub fn build_device<O: EdgeOracle>(
     let csr_entries = 2 * num_edges;
     let on_device = csr_entries * std::mem::size_of::<u32>() <= dev.available_bytes();
     let graph = if on_device {
-        let _csr_buf = dev.alloc::<u32>(csr_entries.max(1));
-        match _csr_buf {
-            Ok(_buf) => {
-                let g = csr_from_coo_parallel(m, edges);
+        match dev.reserve(csr_entries.max(1) * std::mem::size_of::<u32>()) {
+            Ok(_lease) => {
+                let g = csr_from_coo_parallel_in(m, edges, csr);
                 dev.note_d2h(csr_entries * std::mem::size_of::<u32>());
                 g
             }
             Err(_) => {
-                // Paranoia: if the CSR allocation races out of budget,
+                // Paranoia: if the CSR reservation races out of budget,
                 // fall back to the host path.
                 dev.note_d2h(used_slots * std::mem::size_of::<u32>());
                 edges.sort_unstable();
                 return Ok(ConflictBuild {
-                    graph: csr_from_coo_sequential(m, edges),
+                    graph: csr_from_coo_sequential_in(m, edges, csr),
                     num_edges,
                     candidate_pairs,
+                    packed_lanes,
                     csr_on_device: Some(false),
                 });
             }
@@ -448,13 +510,14 @@ pub fn build_device<O: EdgeOracle>(
     } else {
         dev.note_d2h(used_slots * std::mem::size_of::<u32>());
         edges.sort_unstable();
-        csr_from_coo_sequential(m, edges)
+        csr_from_coo_sequential_in(m, edges, csr)
     };
 
     Ok(ConflictBuild {
         graph,
         num_edges,
         candidate_pairs,
+        packed_lanes,
         csr_on_device: Some(on_device),
     })
 }
@@ -494,16 +557,24 @@ pub fn build_multi_device<O: EdgeOracle>(
     input_bytes_per_vertex: usize,
 ) -> Result<ConflictBuild, DeviceError> {
     assert!(!devices.is_empty(), "need at least one device");
-    let (engine, scratch) = ctx.engine_and_scratch();
+    let list_bytes = ctx.lists().list_size() * std::mem::size_of::<u32>();
+    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
-    let IterationScratch { edges, pool, .. } = scratch;
+    let IterationScratch {
+        edges,
+        pool,
+        coo,
+        csr,
+        ..
+    } = scratch;
     let pool: &ScratchPool = pool;
     if m < 2 {
         return Ok(ConflictBuild {
             graph: CsrGraph::empty(m),
             num_edges: 0,
             candidate_pairs: 0,
+            packed_lanes: 0,
             csr_on_device: Some(false),
         });
     }
@@ -528,23 +599,28 @@ pub fn build_multi_device<O: EdgeOracle>(
 
     edges.clear();
     for (span, dev) in cuts.iter().zip(devices.iter()) {
-        // (1) Input replica, charged to this device's budget.
-        let input_bytes = m * input_bytes_per_vertex;
-        let _input = dev.alloc::<u8>(input_bytes)?;
+        // (1) Input replica, charged to this device's budget: the packed
+        // replica + lists when this iteration packed, the raw encoded
+        // set otherwise — every device holds the same kernel input.
+        let input_bytes = match packed {
+            Some(p) => m * list_bytes + p.device_bytes(),
+            None => m * input_bytes_per_vertex,
+        };
+        let _input = dev.reserve(input_bytes)?;
         dev.note_h2d(input_bytes);
         // (2) Bucket-index replica: the shared index is built once on the
         // host but uploaded to (and charged against) every device.
-        let _index_buf = match engine.index() {
+        let _index_lease = match engine.index() {
             Some(index) => {
                 let bytes = index.device_bytes();
-                let buf = dev.alloc::<u8>(bytes)?;
+                let lease = dev.reserve(bytes)?;
                 dev.note_h2d(bytes);
-                Some(buf)
+                Some(lease)
             }
             None => None,
         };
         // (3) Edge-offset counters for the span's pivot rows.
-        let _counters = dev.alloc::<u8>(span.len() * 4)?;
+        let _counters = dev.reserve(span.len() * 4)?;
         let span_weights = &row_weights[span.clone()];
         let span_pairs: u64 = span_weights.iter().sum();
         if span_pairs == 0 {
@@ -554,7 +630,8 @@ pub fn build_multi_device<O: EdgeOracle>(
             continue;
         }
         // (4) COO arena, capped at two u32 slots per candidate pair of
-        // the span.
+        // the span: budget via lease, storage from the context's reused
+        // word arena (serial over devices, so one arena serves all).
         let worst_slots = 2u64.saturating_mul(span_pairs).min(usize::MAX as u64) as usize;
         let avail_slots = dev.available_bytes() / std::mem::size_of::<u32>();
         let edge_slots = worst_slots.min(avail_slots);
@@ -564,14 +641,16 @@ pub fn build_multi_device<O: EdgeOracle>(
                 available: dev.available_bytes(),
             });
         }
-        let mut edge_buf = dev.alloc::<u32>(edge_slots)?;
+        let _edge_lease = dev.reserve(edge_slots * std::mem::size_of::<u32>())?;
+        coo.clear();
+        coo.resize(edge_slots, 0);
         let cursor = AtomicUsize::new(0);
         let overflow = AtomicBool::new(false);
         {
             struct SendPtr(*mut u32);
             unsafe impl Send for SendPtr {}
             unsafe impl Sync for SendPtr {}
-            let out = SendPtr(edge_buf.as_mut_slice().as_mut_ptr());
+            let out = SendPtr(coo.as_mut_ptr());
             let out_ref = &out;
             let num_blocks = rayon::current_num_threads() * 2;
             // (5) Triangle-sharded kernel: blocks own pair-balanced row
@@ -587,7 +666,7 @@ pub fn build_multi_device<O: EdgeOracle>(
                     ..
                 } = &mut arena;
                 staged.clear();
-                scan_rows_edges(oracle, &engine, rows, run, hits, mapped, |u, v| {
+                scan_rows_edges(oracle, &engine, packed, rows, run, hits, mapped, |u, v| {
                     staged.push(u);
                     staged.push(v);
                 });
@@ -618,20 +697,17 @@ pub fn build_multi_device<O: EdgeOracle>(
         dev.note_d2h(used * std::mem::size_of::<u32>());
         // Host-side merge straight into the context's COO arena — no
         // per-device intermediate.
-        edges.extend(
-            edge_buf.as_slice()[..used]
-                .chunks_exact(2)
-                .map(|p| (p[0], p[1])),
-        );
+        edges.extend(coo[..used].chunks_exact(2).map(|p| (p[0], p[1])));
     }
 
     // Sorting makes the merge order-independent before CSR assembly.
     edges.sort_unstable();
     let num_edges = edges.len();
     Ok(ConflictBuild {
-        graph: csr_from_coo_parallel(m, edges),
+        graph: csr_from_coo_parallel_in(m, edges, csr),
         num_edges,
         candidate_pairs,
+        packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
         csr_on_device: Some(false),
     })
 }
@@ -655,6 +731,7 @@ pub fn build_multi_device_rowsharded<O: EdgeOracle>(
             graph: CsrGraph::empty(m),
             num_edges: 0,
             candidate_pairs: 0,
+            packed_lanes: 0,
             csr_on_device: Some(false),
         });
     }
@@ -746,6 +823,7 @@ pub fn build_multi_device_rowsharded<O: EdgeOracle>(
         graph: csr_from_coo_parallel(m, &edges),
         num_edges,
         candidate_pairs: m64 * m64.saturating_sub(1) / 2,
+        packed_lanes: 0,
         csr_on_device: Some(false),
     })
 }
@@ -867,6 +945,103 @@ mod tests {
             ctx.scratch_pool().arenas_pooled(),
             ctx.scratch_pool().arenas_created(),
             "device blocks must return their arenas too"
+        );
+    }
+
+    #[test]
+    fn packed_kernel_builds_identical_csrs_across_all_backends() {
+        use crate::oracle::PauliComplementOracle;
+        use crate::packed::PackingMode;
+        use rand::SeedableRng;
+        // Single-word (≤21 qubits) and multi-word (>21) packed forms.
+        for qubits in [10usize, 25] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(qubits as u64);
+            let strings = pauli::string::random_unique_set(140, qubits, &mut rng);
+            let set = pauli::EncodedSet::from_strings(&strings);
+            let oracle = PauliComplementOracle::new(&set);
+            let lists = ColorLists::assign(140, 0, 24, 4, 9, 1);
+
+            let mut scalar_ctx = ctx_for(&lists);
+            scalar_ctx.set_packing(PackingMode::Never);
+            let reference = build_sequential(&oracle, &mut scalar_ctx);
+            assert_eq!(reference.packed_lanes, 0, "Never mode must not pack");
+            assert_eq!(scalar_ctx.pack_builds(), 0);
+
+            let mut ctx = ctx_for(&lists);
+            ctx.set_packing(PackingMode::Always);
+            let seq = build_sequential(&oracle, &mut ctx);
+            let par = build_parallel(&oracle, &mut ctx);
+            let dev = DeviceSim::new(64 * 1024 * 1024);
+            let devb = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
+            let fleet: Vec<DeviceSim> = (0..3).map(|_| DeviceSim::new(32 * 1024 * 1024)).collect();
+            let multi = build_multi_device(&oracle, &mut ctx, &fleet, 16).unwrap();
+            let allpairs = build_sequential_allpairs(&oracle, &mut ctx);
+
+            for (name, b) in [
+                ("seq", &seq),
+                ("par", &par),
+                ("dev", &devb),
+                ("multi", &multi),
+            ] {
+                assert_eq!(b.graph, reference.graph, "qubits={qubits} {name}");
+                assert_eq!(
+                    b.packed_lanes, b.candidate_pairs,
+                    "qubits={qubits} {name}: fully packed build"
+                );
+            }
+            assert_eq!(allpairs.graph, reference.graph, "qubits={qubits} allpairs");
+            // One packed replica (and one index) served every backend.
+            assert_eq!(ctx.pack_builds(), 1, "qubits={qubits}");
+            assert!(ctx.index_builds() <= 1);
+        }
+    }
+
+    #[test]
+    fn packed_device_build_charges_the_replica_not_the_raw_set() {
+        use crate::oracle::PauliComplementOracle;
+        use crate::packed::PackingMode;
+        use rand::SeedableRng;
+        let m = 120;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let strings = pauli::string::random_unique_set(m, 12, &mut rng);
+        let set = pauli::EncodedSet::from_strings(&strings);
+        let oracle = PauliComplementOracle::new(&set);
+        let lists = ColorLists::assign(m, 0, 30, 3, 5, 0);
+        let mut ctx = ctx_for(&lists);
+        ctx.set_packing(PackingMode::Always);
+        let index_bytes = lists.bucket_index().device_bytes();
+        // 12 qubits → one word per row; replica = (m·L key lanes + m
+        // query rows + m one-word palette bitmasks) · 8 B, uploaded next
+        // to the m·L·4 B lists.
+        let replica_bytes = (m * 3 + m + m) * 8;
+        let list_bytes = m * 3 * 4;
+        let dev = DeviceSim::new(8 * 1024 * 1024);
+        let built = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
+        assert_eq!(built.packed_lanes, built.candidate_pairs);
+        assert_eq!(
+            dev.stats().h2d_bytes,
+            list_bytes + replica_bytes + index_bytes,
+            "packed upload = lists + replica + index, not m·input_bpv"
+        );
+        assert_eq!(dev.used_bytes(), 0, "all leases released");
+    }
+
+    #[test]
+    fn auto_packing_requires_a_packable_oracle_and_real_pair_load() {
+        // FnOracle has no packed form: Auto must fall back to the scalar
+        // path and report zero packed lanes, with identical output.
+        let m = 200;
+        let oracle = dense_oracle(m);
+        let lists = ColorLists::assign(m, 0, 30, 4, 3, 0);
+        let mut ctx = ctx_for(&lists);
+        let built = build_sequential(&oracle, &mut ctx);
+        assert_eq!(built.packed_lanes, 0);
+        assert_eq!(ctx.pack_builds(), 0);
+        let mut scalar_ctx = ctx_for(&lists);
+        scalar_ctx.set_packing(crate::packed::PackingMode::Never);
+        assert_eq!(
+            built.graph,
+            build_sequential(&oracle, &mut scalar_ctx).graph
         );
     }
 

@@ -29,6 +29,8 @@
 
 use crate::assign::{BucketIndex, BucketLoad, ColorLists};
 use crate::candidates::CandidateEngine;
+use crate::packed::{PackedBuckets, PackingMode};
+use graph::{CsrArena, CsrGraph, EdgeOracle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -116,6 +118,17 @@ pub struct IterationScratch {
     /// device kernel blocks draw their staging buffers from here instead
     /// of allocating per task).
     pub pool: ScratchPool,
+    /// CSR assembly arena: the offset/adjacency/cursor arrays every
+    /// builder assembles its output graph into. The solver hands retired
+    /// graphs back via [`IterationContext::recycle_csr`], closing the
+    /// loop that makes steady-state Line 7 — **including CSR assembly**
+    /// — allocation-free.
+    pub csr: CsrArena,
+    /// Host storage standing in for the simulated device's COO edge
+    /// arena: the device builders charge the budget with a
+    /// [`device::DeviceLease`] and stage into this reused array instead
+    /// of allocating a backing vector per build.
+    pub coo: Vec<u32>,
 }
 
 /// The per-iteration workspace: owns the color lists, the shared bucket
@@ -135,6 +148,19 @@ pub struct IterationContext {
     /// iteration by construction (the validity flag), counted so tests
     /// can pin the shared-index contract.
     index_builds: usize,
+    /// The persistent packed-replica arena (see [`crate::packed`]).
+    packed: PackedBuckets,
+    /// Whether the packing decision has been made for the current lists.
+    packed_valid: bool,
+    /// Whether the current iteration's builds use the packed kernel
+    /// (valid only when `packed_valid`).
+    packed_active: bool,
+    /// Packing policy (default [`PackingMode::Auto`]).
+    packing: PackingMode,
+    /// Total packed-replica builds — at most one per iteration, shared
+    /// by every backend of the round, mirrored by the solver into
+    /// [`PicassoResult::pack_builds`](crate::PicassoResult::pack_builds).
+    pack_builds: usize,
     scratch: IterationScratch,
 }
 
@@ -155,6 +181,11 @@ impl IterationContext {
             bucketed: false,
             load: BucketLoad::default(),
             index_builds: 0,
+            packed: PackedBuckets::new(),
+            packed_valid: false,
+            packed_active: false,
+            packing: PackingMode::Auto,
+            pack_builds: 0,
             scratch: IterationScratch::default(),
         }
     }
@@ -189,6 +220,8 @@ impl IterationContext {
 
     fn refresh_after_lists_change(&mut self) {
         self.index_valid = false;
+        self.packed_valid = false;
+        self.packed_active = false;
         self.load = self.lists.bucket_load();
         self.bucketed =
             CandidateEngine::bucketed_is_cheaper(self.load.total_pairs, self.lists.len());
@@ -217,6 +250,36 @@ impl IterationContext {
         self.index_builds
     }
 
+    /// Total packed-replica builds performed so far — at most one per
+    /// iteration, shared by every backend of the round.
+    pub fn pack_builds(&self) -> usize {
+        self.pack_builds
+    }
+
+    /// The packing policy (see [`PackingMode`]); `Auto` by default.
+    pub fn packing(&self) -> PackingMode {
+        self.packing
+    }
+
+    /// Overrides the packing policy. Takes effect from the next
+    /// iteration's (or the next backend's first) engine borrow; the
+    /// policy is a pure function of the context, so every backend of an
+    /// iteration sees one consistent decision.
+    pub fn set_packing(&mut self, mode: PackingMode) {
+        self.packing = mode;
+        self.packed_valid = false;
+        self.packed_active = false;
+    }
+
+    /// Hands a retired conflict graph's storage back to the context's
+    /// CSR arena, so the next build assembles into the same allocations
+    /// — the final step of the allocation-free Line 7 loop. The solver
+    /// calls this at the end of every iteration; external callers that
+    /// keep their graphs simply skip it.
+    pub fn recycle_csr(&mut self, graph: CsrGraph) {
+        self.scratch.csr.recycle(graph);
+    }
+
     /// Builds the bucket index for the current lists if the bucketed
     /// engine is selected and the index has not been built this
     /// iteration yet. Idempotent within an iteration.
@@ -225,6 +288,52 @@ impl IterationContext {
             self.lists.bucket_index_into(&mut self.index);
             self.index_valid = true;
             self.index_builds += 1;
+        }
+    }
+
+    /// Builds the packed oracle replica for the current iteration if the
+    /// bucketed engine is selected, the policy engages, and the oracle
+    /// has a packed form — lazily, at most once per iteration, into the
+    /// persistent arena. Idempotent within an iteration: the decision
+    /// (and the replica) is shared by every backend of the round.
+    fn ensure_packed<O: EdgeOracle + ?Sized>(&mut self, oracle: &O) {
+        if self.packed_valid {
+            // The replica is cached per iteration: every build between
+            // two lists changes must use the same oracle (the solver
+            // always does — one LiveView per iteration). Debug builds
+            // probe the cached query table against the caller's oracle
+            // to catch accidental swaps.
+            #[cfg(debug_assertions)]
+            if self.packed_active {
+                debug_assert!(
+                    self.packed.probe_matches(oracle),
+                    "a different oracle was passed mid-iteration: the packed replica is \
+                     cached per iteration, so every build between lists changes must use \
+                     the same oracle"
+                );
+            }
+            return;
+        }
+        self.packed_valid = true;
+        self.packed_active = false;
+        if !self.bucketed {
+            return;
+        }
+        let engage = match self.packing {
+            PackingMode::Never => false,
+            PackingMode::Always => true,
+            PackingMode::Auto => PackedBuckets::worth_packing(
+                self.load.total_pairs,
+                self.lists.len() * self.lists.list_size(),
+            ),
+        };
+        if !engage {
+            return;
+        }
+        self.ensure_index();
+        if self.packed.pack_from(oracle, &self.lists, &self.index) {
+            self.packed_active = true;
+            self.pack_builds += 1;
         }
     }
 
@@ -241,6 +350,45 @@ impl IterationContext {
         };
         (
             CandidateEngine::with_index(&self.lists, index),
+            &mut self.scratch,
+        )
+    }
+
+    /// [`IterationContext::engine_and_scratch`] plus this iteration's
+    /// packed oracle replica (built on first use, `None` when packing
+    /// was skipped — all-pairs engine, unpackable oracle, `Never`
+    /// policy, or an `Auto` decision that the `O(N·L)` packing pass
+    /// would not amortize). The borrow every packed-capable conflict
+    /// builder starts from.
+    ///
+    /// **Contract:** the replica is cached for the whole iteration, so
+    /// every build between two lists changes must pass the *same*
+    /// oracle (as the solver does — one `LiveView` per iteration).
+    /// Debug builds assert a probe of the cached query table against
+    /// the caller's oracle.
+    pub fn engine_packed_scratch<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+    ) -> (
+        CandidateEngine<'_>,
+        Option<&PackedBuckets>,
+        &mut IterationScratch,
+    ) {
+        self.ensure_index();
+        self.ensure_packed(oracle);
+        let index = if self.bucketed {
+            Some(&self.index)
+        } else {
+            None
+        };
+        let packed = if self.packed_active {
+            Some(&self.packed)
+        } else {
+            None
+        };
+        (
+            CandidateEngine::with_index(&self.lists, index),
+            packed,
             &mut self.scratch,
         )
     }
@@ -277,8 +425,37 @@ impl IterationContext {
     /// [`crate::PicassoConfig::strict_device_forecast`] compares this
     /// against the device budget before any kernel launches.
     pub fn device_forecast_bytes(&self, input_bytes_per_vertex: usize) -> usize {
+        self.device_forecast_impl(input_bytes_per_vertex, None)
+    }
+
+    /// Oracle-aware [`IterationContext::device_forecast_bytes`]: when
+    /// the oracle has a packed form *and* this iteration's packing
+    /// decision engages, the input-replica term is the **exact** packed
+    /// upload (lists + key lanes + query rows + palette bitmasks at the
+    /// oracle's true word width) instead of the raw set — matching what
+    /// [`crate::conflict::build_device`] will actually charge, including
+    /// for oracles whose packed width exceeds the raw input's word share
+    /// (the symplectic encoding at small registers). The solver's strict
+    /// gate uses this variant; the oracle-agnostic one assumes the
+    /// scalar upload.
+    pub fn device_forecast_bytes_for<O: EdgeOracle + ?Sized>(
+        &self,
+        oracle: &O,
+        input_bytes_per_vertex: usize,
+    ) -> usize {
+        self.device_forecast_impl(
+            input_bytes_per_vertex,
+            oracle.packed_form().map(|f| f.words.max(1)),
+        )
+    }
+
+    fn device_forecast_impl(
+        &self,
+        input_bytes_per_vertex: usize,
+        packed_words: Option<usize>,
+    ) -> usize {
         let m = self.lists.len();
-        let input = m * input_bytes_per_vertex;
+        let input = self.input_replica_forecast(input_bytes_per_vertex, packed_words);
         if m < 2 {
             return input;
         }
@@ -310,8 +487,32 @@ impl IterationContext {
         input_bytes_per_vertex: usize,
         devices: usize,
     ) -> usize {
+        self.multi_device_forecast_impl(input_bytes_per_vertex, devices, None)
+    }
+
+    /// Oracle-aware [`IterationContext::multi_device_forecast_bytes`]
+    /// (see [`IterationContext::device_forecast_bytes_for`]).
+    pub fn multi_device_forecast_bytes_for<O: EdgeOracle + ?Sized>(
+        &self,
+        oracle: &O,
+        input_bytes_per_vertex: usize,
+        devices: usize,
+    ) -> usize {
+        self.multi_device_forecast_impl(
+            input_bytes_per_vertex,
+            devices,
+            oracle.packed_form().map(|f| f.words.max(1)),
+        )
+    }
+
+    fn multi_device_forecast_impl(
+        &self,
+        input_bytes_per_vertex: usize,
+        devices: usize,
+        packed_words: Option<usize>,
+    ) -> usize {
         let m = self.lists.len();
-        let input = m * input_bytes_per_vertex;
+        let input = self.input_replica_forecast(input_bytes_per_vertex, packed_words);
         if m < 2 || devices == 0 {
             return input;
         }
@@ -331,6 +532,51 @@ impl IterationContext {
             .saturating_add(counters)
             .saturating_add(self.index_forecast_bytes())
             .saturating_add(coo)
+    }
+
+    /// Whether this iteration's builds will take the packed path, given
+    /// an oracle whose packed word width is `packed_words` (`None` = no
+    /// packed form). The forecast's twin of
+    /// [`IterationContext::ensure_packed`]: a pure function of the
+    /// context and the width, evaluated without building anything, so
+    /// the strict gate predicts exactly the path the build will choose.
+    fn will_pack(&self, packed_words: Option<usize>) -> bool {
+        if packed_words.is_none() || !self.bucketed {
+            return false;
+        }
+        match self.packing {
+            PackingMode::Never => false,
+            PackingMode::Always => true,
+            PackingMode::Auto => PackedBuckets::worth_packing(
+                self.load.total_pairs,
+                self.lists.len() * self.lists.list_size(),
+            ),
+        }
+    }
+
+    /// Bytes of the device input replica this iteration will charge: the
+    /// raw upload (`m · input_bpv`, words + color lists) on any scalar
+    /// path, or — when the packing decision engages for an oracle of
+    /// `packed_words` width — the **exact** packed upload: the color
+    /// lists plus one key lane per bucket membership, one query row per
+    /// vertex, and one palette bitmask per vertex, matching
+    /// [`PackedBuckets::device_bytes`] term for term.
+    fn input_replica_forecast(
+        &self,
+        input_bytes_per_vertex: usize,
+        packed_words: Option<usize>,
+    ) -> usize {
+        let m = self.lists.len();
+        if !self.will_pack(packed_words) {
+            return m * input_bytes_per_vertex;
+        }
+        let w = packed_words.unwrap_or(1);
+        let l = self.lists.list_size();
+        let word_bytes = w * std::mem::size_of::<u64>();
+        let palette_words = (self.lists.palette_size() as usize).div_ceil(64).max(1);
+        (m * l * std::mem::size_of::<u32>())
+            .saturating_add((m * l + m).saturating_mul(word_bytes))
+            .saturating_add(m * palette_words * std::mem::size_of::<u64>())
     }
 
     /// Candidate pairs the selected engine will examine this iteration —
@@ -381,6 +627,69 @@ mod tests {
         let _ = ctx.engine_and_scratch();
         let _ = ctx.engine_and_scratch();
         assert_eq!(ctx.index_builds(), 2);
+    }
+
+    #[test]
+    fn packed_replica_is_built_lazily_and_at_most_once_per_iteration() {
+        use graph::EdgeOracle;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let strings = pauli::string::random_unique_set(120, 10, &mut rng);
+        let set = pauli::EncodedSet::from_strings(&strings);
+        let oracle = crate::oracle::PauliComplementOracle::new(&set);
+        let mut ctx = IterationContext::new();
+        ctx.set_packing(PackingMode::Always);
+        ctx.set_lists(ColorLists::assign(120, 0, 30, 4, 3, 1));
+        assert_eq!(ctx.pack_builds(), 0, "lazy: no pack before first use");
+        // Three "backends" of one iteration share one replica.
+        for _ in 0..3 {
+            let (engine, packed, _) = ctx.engine_packed_scratch(&oracle);
+            assert!(engine.is_bucketed());
+            assert!(packed.is_some());
+        }
+        assert_eq!(ctx.pack_builds(), 1);
+        assert_eq!(ctx.index_builds(), 1);
+        // Next iteration (same live set size as the oracle): exactly one
+        // more pack.
+        ctx.assign_lists(120, 30, 25, 4, 3, 2);
+        let _ = ctx.engine_packed_scratch(&oracle);
+        let _ = ctx.engine_packed_scratch(&oracle);
+        assert_eq!(ctx.pack_builds(), 2);
+        // Never mode: decision refreshed, no packing, scalar path.
+        ctx.set_packing(PackingMode::Never);
+        let (_, packed, _) = ctx.engine_packed_scratch(&oracle);
+        assert!(packed.is_none());
+        assert_eq!(ctx.pack_builds(), 2);
+        // An unpackable oracle is declined even under Always.
+        let fn_oracle = graph::FnOracle::new(120, |u, v| (u + v) % 2 == 0);
+        assert!(fn_oracle.packed_form().is_none());
+        ctx.set_packing(PackingMode::Always);
+        ctx.assign_lists(120, 55, 25, 4, 3, 3);
+        let (_, packed, _) = ctx.engine_packed_scratch(&fn_oracle);
+        assert!(packed.is_none());
+        assert_eq!(ctx.pack_builds(), 2);
+    }
+
+    #[test]
+    fn auto_packing_skips_degenerate_pair_loads() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let strings = pauli::string::random_unique_set(40, 10, &mut rng);
+        let set = pauli::EncodedSet::from_strings(&strings);
+        let oracle = crate::oracle::PauliComplementOracle::new(&set);
+        let mut ctx = IterationContext::new();
+        // A huge palette spreads 40·2 memberships over 600 buckets:
+        // almost every bucket is a singleton, total_pairs ≪ num_rows,
+        // and the O(N·L) packing pass cannot amortize.
+        ctx.set_lists(ColorLists::assign(40, 0, 600, 2, 7, 1));
+        assert!(ctx.prefers_buckets());
+        assert!(!PackedBuckets::worth_packing(
+            ctx.bucket_load().total_pairs,
+            40 * 2
+        ));
+        let (_, packed, _) = ctx.engine_packed_scratch(&oracle);
+        assert!(packed.is_none(), "Auto must skip the degenerate load");
+        assert_eq!(ctx.pack_builds(), 0);
     }
 
     #[test]
@@ -451,6 +760,70 @@ mod tests {
         let built = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
         assert!(built.num_edges > 0);
         assert!(dev.stats().peak_bytes <= forecast);
+    }
+
+    #[test]
+    fn oracle_aware_forecast_bounds_the_packed_build_exactly() {
+        // SymplecticSet at 10 qubits has a packed width of 2 u64 words —
+        // *wider* than the 3-bit `words_for()` share the raw input
+        // charge is derived from. The oracle-aware forecast charges the
+        // true replica, so a device with exactly that budget completes
+        // the packed build; the oracle-agnostic forecast (raw upload)
+        // would have under-charged it.
+        use crate::conflict::build_device;
+        use device::DeviceSim;
+        use rand::SeedableRng;
+        let m = 150;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let strings = pauli::string::random_unique_set(m, 10, &mut rng);
+        let set = pauli::SymplecticSet::from_strings(&strings);
+        let oracle = crate::oracle::PauliComplementOracle::new(&set);
+        let mut ctx = IterationContext::new();
+        ctx.set_lists(ColorLists::assign(m, 0, 30, 4, 3, 1));
+        let input_bpv = pauli::encode::words_for(10) * 8 + 4 * std::mem::size_of::<u32>();
+        let aware = ctx.device_forecast_bytes_for(&oracle, input_bpv);
+        let agnostic = ctx.device_forecast_bytes(input_bpv);
+        assert!(
+            aware > agnostic,
+            "the symplectic replica ({aware} B) must out-charge the raw upload ({agnostic} B)"
+        );
+        assert_eq!(ctx.pack_builds(), 0, "forecast must not pack");
+        let dev = DeviceSim::new(aware);
+        let built = build_device(&oracle, &mut ctx, &dev, input_bpv).unwrap();
+        assert_eq!(built.packed_lanes, built.candidate_pairs, "packed path ran");
+        assert!(dev.stats().peak_bytes <= aware);
+        // With packing disabled the two forecasts agree (raw upload),
+        // and the scalar build fits that budget too.
+        let mut scalar_ctx = IterationContext::new();
+        scalar_ctx.set_packing(PackingMode::Never);
+        scalar_ctx.set_lists(ColorLists::assign(m, 0, 30, 4, 3, 1));
+        assert_eq!(
+            scalar_ctx.device_forecast_bytes_for(&oracle, input_bpv),
+            scalar_ctx.device_forecast_bytes(input_bpv)
+        );
+        let dev = DeviceSim::new(scalar_ctx.device_forecast_bytes(input_bpv));
+        let scalar = build_device(&oracle, &mut scalar_ctx, &dev, input_bpv).unwrap();
+        assert_eq!(scalar.graph, built.graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "different oracle was passed mid-iteration")]
+    fn swapping_oracles_mid_iteration_is_caught_in_debug() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a =
+            pauli::EncodedSet::from_strings(&pauli::string::random_unique_set(80, 10, &mut rng));
+        let b =
+            pauli::EncodedSet::from_strings(&pauli::string::random_unique_set(80, 10, &mut rng));
+        let oracle_a = crate::oracle::PauliComplementOracle::new(&a);
+        let oracle_b = crate::oracle::PauliComplementOracle::new(&b);
+        let mut ctx = IterationContext::new();
+        ctx.set_packing(PackingMode::Always);
+        ctx.set_lists(ColorLists::assign(80, 0, 20, 4, 3, 1));
+        let _ = ctx.engine_packed_scratch(&oracle_a);
+        // Same lists, different oracle: the cached replica would be
+        // wrong — the debug probe must refuse.
+        let _ = ctx.engine_packed_scratch(&oracle_b);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod conflict;
 pub mod iteration;
 pub mod listcolor;
 pub mod oracle;
+pub mod packed;
 pub mod partition;
 pub mod solver;
 pub mod sweep;
@@ -60,6 +61,7 @@ pub use config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 pub use conflict::ConflictBuild;
 pub use iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
 pub use oracle::{LiveView, PauliComplementOracle};
+pub use packed::{PackedBuckets, PackingMode, PACK_LANES};
 pub use partition::{partition_operator, UnitaryGroup, UnitaryPartition};
 pub use solver::{IterationStats, Picasso, PicassoResult, SolveError};
 pub use sweep::{grid_sweep, SweepPoint};

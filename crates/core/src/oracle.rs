@@ -39,6 +39,29 @@ impl<S: AntiCommuteSet> EdgeOracle for PauliComplementOracle<'_, S> {
             *o = v != u && !*o;
         }
     }
+
+    /// The set's AND-popcount form carries straight through: odd parity
+    /// means *anticommute*, which for the complement graph means **no**
+    /// edge — so `odd_means_edge` is false.
+    #[inline]
+    fn packed_form(&self) -> Option<graph::PackedOracleForm> {
+        self.set
+            .packed_words()
+            .map(|words| graph::PackedOracleForm {
+                words,
+                odd_means_edge: false,
+            })
+    }
+
+    #[inline]
+    fn write_query_words(&self, u: usize, out: &mut [u64]) {
+        self.set.write_query_words(u, out);
+    }
+
+    #[inline]
+    fn write_key_words(&self, v: usize, out: &mut [u64]) {
+        self.set.write_key_words(v, out);
+    }
 }
 
 /// A view of an oracle restricted to a subset of vertices, re-indexed to
@@ -102,6 +125,25 @@ impl<O: EdgeOracle> EdgeOracle for LiveView<'_, O> {
         scratch.extend(vs.iter().map(|&v| self.live[v] as usize));
         self.oracle
             .has_edge_block(self.live[u] as usize, scratch, out);
+    }
+
+    /// The live view preserves the inner oracle's packed form — the
+    /// packing pass resolves the local→original indirection **once**,
+    /// while the replica is laid out, so the packed kernel itself never
+    /// touches the live mapping at all.
+    #[inline]
+    fn packed_form(&self) -> Option<graph::PackedOracleForm> {
+        self.oracle.packed_form()
+    }
+
+    #[inline]
+    fn write_query_words(&self, u: usize, out: &mut [u64]) {
+        self.oracle.write_query_words(self.live[u] as usize, out);
+    }
+
+    #[inline]
+    fn write_key_words(&self, v: usize, out: &mut [u64]) {
+        self.oracle.write_key_words(self.live[v] as usize, out);
     }
 }
 

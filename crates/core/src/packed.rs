@@ -1,0 +1,400 @@
+//! The bucket-major **packed oracle replica** feeding the SIMD-shaped
+//! conflict kernels.
+//!
+//! The scalar block path ([`graph::EdgeOracle::has_edge_block_scratch`])
+//! amortizes the pivot load but still *gathers* each candidate row
+//! through an index indirection, one row at a time. The packed replica
+//! removes the gather: when an oracle exposes an AND-popcount form
+//! ([`graph::PackedOracleForm`] — the Pauli complement oracle over
+//! either packed encoding does), the iteration context lays the **key**
+//! words of every bucket's members out contiguously, in word-transposed
+//! SoA order, next to a row-major **query** table:
+//!
+//! ```text
+//! keys  (per bucket k, B = |B_k| lanes):  [w0·lane0 w0·lane1 … w0·laneB-1  w1·lane0 …]
+//! query (per local vertex u):             [u·w0 u·w1 …]
+//! ```
+//!
+//! A pivot's scan of its bucket tail is then `query_word &
+//! keys[w][lane]` over contiguous `u64` lanes — straight-line,
+//! autovectorizable, no per-row indirection; 21 Pauli operators per
+//! word-lane for the 3-bit code. The smallest-shared-color
+//! deduplication filter runs *after* the parity kernel, only on lanes
+//! that survived the oracle, so the `O(L)` list merge is paid on hits
+//! instead of on every candidate.
+//!
+//! The replica is built at most once per iteration, into a persistent
+//! arena owned by the [`IterationContext`](crate::IterationContext)
+//! (the `pack_builds` counter pins the contract), and is **skipped**
+//! when the engine falls back to all-pairs, when the oracle has no
+//! packed form, or — in [`PackingMode::Auto`] — when the iteration's
+//! bucket-pair total is too small for the `O(N·L)` packing pass to
+//! amortize.
+
+use crate::assign::{BucketIndex, ColorLists};
+use graph::EdgeOracle;
+
+/// Whether (and when) the iteration context builds the packed replica.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PackingMode {
+    /// Pack whenever the engine is bucketed, the oracle has a packed
+    /// form, and [`PackedBuckets::worth_packing`] holds — the default.
+    #[default]
+    Auto,
+    /// Pack whenever the engine is bucketed and the oracle has a packed
+    /// form, however small the iteration (equivalence suites).
+    Always,
+    /// Never pack: every backend takes the scalar block path (the bench
+    /// baseline and an escape hatch).
+    Never,
+}
+
+/// The packed, bucket-major oracle replica of one iteration (see the
+/// module docs for the layout).
+#[derive(Debug, Default)]
+pub struct PackedBuckets {
+    words: usize,
+    odd_means_edge: bool,
+    num_rows: usize,
+    num_vertices: usize,
+    /// Word-transposed key lanes: bucket `k` starting at flat row `o`
+    /// with `B` members occupies `keys[o·w ..][w_i·B + lane]`.
+    keys: Vec<u64>,
+    /// Row-major query words of every local vertex.
+    query: Vec<u64>,
+    /// `u64` words per per-vertex palette bitmask.
+    color_words: usize,
+    /// Per-vertex palette bitmask (bit `k` set ⟺ the vertex's list
+    /// holds palette color `k`). Turns the smallest-shared-color
+    /// deduplication test into a handful of word ANDs
+    /// ([`PackedBuckets::shares_color_below`]) instead of the `O(L)`
+    /// sorted-merge the scalar path pays per candidate.
+    color_masks: Vec<u64>,
+    /// Staging row for the word-transposed scatter (multi-word forms).
+    tmp: Vec<u64>,
+}
+
+impl PackedBuckets {
+    /// An empty arena; storage fills on the first pack and persists.
+    pub fn new() -> PackedBuckets {
+        PackedBuckets::default()
+    }
+
+    /// The packing pass costs `O((N·L + m)·w)` word writes while the
+    /// bucket scan it accelerates examines `total_pairs` lanes, so
+    /// packing amortizes once there is at least one examined pair per
+    /// packed lane. Below that (degenerate palettes, near-empty
+    /// buckets) the scalar path wins and [`PackingMode::Auto`] skips.
+    pub fn worth_packing(total_pairs: u64, num_rows: usize) -> bool {
+        total_pairs >= num_rows as u64
+    }
+
+    /// (Re)builds the replica for `oracle` over `lists` and their
+    /// `index`, reusing this arena's storage. Returns `false` — leaving
+    /// the replica inactive — when the oracle has no packed form.
+    pub fn pack_from<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        lists: &ColorLists,
+        index: &BucketIndex,
+    ) -> bool {
+        let Some(form) = oracle.packed_form() else {
+            return false;
+        };
+        let w = form.words.max(1);
+        let m = oracle.num_vertices();
+        debug_assert_eq!(m, lists.len());
+        self.words = w;
+        self.odd_means_edge = form.odd_means_edge;
+        self.num_rows = index.num_rows();
+        self.num_vertices = m;
+        self.query.clear();
+        self.query.resize(m * w, 0);
+        for u in 0..m {
+            oracle.write_query_words(u, &mut self.query[u * w..(u + 1) * w]);
+        }
+        // Palette bitmasks: one bit per palette color per vertex.
+        let cw = (lists.palette_size() as usize).div_ceil(64).max(1);
+        let base = lists.palette_base();
+        self.color_words = cw;
+        self.color_masks.clear();
+        self.color_masks.resize(m * cw, 0);
+        for v in 0..m {
+            for &c in lists.row(v) {
+                let k = (c - base) as usize;
+                self.color_masks[v * cw + k / 64] |= 1u64 << (k % 64);
+            }
+        }
+        self.keys.clear();
+        self.keys.resize(self.num_rows * w, 0);
+        let mut tmp = std::mem::take(&mut self.tmp);
+        tmp.clear();
+        tmp.resize(w, 0);
+        for k in 0..index.num_buckets() {
+            let bucket = index.bucket(k);
+            let base = index.bucket_start(k) * w;
+            let b = bucket.len();
+            for (lane, &v) in bucket.iter().enumerate() {
+                if w == 1 {
+                    let at = base + lane;
+                    oracle.write_key_words(v as usize, &mut self.keys[at..at + 1]);
+                } else {
+                    oracle.write_key_words(v as usize, &mut tmp);
+                    for (wi, &word) in tmp.iter().enumerate() {
+                        self.keys[base + wi * b + lane] = word;
+                    }
+                }
+            }
+        }
+        self.tmp = tmp;
+        true
+    }
+
+    /// Words per packed row.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Flat key rows (`Σ_c |B_c| = N·L`) currently packed.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Bytes a device replica of this packing holds: every key lane,
+    /// every query row, and the per-vertex palette bitmasks, as `u64`
+    /// words. This is what Algorithm 3 charges **instead of** the raw
+    /// encoded set when the packed kernel runs — the replica *is* the
+    /// kernel's input.
+    pub fn device_bytes(&self) -> usize {
+        (self.keys.len() + self.query.len() + self.color_masks.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Debug-build guard for the iteration context's replica cache:
+    /// whether `oracle` is plausibly the oracle this replica was packed
+    /// from, checked by re-deriving the first and last query rows and
+    /// comparing them to the packed table. Cheap (two `write_query_words`
+    /// calls), and catches the practical misuse — swapping oracles
+    /// between builds of one iteration without reassigning the lists.
+    #[cfg(debug_assertions)]
+    pub(crate) fn probe_matches<O: EdgeOracle + ?Sized>(&mut self, oracle: &O) -> bool {
+        if oracle.num_vertices() != self.num_vertices {
+            return false;
+        }
+        if oracle.packed_form().map(|f| f.words.max(1)) != Some(self.words) {
+            return false;
+        }
+        if self.num_vertices == 0 {
+            return true;
+        }
+        let w = self.words;
+        let mut tmp = std::mem::take(&mut self.tmp);
+        tmp.clear();
+        tmp.resize(w, 0);
+        let mut ok = true;
+        for r in [0, self.num_vertices - 1] {
+            oracle.write_query_words(r, &mut tmp);
+            ok &= tmp[..] == self.query[r * w..(r + 1) * w];
+        }
+        self.tmp = tmp;
+        ok
+    }
+
+    /// Whether vertices `u` and `v` share a palette color with index
+    /// **strictly below** `k` — the packed form of the
+    /// smallest-shared-color deduplication test: a pair met in bucket
+    /// `k` (so they share color `k`) is emitted from bucket `k` exactly
+    /// when this is false. A couple of word ANDs against the bitmasks
+    /// replaces the scalar path's `O(L)` sorted-merge per candidate.
+    #[inline]
+    pub fn shares_color_below(&self, u: usize, v: usize, k: usize) -> bool {
+        let cw = self.color_words;
+        let a = &self.color_masks[u * cw..(u + 1) * cw];
+        let b = &self.color_masks[v * cw..(v + 1) * cw];
+        let full = k / 64;
+        for w in 0..full {
+            if a[w] & b[w] != 0 {
+                return true;
+            }
+        }
+        let rem = k % 64;
+        rem != 0 && (a[full] & b[full] & ((1u64 << rem) - 1)) != 0
+    }
+
+    /// The packed kernel: edge bits of pivot `pivot` (local vertex id,
+    /// sitting at position `pos` of the bucket starting at flat row
+    /// `bucket_start` with `bucket_len` members) against the **whole
+    /// bucket tail** `pos+1..bucket_len`, written into `hits` (resized
+    /// to the tail length). One-word forms take a fused map over the
+    /// contiguous key lanes; wider forms accumulate popcounts over
+    /// [`PACK_LANES`] lanes at a time — either way the inner loop is
+    /// straight-line over contiguous `u64`s with no per-row gather.
+    pub fn tail_edge_bits(
+        &self,
+        bucket_start: usize,
+        bucket_len: usize,
+        pos: usize,
+        pivot: usize,
+        hits: &mut Vec<bool>,
+    ) {
+        debug_assert!(pos < bucket_len);
+        debug_assert!(pivot < self.num_vertices);
+        let w = self.words;
+        let tail = bucket_len - pos - 1;
+        let edge_parity = self.odd_means_edge;
+        let base = bucket_start * w;
+        hits.clear();
+        if w == 1 {
+            let qw = self.query[pivot];
+            let keys = &self.keys[base + pos + 1..base + bucket_len];
+            hits.extend(
+                keys.iter()
+                    .map(|&kw| ((qw & kw).count_ones() & 1 == 1) == edge_parity),
+            );
+            return;
+        }
+        hits.resize(tail, false);
+        let q = &self.query[pivot * w..(pivot + 1) * w];
+        let mut t = 0usize;
+        while t < tail {
+            let c = PACK_LANES.min(tail - t);
+            let mut acc = [0u32; PACK_LANES];
+            for (wi, &qw) in q.iter().enumerate() {
+                let keys = &self.keys[base + wi * bucket_len + pos + 1 + t..][..c];
+                for (a, &kw) in acc[..c].iter_mut().zip(keys) {
+                    *a += (qw & kw).count_ones();
+                }
+            }
+            for (h, &a) in hits[t..t + c].iter_mut().zip(&acc[..c]) {
+                *h = (a & 1 == 1) == edge_parity;
+            }
+            t += c;
+        }
+    }
+}
+
+/// `u64` lanes processed per accumulator block of the multi-word kernel.
+pub const PACK_LANES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::ColorLists;
+    use crate::oracle::{LiveView, PauliComplementOracle};
+    use pauli::{EncodedSet, PauliString, SymplecticSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn strings(n: usize, qubits: usize, seed: u64) -> Vec<PauliString> {
+        // Duplicates allowed: tiny registers (1 qubit = 4 possible
+        // strings) are exactly the degenerate case the packed kernel
+        // must still agree on.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| PauliString::random(qubits, &mut rng))
+            .collect()
+    }
+
+    fn check_matches_scalar<O: EdgeOracle>(oracle: &O, lists: &ColorLists) {
+        let index = lists.bucket_index();
+        let mut packed = PackedBuckets::new();
+        assert!(
+            packed.pack_from(oracle, lists, &index),
+            "oracle must be packable"
+        );
+        assert_eq!(packed.num_rows(), index.num_rows());
+        let mut hits = Vec::new();
+        for k in 0..index.num_buckets() {
+            let bucket = index.bucket(k);
+            let start = index.bucket_start(k);
+            for (a, &u) in bucket.iter().enumerate() {
+                packed.tail_edge_bits(start, bucket.len(), a, u as usize, &mut hits);
+                assert_eq!(hits.len(), bucket.len() - a - 1);
+                for (t, &hit) in hits.iter().enumerate() {
+                    let v = bucket[a + 1 + t] as usize;
+                    assert_eq!(
+                        hit,
+                        oracle.has_edge(u as usize, v),
+                        "bucket {k} pivot {u} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernel_matches_the_scalar_oracle_both_encodings() {
+        // One-word (3-bit, ≤21 qubits), multi-word (3-bit, >21 qubits),
+        // and the symplectic form (always ≥2 words).
+        for qubits in [1usize, 8, 30] {
+            let ss = strings(60, qubits, 3);
+            let lists = ColorLists::assign(60, 0, 12, 3, 5, 1);
+            let enc = EncodedSet::from_strings(&ss);
+            check_matches_scalar(&PauliComplementOracle::new(&enc), &lists);
+            let sym = SymplecticSet::from_strings(&ss);
+            check_matches_scalar(&PauliComplementOracle::new(&sym), &lists);
+        }
+    }
+
+    #[test]
+    fn packed_kernel_matches_through_a_live_view() {
+        let ss = strings(80, 10, 7);
+        let enc = EncodedSet::from_strings(&ss);
+        let inner = PauliComplementOracle::new(&enc);
+        let live: Vec<u32> = (0..40u32).map(|i| i * 2).collect();
+        let view = LiveView::new(&inner, &live);
+        let lists = ColorLists::assign(40, 0, 10, 3, 9, 2);
+        check_matches_scalar(&view, &lists);
+    }
+
+    #[test]
+    fn unpackable_oracles_are_declined() {
+        let lists = ColorLists::assign(20, 0, 5, 2, 1, 1);
+        let index = lists.bucket_index();
+        let oracle = graph::FnOracle::new(20, |u, v| (u + v) % 2 == 0);
+        let mut packed = PackedBuckets::new();
+        assert!(!packed.pack_from(&oracle, &lists, &index));
+    }
+
+    #[test]
+    fn repacking_reuses_the_arena() {
+        let ss = strings(100, 12, 11);
+        let enc = EncodedSet::from_strings(&ss);
+        let oracle = PauliComplementOracle::new(&enc);
+        let mut packed = PackedBuckets::new();
+        let big = ColorLists::assign(100, 0, 20, 4, 3, 1);
+        assert!(packed.pack_from(&oracle, &big, &big.bucket_index()));
+        let caps = (packed.keys.capacity(), packed.query.capacity());
+        for iter in 2..5u64 {
+            let lists = ColorLists::assign(100, 0, 20, 4, 3, iter);
+            assert!(packed.pack_from(&oracle, &lists, &lists.bucket_index()));
+            assert_eq!(
+                (packed.keys.capacity(), packed.query.capacity()),
+                caps,
+                "iteration {iter} grew the arena"
+            );
+            check_matches_scalar(&oracle, &lists);
+        }
+    }
+
+    #[test]
+    fn worth_packing_thresholds() {
+        assert!(PackedBuckets::worth_packing(100, 100));
+        assert!(PackedBuckets::worth_packing(1_000, 100));
+        assert!(!PackedBuckets::worth_packing(99, 100));
+    }
+
+    #[test]
+    fn device_bytes_cover_keys_and_queries() {
+        let ss = strings(50, 8, 5);
+        let enc = EncodedSet::from_strings(&ss);
+        let oracle = PauliComplementOracle::new(&enc);
+        let lists = ColorLists::assign(50, 0, 10, 4, 3, 1);
+        let mut packed = PackedBuckets::new();
+        assert!(packed.pack_from(&oracle, &lists, &lists.bucket_index()));
+        // 50 vertices × 4 list colors = 200 key rows + 50 query rows +
+        // 50 one-word palette bitmasks (palette 10 < 64), one word each.
+        assert_eq!(packed.device_bytes(), (200 + 50 + 50) * 8);
+    }
+}

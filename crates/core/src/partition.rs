@@ -208,6 +208,7 @@ mod tests {
                 total_secs: 0.0,
                 device_stats: None,
                 index_builds: 0,
+                pack_builds: 0,
             },
         };
         let mut op = PauliSum::zero(2);

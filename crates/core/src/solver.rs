@@ -86,6 +86,11 @@ pub struct IterationStats {
     /// work: `m(m−1)/2` for all-pairs backends, the sum of bucket-pair
     /// counts for the bucketed engine).
     pub candidate_pairs: u64,
+    /// Key lanes streamed by the packed oracle kernel this iteration —
+    /// equal to `candidate_pairs` when the build ran on the packed
+    /// replica, zero on a scalar path, so `packed_lanes /
+    /// candidate_pairs` is the iteration's packed-lane utilization.
+    pub packed_lanes: u64,
     /// Vertices colored on Line 8 (no conflicts).
     pub colored_unconflicted: usize,
     /// Vertices colored by Algorithm 2 / the static scheme.
@@ -121,6 +126,11 @@ pub struct PicassoResult {
     /// whole solve — at most one per iteration (the context builds the
     /// index lazily and lends it to every backend stage of the round).
     pub index_builds: usize,
+    /// Packed-oracle-replica builds across the solve — at most one per
+    /// iteration, shared by every backend of the round; zero when every
+    /// iteration took a scalar path (all-pairs fallback, unpackable
+    /// oracle, or packing disabled).
+    pub pack_builds: usize,
 }
 
 impl PicassoResult {
@@ -146,6 +156,23 @@ impl PicassoResult {
     /// saving is the gap between the two.
     pub fn total_candidate_pairs(&self) -> u64 {
         self.iterations.iter().map(|s| s.candidate_pairs).sum()
+    }
+
+    /// Sum of packed key lanes streamed across iterations (see
+    /// [`IterationStats::packed_lanes`]).
+    pub fn total_packed_lanes(&self) -> u64 {
+        self.iterations.iter().map(|s| s.packed_lanes).sum()
+    }
+
+    /// Fraction of the solve's candidate enumeration that ran through
+    /// the packed lane kernel, in `[0, 1]` — 1.0 when every iteration
+    /// packed, 0.0 when none did.
+    pub fn packed_lane_utilization(&self) -> f64 {
+        let pairs = self.total_candidate_pairs();
+        if pairs == 0 {
+            return 0.0;
+        }
+        self.total_packed_lanes() as f64 / pairs as f64
     }
 
     /// Total seconds spent in list assignment.
@@ -276,6 +303,7 @@ impl Picasso {
         // persist across iterations — and across solves when the caller
         // reuses the context. `index_builds` is reported per solve.
         let index_builds_at_start = ctx.index_builds();
+        let pack_builds_at_start = ctx.pack_builds();
         let mut conflicted: Vec<u32> = Vec::new();
 
         let mut iter = 0usize;
@@ -316,14 +344,15 @@ impl Picasso {
             // mid-kernel.
             if cfg.strict_device_forecast {
                 let checked = match cfg.backend {
-                    ConflictBackend::Device { capacity_bytes } => {
-                        Some((ctx.device_forecast_bytes(input_bpv), capacity_bytes))
-                    }
+                    ConflictBackend::Device { capacity_bytes } => Some((
+                        ctx.device_forecast_bytes_for(&view, input_bpv),
+                        capacity_bytes,
+                    )),
                     ConflictBackend::MultiDevice {
                         devices,
                         capacity_each,
                     } => Some((
-                        ctx.multi_device_forecast_bytes(input_bpv, devices),
+                        ctx.multi_device_forecast_bytes_for(&view, input_bpv, devices),
                         capacity_each,
                     )),
                     _ => None,
@@ -386,6 +415,10 @@ impl Picasso {
                 colors[live[v as usize] as usize] = c;
             }
             let color_secs = t2.elapsed().as_secs_f64();
+            // The conflict graph is done for this round: hand its
+            // storage back so the next iteration's CSR assembles into
+            // the same arrays (the allocation-free Line 7 loop).
+            ctx.recycle_csr(gc);
 
             let new_live: Vec<u32> = outcome
                 .uncolored
@@ -403,6 +436,7 @@ impl Picasso {
                 conflict_vertices: conflicted.len(),
                 conflict_edges: build.num_edges,
                 candidate_pairs: build.candidate_pairs,
+                packed_lanes: build.packed_lanes,
                 colored_unconflicted,
                 colored_in_conflict: outcome.assigned.len(),
                 uncolored_after: new_live.len(),
@@ -444,6 +478,7 @@ impl Picasso {
             total_secs: start.elapsed().as_secs_f64(),
             device_stats,
             index_builds: ctx.index_builds() - index_builds_at_start,
+            pack_builds: ctx.pack_builds() - pack_builds_at_start,
         })
     }
 }
@@ -606,6 +641,35 @@ mod tests {
             .solve_pauli(&set)
             .unwrap();
         assert_eq!(r.index_builds, 0);
+    }
+
+    #[test]
+    fn packed_kernel_runs_by_default_on_pauli_solves() {
+        let set = random_set(300, 10, 23);
+        let base = PicassoConfig::normal(4);
+        let r = Picasso::new(base).solve_pauli(&set).unwrap();
+        // The Normal configuration starts bucketed with deep buckets, so
+        // the first iteration must have packed; pack_builds never
+        // exceeds index builds (packing implies the index).
+        assert!(r.pack_builds >= 1);
+        assert!(r.pack_builds <= r.index_builds);
+        assert!(r.total_packed_lanes() > 0);
+        assert!(r.packed_lane_utilization() > 0.0);
+        assert!(r.packed_lane_utilization() <= 1.0);
+        for s in &r.iterations {
+            assert!(
+                s.packed_lanes == 0 || s.packed_lanes == s.candidate_pairs,
+                "iteration {}: packed_lanes is all-or-nothing per build",
+                s.iteration
+            );
+        }
+        // The forced all-pairs reference never packs.
+        let allpairs = Picasso::new(base.with_backend(ConflictBackend::AllPairs))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(allpairs.pack_builds, 0);
+        assert_eq!(allpairs.total_packed_lanes(), 0);
+        assert_eq!(allpairs.colors, r.colors, "packed vs all-pairs coloring");
     }
 
     #[test]

@@ -72,6 +72,36 @@ impl<T> std::ops::DerefMut for DeviceBuffer<T> {
     }
 }
 
+/// A budget **reservation** without backing storage of its own: charges
+/// bytes to the device exactly like an allocation (budget check, peak
+/// tracking, release on drop) while the caller brings its own recycled
+/// host array for the simulated data. This is what lets the conflict
+/// builders keep their device COO staging in an iteration-owned arena —
+/// the device accounting is unchanged, but the host side stops
+/// allocating a fresh backing vector per build.
+#[derive(Debug)]
+pub struct DeviceLease {
+    state: Arc<DeviceState>,
+    bytes: usize,
+}
+
+impl DeviceLease {
+    pub(crate) fn new(state: Arc<DeviceState>, bytes: usize) -> DeviceLease {
+        DeviceLease { state, bytes }
+    }
+
+    /// Reserved size in bytes (what was charged to the budget).
+    pub fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for DeviceLease {
+    fn drop(&mut self) {
+        self.state.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::DeviceSim;
@@ -97,6 +127,22 @@ mod tests {
         assert_eq!(dev.used_bytes(), 300);
         drop(b2);
         assert_eq!(dev.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_charges_and_releases_like_alloc() {
+        let dev = DeviceSim::new(1000);
+        let lease = dev.reserve(600).unwrap();
+        assert_eq!(lease.size_bytes(), 600);
+        assert_eq!(dev.used_bytes(), 600);
+        assert_eq!(dev.stats().peak_bytes, 600);
+        // The remaining budget is enforced against further reservations
+        // and allocations alike.
+        assert!(dev.reserve(500).is_err());
+        assert!(dev.alloc::<u8>(500).is_err());
+        drop(lease);
+        assert_eq!(dev.used_bytes(), 0);
+        assert!(dev.reserve(1000).is_ok());
     }
 
     #[test]

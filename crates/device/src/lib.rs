@@ -19,7 +19,7 @@
 pub mod buffer;
 pub mod sim;
 
-pub use buffer::DeviceBuffer;
+pub use buffer::{DeviceBuffer, DeviceLease};
 pub use sim::{balanced_weight_cuts, DeviceError, DeviceSim, DeviceStats};
 
 /// Capacity presets, scaled-down analogues of real devices.

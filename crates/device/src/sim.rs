@@ -132,6 +132,30 @@ impl DeviceSim {
         Ok(DeviceBuffer::new(Arc::clone(&self.state), len, bytes))
     }
 
+    /// Reserves `bytes` of budget without allocating backing storage —
+    /// the caller supplies (and recycles) the host array standing in for
+    /// the device data. Accounting is identical to [`DeviceSim::alloc`]:
+    /// serialized budget check, peak tracking, release when the returned
+    /// [`DeviceLease`] drops.
+    pub fn reserve(&self, bytes: usize) -> Result<crate::buffer::DeviceLease, DeviceError> {
+        let _guard = self.state.alloc_lock.lock();
+        let used = self.state.used.load(Ordering::Relaxed);
+        let available = self.state.capacity - used;
+        if bytes > available {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        let now = used + bytes;
+        self.state.used.store(now, Ordering::Relaxed);
+        self.state.peak.fetch_max(now, Ordering::Relaxed);
+        Ok(crate::buffer::DeviceLease::new(
+            Arc::clone(&self.state),
+            bytes,
+        ))
+    }
+
     /// Allocates a buffer and fills it from host data, counting the
     /// host→device transfer.
     pub fn upload<T: Clone + Default>(&self, data: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {

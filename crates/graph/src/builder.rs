@@ -11,10 +11,83 @@ use crate::csr::CsrGraph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Reusable CSR staging storage: the offset / adjacency / cursor arrays
+/// a build assembles into. The output [`CsrGraph`] takes ownership of
+/// the offset and adjacency arrays; handing a retired graph back via
+/// [`CsrArena::recycle`] restores them, so a steady-state loop of
+/// same-shape builds performs **zero** heap allocations in CSR assembly
+/// — the arrays only ever grow to the loop's high-water mark.
+#[derive(Debug, Default)]
+pub struct CsrArena {
+    offsets: Vec<usize>,
+    adj: Vec<u32>,
+    /// Sequential scatter cursors.
+    cursors: Vec<usize>,
+    /// Parallel count/scatter cursors (atomics reset in place).
+    atomics: Vec<AtomicUsize>,
+}
+
+impl CsrArena {
+    /// An empty arena; arrays fill on first use and persist after.
+    pub fn new() -> CsrArena {
+        CsrArena::default()
+    }
+
+    /// Returns a retired graph's storage to the arena for the next
+    /// build. Graphs built by other arenas (or `from_parts`) are equally
+    /// welcome — capacity is capacity.
+    pub fn recycle(&mut self, graph: CsrGraph) {
+        let (offsets, adj) = graph.into_parts();
+        // Keep whichever arrays are larger; the build takes them anyway.
+        if offsets.capacity() > self.offsets.capacity() {
+            self.offsets = offsets;
+        }
+        if adj.capacity() > self.adj.capacity() {
+            self.adj = adj;
+        }
+    }
+
+    /// Current capacities `(offsets, adj, cursors, atomics)` —
+    /// introspection hook for the allocation-reuse tests.
+    pub fn capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.offsets.capacity(),
+            self.adj.capacity(),
+            self.cursors.capacity(),
+            self.atomics.capacity(),
+        )
+    }
+
+    fn take_offsets(&mut self, n: usize) -> Vec<usize> {
+        let mut offsets = std::mem::take(&mut self.offsets);
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        offsets
+    }
+
+    fn take_adj(&mut self, len: usize) -> Vec<u32> {
+        let mut adj = std::mem::take(&mut self.adj);
+        adj.clear();
+        adj.resize(len, 0);
+        adj
+    }
+}
+
 /// Sequential CSR build from unique undirected edges (`u != v`; no
 /// duplicate `{u, v}` pairs — the conflict-kernel emits each pair once).
 pub fn csr_from_coo_sequential(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-    let mut counts = vec![0usize; n + 1];
+    csr_from_coo_sequential_in(n, edges, &mut CsrArena::new())
+}
+
+/// [`csr_from_coo_sequential`] assembling into (and growing) an
+/// [`CsrArena`]'s storage. Output is identical; a warm arena makes the
+/// build allocation-free.
+pub fn csr_from_coo_sequential_in(
+    n: usize,
+    edges: &[(u32, u32)],
+    arena: &mut CsrArena,
+) -> CsrGraph {
+    let mut counts = arena.take_offsets(n);
     for &(u, v) in edges {
         debug_assert!(u != v, "self loop {u}");
         counts[u as usize + 1] += 1;
@@ -25,8 +98,10 @@ pub fn csr_from_coo_sequential(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
         counts[i + 1] += counts[i];
     }
     let offsets = counts;
-    let mut cursor = offsets.clone();
-    let mut adj = vec![0u32; edges.len() * 2];
+    let mut adj = arena.take_adj(edges.len() * 2);
+    arena.cursors.clear();
+    arena.cursors.extend_from_slice(&offsets);
+    let cursor = &mut arena.cursors;
     for &(u, v) in edges {
         adj[cursor[u as usize]] = v;
         cursor[u as usize] += 1;
@@ -41,48 +116,52 @@ pub fn csr_from_coo_sequential(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
 
 /// Parallel CSR build; same contract and output as the sequential one.
 pub fn csr_from_coo_parallel(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-    edges.par_iter().for_each(|&(u, v)| {
-        debug_assert!(u != v, "self loop {u}");
-        counts[u as usize].fetch_add(1, Ordering::Relaxed);
-        counts[v as usize].fetch_add(1, Ordering::Relaxed);
-    });
-    let mut offsets = vec![0usize; n + 1];
-    for v in 0..n {
-        offsets[v + 1] = offsets[v] + counts[v].load(Ordering::Relaxed);
-    }
-    let cursor: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
-    let adj_len = edges.len() * 2;
-    let mut adj = vec![0u32; adj_len];
+    csr_from_coo_parallel_in(n, edges, &mut CsrArena::new())
+}
+
+/// [`csr_from_coo_parallel`] assembling into (and growing) an
+/// [`CsrArena`]'s storage; identical output to the sequential build.
+pub fn csr_from_coo_parallel_in(n: usize, edges: &[(u32, u32)], arena: &mut CsrArena) -> CsrGraph {
+    arena.atomics.clear();
+    arena.atomics.resize_with(n, || AtomicUsize::new(0));
     {
-        // Scatter through raw pointers; each slot is written exactly once
-        // because the per-vertex cursors hand out disjoint indices.
-        struct SendPtr(*mut u32);
-        unsafe impl Send for SendPtr {}
-        unsafe impl Sync for SendPtr {}
-        let ptr = SendPtr(adj.as_mut_ptr());
-        let ptr_ref = &ptr;
+        let counts = &arena.atomics;
         edges.par_iter().for_each(|&(u, v)| {
-            let iu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
-            let iv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
-            unsafe {
-                *ptr_ref.0.add(iu) = v;
-                *ptr_ref.0.add(iv) = u;
-            }
+            debug_assert!(u != v, "self loop {u}");
+            counts[u as usize].fetch_add(1, Ordering::Relaxed);
+            counts[v as usize].fetch_add(1, Ordering::Relaxed);
         });
     }
-    // Sort each adjacency slice in parallel by slicing the arena.
-    let mut slices: Vec<&mut [u32]> = Vec::with_capacity(n);
-    let mut rest = adj.as_mut_slice();
-    let mut prev = 0usize;
+    let mut offsets = arena.take_offsets(n);
     for v in 0..n {
-        let len = offsets[v + 1] - prev;
-        let (head, tail) = rest.split_at_mut(len);
-        slices.push(head);
-        rest = tail;
-        prev = offsets[v + 1];
+        offsets[v + 1] = offsets[v] + arena.atomics[v].load(Ordering::Relaxed);
     }
-    slices.par_iter_mut().for_each(|s| s.sort_unstable());
+    // Reuse the atomics as scatter cursors, pre-loaded with the offsets.
+    for (c, &o) in arena.atomics.iter().zip(offsets.iter()) {
+        c.store(o, Ordering::Relaxed);
+    }
+    let mut adj = arena.take_adj(edges.len() * 2);
+    let cursor = &arena.atomics;
+    // Scatter and per-slice sort through raw pointers; slots are
+    // disjoint because the per-vertex cursors hand out disjoint indices
+    // (and the sort ranges are the disjoint adjacency slices).
+    struct SendPtr(*mut u32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    let ptr = SendPtr(adj.as_mut_ptr());
+    let ptr_ref = &ptr;
+    edges.par_iter().for_each(|&(u, v)| {
+        let iu = cursor[u as usize].fetch_add(1, Ordering::Relaxed);
+        let iv = cursor[v as usize].fetch_add(1, Ordering::Relaxed);
+        unsafe {
+            *ptr_ref.0.add(iu) = v;
+            *ptr_ref.0.add(iv) = u;
+        }
+    });
+    (0..n).into_par_iter().for_each(|v| {
+        let (s, e) = (offsets[v], offsets[v + 1]);
+        unsafe { std::slice::from_raw_parts_mut(ptr_ref.0.add(s), e - s) }.sort_unstable();
+    });
     CsrGraph::from_parts(offsets, adj)
 }
 
@@ -153,5 +232,44 @@ mod tests {
         assert_eq!(g.num_vertices(), 100);
         assert_eq!(g.degree(50), 0);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn arena_builds_match_and_reuse_storage() {
+        // Both `_in` builders produce the exact graphs of the fresh
+        // builders, and a recycled arena serves same-or-smaller builds
+        // without growing any of its arrays.
+        let mut arena = CsrArena::new();
+        let big = random_edges(150, 900, 7);
+        let g = csr_from_coo_sequential_in(150, &big, &mut arena);
+        assert_eq!(g, csr_from_coo_sequential(150, &big));
+        arena.recycle(g);
+        // Warm the parallel-side cursors too before snapshotting.
+        let warm = csr_from_coo_parallel_in(150, &big, &mut arena);
+        arena.recycle(warm);
+        let caps = arena.capacities();
+        for seed in 0..4 {
+            let edges = random_edges(120, 700, seed);
+            let seq = csr_from_coo_sequential_in(120, &edges, &mut arena);
+            assert_eq!(seq, csr_from_coo_sequential(120, &edges), "seed {seed}");
+            arena.recycle(seq);
+            let par = csr_from_coo_parallel_in(120, &edges, &mut arena);
+            assert_eq!(par, csr_from_coo_parallel(120, &edges), "seed {seed}");
+            arena.recycle(par);
+            assert_eq!(arena.capacities(), caps, "seed {seed}: arena grew");
+        }
+    }
+
+    #[test]
+    fn recycle_keeps_the_larger_arrays() {
+        let mut arena = CsrArena::new();
+        let g = csr_from_coo_sequential(50, &random_edges(50, 400, 1));
+        arena.recycle(g);
+        let (off, adj, _, _) = arena.capacities();
+        assert!(off >= 51 && adj >= 800);
+        // Recycling a smaller graph must not shrink the arena.
+        arena.recycle(csr_from_coo_sequential(5, &[(0, 1)]));
+        let (off2, adj2, _, _) = arena.capacities();
+        assert!(off2 >= off && adj2 >= adj);
     }
 }

@@ -139,6 +139,14 @@ impl CsrGraph {
         Ok(())
     }
 
+    /// Decomposes the graph into its raw `(offsets, adj)` arrays — the
+    /// inverse of [`CsrGraph::from_parts`], used to hand a retired
+    /// graph's storage back to a [`crate::builder::CsrArena`] so the next
+    /// build assembles into the same allocations.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>) {
+        (self.offsets, self.adj)
+    }
+
     /// Iterates over all undirected edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.num_vertices()).flat_map(move |u| {

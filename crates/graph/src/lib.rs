@@ -19,7 +19,10 @@ pub mod gen;
 pub mod oracle;
 pub mod stats;
 
-pub use builder::{csr_from_coo_parallel, csr_from_coo_sequential};
+pub use builder::{
+    csr_from_coo_parallel, csr_from_coo_parallel_in, csr_from_coo_sequential,
+    csr_from_coo_sequential_in, CsrArena,
+};
 pub use csr::CsrGraph;
 pub use gen::{complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph};
-pub use oracle::{ComplementView, EdgeOracle, FnOracle};
+pub use oracle::{ComplementView, EdgeOracle, FnOracle, PackedOracleForm};

@@ -7,6 +7,30 @@
 
 use crate::csr::CsrGraph;
 
+/// Descriptor of an oracle's **packed AND-popcount form**: the edge
+/// predicate factorizes, for `u != v`, as
+///
+/// ```text
+/// has_edge(u, v)  ⟺  (Σ_w popcount(query(u)[w] & key(v)[w]) is odd) == odd_means_edge
+/// ```
+///
+/// with the `query`/`key` word vectors written by
+/// [`EdgeOracle::write_query_words`] / [`EdgeOracle::write_key_words`].
+/// Oracles with such a form (the Pauli complement oracle and anything
+/// wrapping one) let the conflict builders replace per-row oracle
+/// queries with a bucket-major packed kernel: key words packed
+/// contiguously per palette bucket, one pivot query streamed against
+/// 4–8 `u64` lanes per loop iteration with no per-row gather.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedOracleForm {
+    /// `u64` words per packed row (query and key have equal width).
+    pub words: usize,
+    /// Whether odd AND-popcount parity means *edge* (the Pauli
+    /// complement oracle inverts anticommutation, so for it odd parity
+    /// means *no* edge). [`ComplementView`] flips this bit.
+    pub odd_means_edge: bool,
+}
+
 /// A graph defined by a pairwise edge predicate.
 pub trait EdgeOracle: Sync {
     /// Number of vertices.
@@ -55,6 +79,32 @@ pub trait EdgeOracle: Sync {
         let _ = scratch;
         self.has_edge_block(u, vs, out);
     }
+
+    /// This oracle's packed AND-popcount form, if it has one (see
+    /// [`PackedOracleForm`] for the exact contract). The default — no
+    /// packed form — keeps every oracle on the scalar block path.
+    #[inline]
+    fn packed_form(&self) -> Option<PackedOracleForm> {
+        None
+    }
+
+    /// Writes the query-side packed words of vertex `u` (length
+    /// [`PackedOracleForm::words`]). Must be overridden whenever
+    /// [`EdgeOracle::packed_form`] is `Some`.
+    #[inline]
+    fn write_query_words(&self, u: usize, out: &mut [u64]) {
+        let _ = (u, out);
+        unreachable!("write_query_words on an oracle without a packed form");
+    }
+
+    /// Writes the key-side packed words of vertex `v` (length
+    /// [`PackedOracleForm::words`]). Must be overridden whenever
+    /// [`EdgeOracle::packed_form`] is `Some`.
+    #[inline]
+    fn write_key_words(&self, v: usize, out: &mut [u64]) {
+        let _ = (v, out);
+        unreachable!("write_key_words on an oracle without a packed form");
+    }
 }
 
 impl EdgeOracle for CsrGraph {
@@ -92,6 +142,26 @@ impl<O: EdgeOracle> EdgeOracle for ComplementView<'_, O> {
     #[inline]
     fn has_edge(&self, u: usize, v: usize) -> bool {
         u != v && !self.inner.has_edge(u, v)
+    }
+
+    /// Complementing a packed oracle is a parity flip: same words, the
+    /// opposite parity means edge.
+    #[inline]
+    fn packed_form(&self) -> Option<PackedOracleForm> {
+        self.inner.packed_form().map(|f| PackedOracleForm {
+            words: f.words,
+            odd_means_edge: !f.odd_means_edge,
+        })
+    }
+
+    #[inline]
+    fn write_query_words(&self, u: usize, out: &mut [u64]) {
+        self.inner.write_query_words(u, out);
+    }
+
+    #[inline]
+    fn write_key_words(&self, v: usize, out: &mut [u64]) {
+        self.inner.write_key_words(v, out);
     }
 }
 

@@ -219,6 +219,23 @@ impl AntiCommuteSet for EncodedSet {
     fn anticommutes_block(&self, i: usize, js: &[usize], out: &mut [bool]) {
         self.anticommutes_block_encoded(i, js, out)
     }
+
+    /// The 3-bit code *is* an AND-popcount-parity form: query and key are
+    /// both the packed row itself (Eq. 5 extended to strings).
+    #[inline]
+    fn packed_words(&self) -> Option<usize> {
+        Some(self.words_per_string)
+    }
+
+    #[inline]
+    fn write_query_words(&self, i: usize, out: &mut [u64]) {
+        out.copy_from_slice(self.row(i));
+    }
+
+    #[inline]
+    fn write_key_words(&self, i: usize, out: &mut [u64]) {
+        out.copy_from_slice(self.row(i));
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +328,30 @@ mod tests {
         let set = EncodedSet::from_strings(&[]);
         assert!(set.is_empty());
         assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn packed_form_satisfies_the_parity_contract() {
+        use crate::oracle::AntiCommuteSet;
+        let mut rng = StdRng::seed_from_u64(5);
+        // Single-word and multi-word strides, including the diagonal.
+        for n in [1, 21, 22, 45] {
+            let strings: Vec<PauliString> =
+                (0..20).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = EncodedSet::from_strings(&strings);
+            let w = set.packed_words().expect("3-bit code is packable");
+            assert_eq!(w, words_for(n).max(1));
+            let mut q = vec![0u64; w];
+            let mut k = vec![0u64; w];
+            for i in 0..strings.len() {
+                set.write_query_words(i, &mut q);
+                for j in 0..strings.len() {
+                    set.write_key_words(j, &mut k);
+                    let ones: u32 = q.iter().zip(&k).map(|(a, b)| (a & b).count_ones()).sum();
+                    assert_eq!(ones & 1 == 1, set.anticommutes(i, j), "n={n} i={i} j={j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,48 @@ pub trait AntiCommuteSet: Sync {
             *o = self.anticommutes(i, j);
         }
     }
+
+    /// Words per row of this set's **packed AND-popcount form**, `None`
+    /// when the encoding has no such form (the naive character oracle).
+    ///
+    /// The contract, for every pair `(i, j)` including the diagonal:
+    ///
+    /// ```text
+    /// anticommutes(i, j)  ⟺  Σ_w popcount(query(i)[w] & key(j)[w]) is odd
+    /// ```
+    ///
+    /// where `query`/`key` are the word vectors written by
+    /// [`AntiCommuteSet::write_query_words`] and
+    /// [`AntiCommuteSet::write_key_words`]. Both packed encodings satisfy
+    /// it: the 3-bit code with `query = key = row` (Eq. 5), the
+    /// symplectic code with the planes of the key swapped so the AND
+    /// produces exactly the symplectic product's two terms. This is the
+    /// factorization the bucket-major packed conflict kernels exploit:
+    /// key words are laid out contiguously per palette bucket, so one
+    /// pivot's query streams the whole bucket tail with no per-row
+    /// gather.
+    #[inline]
+    fn packed_words(&self) -> Option<usize> {
+        None
+    }
+
+    /// Writes the query-side packed words of row `i` into `out` (length
+    /// [`AntiCommuteSet::packed_words`]). Must be overridden whenever
+    /// `packed_words` is `Some`.
+    #[inline]
+    fn write_query_words(&self, i: usize, out: &mut [u64]) {
+        let _ = (i, out);
+        unreachable!("write_query_words on a set without a packed form");
+    }
+
+    /// Writes the key-side packed words of row `i` into `out` (length
+    /// [`AntiCommuteSet::packed_words`]). Must be overridden whenever
+    /// `packed_words` is `Some`.
+    #[inline]
+    fn write_key_words(&self, i: usize, out: &mut [u64]) {
+        let _ = (i, out);
+        unreachable!("write_key_words on a set without a packed form");
+    }
 }
 
 /// The baseline oracle: symbolic strings, per-character comparison.

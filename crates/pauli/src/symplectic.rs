@@ -163,6 +163,29 @@ impl AntiCommuteSet for SymplecticSet {
     fn anticommutes_block(&self, i: usize, js: &[usize], out: &mut [bool]) {
         self.anticommutes_block_symplectic(i, js, out)
     }
+
+    /// The symplectic product factorizes into the AND-popcount form by
+    /// swapping the key's planes: `query = x‖z`, `key = z‖x`, so
+    /// `Σ popcnt(query & key)` is exactly
+    /// `popcnt(x_i & z_j) + popcnt(z_i & x_j)`.
+    #[inline]
+    fn packed_words(&self) -> Option<usize> {
+        Some(2 * self.words_per_plane)
+    }
+
+    #[inline]
+    fn write_query_words(&self, i: usize, out: &mut [u64]) {
+        let s = self.words_per_plane;
+        out[..s].copy_from_slice(&self.x[i * s..(i + 1) * s]);
+        out[s..].copy_from_slice(&self.z[i * s..(i + 1) * s]);
+    }
+
+    #[inline]
+    fn write_key_words(&self, i: usize, out: &mut [u64]) {
+        let s = self.words_per_plane;
+        out[..s].copy_from_slice(&self.z[i * s..(i + 1) * s]);
+        out[s..].copy_from_slice(&self.x[i * s..(i + 1) * s]);
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +243,30 @@ mod tests {
                         set.anticommutes_symplectic(i, j),
                         "n={n} i={i} j={j}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_form_satisfies_the_parity_contract() {
+        use crate::oracle::AntiCommuteSet;
+        let mut rng = StdRng::seed_from_u64(9);
+        // One plane word and several, including the diagonal.
+        for n in [1, 64, 65, 130] {
+            let strings: Vec<PauliString> =
+                (0..16).map(|_| PauliString::random(n, &mut rng)).collect();
+            let set = SymplecticSet::from_strings(&strings);
+            let w = set.packed_words().expect("symplectic code is packable");
+            assert_eq!(w, 2 * n.div_ceil(64).max(1));
+            let mut q = vec![0u64; w];
+            let mut k = vec![0u64; w];
+            for i in 0..strings.len() {
+                set.write_query_words(i, &mut q);
+                for j in 0..strings.len() {
+                    set.write_key_words(j, &mut k);
+                    let ones: u32 = q.iter().zip(&k).map(|(a, b)| (a & b).count_ones()).sum();
+                    assert_eq!(ones & 1 == 1, set.anticommutes(i, j), "n={n} i={i} j={j}");
                 }
             }
         }

@@ -79,6 +79,40 @@ pub fn forecast_peak_bytes(workload: &Workload, cfg: &PicassoConfig) -> usize {
         .saturating_add(csr)
 }
 
+/// The **observed** counterpart of [`forecast_peak_bytes`]: the same
+/// structural model evaluated on what a finished solve actually did —
+/// the real per-iteration live sets, list sizes, bucket indexes and
+/// conflict-edge counts instead of the worst-case
+/// every-candidate-an-edge bound (and the max across iterations instead
+/// of assuming the first dominates). Deterministic and
+/// allocator-independent, so it works identically in the CLI, the
+/// service, and tests.
+///
+/// Recording `observed ÷ forecast` per served job (see
+/// [`crate::ServiceMetrics`]) is the groundwork for the ROADMAP's
+/// "calibrate the admission forecast" item: the ratio *is* the
+/// correction factor a calibrated controller would fit, and the service
+/// surfaces its running aggregate after every batch.
+pub fn observed_peak_bytes(workload: &Workload, result: &picasso::PicassoResult) -> usize {
+    let n = workload.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let input = n * workload.input_bytes_per_vertex();
+    let mut transient = 0usize;
+    for s in &result.iterations {
+        let m = s.live_vertices;
+        let l = s.list_size as usize;
+        let lists = m * l * std::mem::size_of::<u32>();
+        let index = (m * l + s.palette_size as usize + 1) * std::mem::size_of::<u32>();
+        let coo = s.conflict_edges * 2 * std::mem::size_of::<u32>();
+        let csr = s.conflict_edges * 2 * std::mem::size_of::<u32>()
+            + (m + 1) * std::mem::size_of::<usize>();
+        transient = transient.max(lists + index + coo + csr);
+    }
+    input + transient
+}
+
 /// The admission controller.
 #[derive(Clone, Debug, Default)]
 pub struct AdmissionController {

@@ -23,6 +23,14 @@ pub struct ServiceMetrics {
     pub(crate) failed: AtomicU64,
     pub(crate) candidate_pairs_scanned: AtomicU64,
     pub(crate) conflict_edges_built: AtomicU64,
+    /// Σ admission forecasts of *freshly solved* jobs (cache replays run
+    /// no solve and contribute no calibration sample).
+    pub(crate) forecast_bytes_total: AtomicU64,
+    /// Σ observed structural peaks of the same jobs
+    /// ([`crate::admission::observed_peak_bytes`]).
+    pub(crate) observed_peak_bytes_total: AtomicU64,
+    /// Number of (forecast, observed) calibration samples recorded.
+    pub(crate) calibration_samples: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -49,6 +57,9 @@ impl ServiceMetrics {
             cache_entries: cache.entries,
             candidate_pairs_scanned: self.candidate_pairs_scanned.load(Ordering::Relaxed),
             conflict_edges_built: self.conflict_edges_built.load(Ordering::Relaxed),
+            forecast_bytes_total: self.forecast_bytes_total.load(Ordering::Relaxed),
+            observed_peak_bytes_total: self.observed_peak_bytes_total.load(Ordering::Relaxed),
+            calibration_samples: self.calibration_samples.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,9 +92,31 @@ pub struct MetricsSnapshot {
     pub candidate_pairs_scanned: u64,
     /// Conflict edges built by executed solves.
     pub conflict_edges_built: u64,
+    /// Σ admission forecasts (`forecast_peak_bytes`) over freshly solved
+    /// jobs — the denominator of the calibration ratio.
+    pub forecast_bytes_total: u64,
+    /// Σ observed structural peaks
+    /// ([`crate::admission::observed_peak_bytes`]) over the same jobs —
+    /// the numerator.
+    pub observed_peak_bytes_total: u64,
+    /// Calibration samples recorded (one per fresh solve; cache replays
+    /// and rejections contribute none).
+    pub calibration_samples: u64,
 }
 
 impl MetricsSnapshot {
+    /// Running observed-peak ÷ forecast ratio over all served jobs —
+    /// the admission correction factor a calibrated controller would
+    /// apply (`None` before the first fresh solve). Well under 1.0 in
+    /// practice: the forecast pessimistically counts every candidate
+    /// pair as an edge.
+    pub fn forecast_utilization(&self) -> Option<f64> {
+        if self.forecast_bytes_total == 0 {
+            return None;
+        }
+        Some(self.observed_peak_bytes_total as f64 / self.forecast_bytes_total as f64)
+    }
+
     /// JSON form for the CLI's metrics summary.
     pub fn to_json(&self) -> Value {
         json!({
@@ -99,6 +132,9 @@ impl MetricsSnapshot {
             "cache_entries": self.cache_entries,
             "candidate_pairs_scanned": self.candidate_pairs_scanned,
             "conflict_edges_built": self.conflict_edges_built,
+            "forecast_bytes_total": self.forecast_bytes_total,
+            "observed_peak_bytes_total": self.observed_peak_bytes_total,
+            "calibration_samples": self.calibration_samples,
         })
     }
 }

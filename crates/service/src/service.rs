@@ -286,6 +286,15 @@ impl SolveService {
             &self.metrics.conflict_edges_built,
             result.total_conflict_edges() as u64,
         );
+        // Forecast calibration: pair the admission-time worst case with
+        // the structural peak this solve actually reached; the running
+        // observed ÷ forecast ratio is the correction factor the ROADMAP
+        // asks to fit.
+        let forecast = crate::admission::forecast_peak_bytes(&request.workload, &cfg);
+        let observed = crate::admission::observed_peak_bytes(&request.workload, &result);
+        ServiceMetrics::add(&self.metrics.forecast_bytes_total, forecast as u64);
+        ServiceMetrics::add(&self.metrics.observed_peak_bytes_total, observed as u64);
+        ServiceMetrics::bump(&self.metrics.calibration_samples);
         Ok(SolveSummary {
             num_vertices: result.colors.len(),
             num_colors: result.num_colors,
@@ -448,6 +457,36 @@ mod tests {
         for resp in &report.responses {
             assert_eq!(&resp.outcome, first);
         }
+    }
+
+    #[test]
+    fn fresh_solves_record_forecast_calibration_samples() {
+        let service = small_service(2);
+        let report = service.process_batch(vec![
+            synth("a", 200, 1),
+            synth("b", 200, 2),
+            // Duplicate content: the replay runs no solve and must not
+            // add a calibration sample.
+            synth("a-again", 200, 1),
+        ]);
+        let m = &report.metrics;
+        assert_eq!(m.solved, 2);
+        assert_eq!(m.calibration_samples, 2, "one sample per fresh solve");
+        assert!(m.forecast_bytes_total > 0);
+        assert!(m.observed_peak_bytes_total > 0);
+        // The forecast counts every candidate pair as an edge; real
+        // solves land far under it — the whole point of calibrating.
+        let ratio = m.forecast_utilization().expect("samples recorded");
+        assert!(
+            ratio > 0.0 && ratio < 1.0,
+            "observed/forecast ratio {ratio} out of (0, 1)"
+        );
+        // The ratio is an aggregate of per-job deltas: totals move
+        // together across batches.
+        let again = service.process_batch(vec![synth("c", 150, 3)]);
+        assert_eq!(again.metrics.calibration_samples, 3);
+        assert!(again.metrics.forecast_bytes_total > m.forecast_bytes_total);
+        assert!(again.metrics.observed_peak_bytes_total > m.observed_peak_bytes_total);
     }
 
     #[test]

@@ -305,6 +305,15 @@ fn run_serve(args: &[String]) -> ! {
          {} rejected, {} failed; {} candidate pairs scanned",
         m.solved, m.cache_hits, m.demoted, m.rejected, m.failed, m.candidate_pairs_scanned
     );
+    if let Some(ratio) = m.forecast_utilization() {
+        eprintln!(
+            "forecast calibration: observed/forecast = {:.4} over {} solved jobs \
+             (admission headroom {:.0}x)",
+            ratio,
+            m.calibration_samples,
+            1.0 / ratio.max(f64::EPSILON)
+        );
+    }
     eprintln!(
         "{}",
         serde_json::to_string(&m.to_json()).expect("metrics json")
@@ -391,6 +400,8 @@ fn main() {
             "iterations": result.iterations.len(),
             "total_candidate_pairs": result.total_candidate_pairs(),
             "index_builds": result.index_builds,
+            "pack_builds": result.pack_builds,
+            "packed_lane_utilization": result.packed_lane_utilization(),
             "total_secs": result.total_secs,
             "groups": groups,
         });
@@ -414,10 +425,12 @@ fn main() {
     }
 
     if args.stats {
-        eprintln!("iter |live |palette |L |maxB |est.pairs |cand.pairs |Vc |Ec |uncolored");
+        eprintln!(
+            "iter |live |palette |L |maxB |est.pairs |cand.pairs |packed |lane% |Vc |Ec |uncolored"
+        );
         for s in &result.iterations {
             eprintln!(
-                "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>8} {:>6}",
+                "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>5.1} {:>6} {:>8} {:>6}",
                 s.iteration,
                 s.live_vertices,
                 s.palette_size,
@@ -425,10 +438,17 @@ fn main() {
                 s.max_bucket,
                 s.bucket_pairs_estimate,
                 s.candidate_pairs,
+                if s.packed_lanes > 0 { "y" } else { "n" },
+                100.0 * s.packed_lanes as f64 / s.candidate_pairs.max(1) as f64,
                 s.conflict_vertices,
                 s.conflict_edges,
                 s.uncolored_after
             );
         }
+        eprintln!(
+            "pack builds: {} ({}% of candidate enumeration ran packed)",
+            result.pack_builds,
+            (100.0 * result.packed_lane_utilization()).round()
+        );
     }
 }

@@ -41,6 +41,43 @@ fn json_output_is_well_formed() {
     assert_eq!(doc["num_groups"].as_u64().unwrap() as usize, groups.len());
     // Enumeration-work telemetry is part of the JSON contract.
     assert!(doc["total_candidate_pairs"].as_u64().unwrap() > 0);
+    // Packed-pipeline telemetry too: pack_builds is always present (it
+    // may be 0 on tiny inputs where packing doesn't amortize).
+    assert!(doc["pack_builds"].as_u64().is_some());
+    let util = doc["packed_lane_utilization"].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&util));
+}
+
+#[test]
+fn stats_table_surfaces_packed_lane_columns() {
+    // Large enough that the Normal configuration buckets *and* packs:
+    // 700 distinct 8-qubit strings (base-4 digits of the counter).
+    let strings: String = (0..700usize)
+        .map(|i| {
+            let ops = [b'I', b'X', b'Y', b'Z'];
+            let mut s: Vec<u8> = (0..8).map(|q| ops[(i >> (2 * q)) & 3]).collect();
+            s.push(b'\n');
+            String::from_utf8(s).unwrap()
+        })
+        .collect();
+    let path = write_input("cli_stats_packed.txt", &strings);
+    let out = Command::new(CLI)
+        .arg(&path)
+        .args(["--json", "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("|packed |lane%"), "header in:\n{stderr}");
+    assert!(stderr.contains("pack builds:"), "summary in:\n{stderr}");
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
+    // 700 distinct strings at Normal parameters pack from iteration one.
+    assert!(doc["pack_builds"].as_u64().unwrap() >= 1);
+    assert!(doc["packed_lane_utilization"].as_f64().unwrap() > 0.0);
 }
 
 #[test]

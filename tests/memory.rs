@@ -140,6 +140,86 @@ fn warm_parallel_builds_stop_allocating_per_task() {
 }
 
 #[test]
+fn warm_sequential_build_and_csr_assembly_allocate_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // The whole of Line 7 — packed-kernel candidate scan, COO staging,
+    // *and CSR assembly* — runs out of context-owned arenas once warm
+    // and graphs are recycled: a steady-state sequential build performs
+    // exactly zero heap allocations.
+    use picasso::conflict::build_sequential;
+    use picasso::{IterationContext, PauliComplementOracle};
+    use rand::SeedableRng;
+    let n = 800;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let strings = pauli::string::random_unique_set(n, 12, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let oracle = PauliComplementOracle::new(&set);
+    let cfg = PicassoConfig::normal(1);
+    let (p, l) = (cfg.palette_size(n), cfg.list_size(n));
+    let mut ctx = IterationContext::new();
+    // Warm-up: three iterations, recycling each retired graph.
+    for iter in 1..=3u64 {
+        ctx.assign_lists(n, 0, p, l, 1, iter);
+        let built = build_sequential(&oracle, &mut ctx);
+        ctx.recycle_csr(built.graph);
+    }
+    // Measured iteration: same assignment arguments as the last warm-up
+    // (identical lists → identical shapes, so the zero is deterministic,
+    // not a capacity coin-flip).
+    ctx.assign_lists(n, 0, p, l, 1, 3);
+    let before = memtrack::total_allocations();
+    let built = build_sequential(&oracle, &mut ctx);
+    let after = memtrack::total_allocations();
+    assert!(built.num_edges > 0);
+    assert_eq!(
+        built.packed_lanes, built.candidate_pairs,
+        "the packed kernel must be the path being measured"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state conflict build + CSR assembly must allocate nothing"
+    );
+    ctx.recycle_csr(built.graph);
+}
+
+#[test]
+fn scan_shard_defaults_reuse_one_thread_buffer() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // Regression for the default-impl footgun: `scan_shard`/`scan_rows`
+    // without a caller buffer used to construct a fresh `Vec` per shard
+    // (one per bucket — hundreds per scan). The defaults now route
+    // through one thread-shared staging buffer: a warm full scan of
+    // every shard of both sources allocates nothing.
+    use picasso::{AllPairsSource, BucketSource, ColorLists, PairSource};
+    let lists = ColorLists::assign(400, 0, 50, 4, 3, 1);
+    let index = lists.bucket_index();
+    let bucketed = BucketSource::new(&lists, &index);
+    let allpairs = AllPairsSource::new(&lists);
+    let mut sink = 0usize;
+    let full_scan = |sink: &mut usize| {
+        for s in 0..bucketed.num_shards() {
+            bucketed.scan_shard(s, &mut |u, vs| *sink += u + vs.len());
+        }
+        bucketed.scan_rows(0..bucketed.num_rows(), &mut |u, vs| *sink += u + vs.len());
+        for s in 0..allpairs.num_shards() {
+            allpairs.scan_shard(s, &mut |u, vs| *sink += u + vs.len());
+        }
+    };
+    // Warm pass grows the thread-local buffer to the largest run.
+    full_scan(&mut sink);
+    let before = memtrack::total_allocations();
+    full_scan(&mut sink);
+    let after = memtrack::total_allocations();
+    std::hint::black_box(sink);
+    assert_eq!(
+        after - before,
+        0,
+        "buffer-less scans must reuse the thread-shared staging buffer"
+    );
+}
+
+#[test]
 fn conflict_graph_is_sublinear_fraction_of_input_graph() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     // Lemma 2's practical consequence: with P = 12.5% |V| and L = a·log n,
