@@ -272,5 +272,179 @@ fn bench_oracle_batch(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_conflict, bench_oracle_batch);
+/// The `sparse` group: u64 hit-mask consumer vs the PR-5 bool-hits
+/// consumer at controlled edge densities, on the synthetic packed-word
+/// oracle (real Pauli sets cannot hold density fixed). This is where the
+/// mask kernel's zero-word skipping pays: at ≤1% density almost every
+/// 64-lane word is skipped whole, so the mask arm must be **≥2×** faster
+/// at n = 2048; at ~50% density every word is touched and the two arms
+/// must stay within 5%. Results also land in `BENCH_oracle.json` at the
+/// repo root so the perf trajectory is tracked across PRs.
+fn bench_oracle_sparse(c: &mut Criterion) {
+    use picasso::{BucketSource, MaskScanStats, PackedBuckets, PairSource};
+    let n: usize = if smoke() { 512 } else { 2048 };
+    let densities: &[f64] = &[0.001, 0.01, 0.10, 0.5];
+    let cfg = PicassoConfig::normal(1);
+    let lists = ColorLists::assign(n, 0, cfg.palette_size(n), cfg.list_size(n), 1, 1);
+    let index = lists.bucket_index();
+    let source = BucketSource::new(&lists, &index);
+    let shards = source.num_shards();
+    let mut records = Vec::new();
+
+    for &density in densities {
+        let oracle = graph::PackedWordOracle::with_edge_density(n, 1, density, 11);
+        let mut packed = PackedBuckets::new();
+        assert!(packed.pack_from(&oracle, &lists, &index));
+        let mut masks: Vec<u64> = Vec::new();
+        let mut hits: Vec<bool> = Vec::new();
+
+        // Correctness gate: both consumers emit the identical edge set.
+        let mut mask_edges: Vec<(u32, u32)> = Vec::new();
+        let mut bool_edges: Vec<(u32, u32)> = Vec::new();
+        let mut stats = MaskScanStats::default();
+        for s in 0..shards {
+            source.scan_shard_packed(s, &packed, &mut masks, &mut stats, &mut |u, v| {
+                mask_edges.push((u, v));
+            });
+            source.scan_shard_packed_bool(s, &packed, &mut hits, &mut |u, v| {
+                bool_edges.push((u, v));
+            });
+        }
+        mask_edges.sort_unstable();
+        bool_edges.sort_unstable();
+        assert_eq!(
+            mask_edges, bool_edges,
+            "consumers must agree at d={density}"
+        );
+
+        // Steady-state minimum over warm rounds (min, not mean, so the
+        // dense-regime 5% bar measures the kernels and not the noise).
+        let reps = if smoke() { 2 } else { 8 };
+        let rounds = if smoke() { 2 } else { 5 };
+        let time_min = |f: &mut dyn FnMut() -> usize| {
+            let mut best = f64::INFINITY;
+            for _ in 0..rounds {
+                let t = Instant::now();
+                for _ in 0..reps {
+                    black_box(f());
+                }
+                best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+            }
+            best
+        };
+        let bool_secs = time_min(&mut || {
+            let mut edges = 0usize;
+            for s in 0..shards {
+                source.scan_shard_packed_bool(s, &packed, &mut hits, &mut |_u, _v| {
+                    edges += 1;
+                });
+            }
+            edges
+        });
+        let mask_secs = time_min(&mut || {
+            let mut edges = 0usize;
+            let mut stats = MaskScanStats::default();
+            for s in 0..shards {
+                source.scan_shard_packed(s, &packed, &mut masks, &mut stats, &mut |_u, _v| {
+                    edges += 1;
+                });
+            }
+            black_box(stats.hit_bits);
+            edges
+        });
+        let pairs = source.candidate_pairs();
+        let speedup = bool_secs / mask_secs.max(1e-12);
+        println!(
+            "oracle_sparse_n{n}_d{density}: bool-hits={:.3}ms mask-words={:.3}ms \
+             ({speedup:.2}x, {} hit bits / {} lanes, {} of {} words skipped)",
+            bool_secs * 1e3,
+            mask_secs * 1e3,
+            stats.hit_bits,
+            pairs,
+            stats.skipped_words,
+            stats.scanned_words,
+        );
+        if !smoke() {
+            if density <= 0.01 {
+                assert!(
+                    speedup >= 2.0,
+                    "mask kernel must be ≥2x the bool-hits kernel at d={density}, \
+                     n={n} (got {speedup:.2}x)"
+                );
+            }
+            if density >= 0.5 {
+                assert!(
+                    mask_secs <= bool_secs * 1.05,
+                    "mask kernel must stay within 5% of bool-hits at d={density}, \
+                     n={n} (mask {:.3}ms vs bool {:.3}ms)",
+                    mask_secs * 1e3,
+                    bool_secs * 1e3
+                );
+            }
+        }
+        records.push(serde_json::json!({
+            "density": density,
+            "words": 1,
+            "candidate_pairs": pairs,
+            "hit_bits": stats.hit_bits,
+            "scanned_words": stats.scanned_words,
+            "skipped_words": stats.skipped_words,
+            "bool_ns_per_pair": bool_secs * 1e9 / pairs.max(1) as f64,
+            "mask_ns_per_pair": mask_secs * 1e9 / pairs.max(1) as f64,
+            "speedup": speedup,
+        }));
+
+        let mut group = c.benchmark_group(format!("oracle_sparse_n{n}"));
+        group.throughput(Throughput::Elements(pairs));
+        group.sample_size(if smoke() { 2 } else { 10 });
+        group.bench_function(BenchmarkId::new("bool_hits", format!("d{density}")), |b| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for s in 0..shards {
+                    source.scan_shard_packed_bool(s, &packed, &mut hits, &mut |_u, _v| {
+                        edges += 1;
+                    });
+                }
+                black_box(edges)
+            })
+        });
+        group.bench_function(BenchmarkId::new("mask_words", format!("d{density}")), |b| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                let mut stats = MaskScanStats::default();
+                for s in 0..shards {
+                    source.scan_shard_packed(s, &packed, &mut masks, &mut stats, &mut |_u, _v| {
+                        edges += 1;
+                    });
+                }
+                black_box(edges)
+            })
+        });
+        group.finish();
+    }
+
+    // Machine-readable perf record at the repo root, refreshed by every
+    // bench run (smoke runs record their own size so CI diffs are
+    // apples-to-apples).
+    let out = serde_json::json!({
+        "bench": "oracle_sparse",
+        "n": n,
+        "smoke": smoke(),
+        "sparse": records,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_oracle.json");
+    std::fs::write(
+        path,
+        format!("{}\n", serde_json::to_string_pretty(&out).unwrap()),
+    )
+    .expect("write BENCH_oracle.json");
+    println!("oracle_sparse: wrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_conflict,
+    bench_oracle_batch,
+    bench_oracle_sparse
+);
 criterion_main!(benches);

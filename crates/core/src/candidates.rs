@@ -41,7 +41,7 @@
 //! [`CandidateEngine::with_index`].
 
 use crate::assign::{BucketIndex, ColorLists};
-use crate::packed::PackedBuckets;
+use crate::packed::{MaskScanStats, PackedBuckets};
 use std::ops::Range;
 
 std::thread_local! {
@@ -108,13 +108,16 @@ pub trait PairSource: Sync {
     );
 
     /// Packed-kernel scan of shard `s`: every pivot's **whole bucket
-    /// tail** gets its edge bits from `packed`'s word-transposed lanes
-    /// in one straight-line loop
-    /// ([`PackedBuckets::tail_edge_bits`]), the
-    /// smallest-shared-color deduplication filter runs only on lanes
-    /// the oracle passed, and surviving pairs are emitted as **edges**
-    /// directly — the oracle-block stage of the scalar path disappears.
-    /// `hits` is the caller's reusable bit staging.
+    /// tail** gets its edge bits as `u64` hit masks from `packed`'s
+    /// word-transposed lanes in one straight-line loop
+    /// ([`PackedBuckets::tail_edge_mask`]); the consumer skips zero
+    /// words whole, walks set bits with `trailing_zeros`, applies the
+    /// smallest-shared-color deduplication filter only on those hits,
+    /// and emits surviving pairs as **edges** directly — the
+    /// oracle-block stage of the scalar path disappears, and the walk
+    /// cost tracks the hit count rather than the candidate count.
+    /// `masks` is the caller's reusable mask staging; word/bit counters
+    /// accumulate into `stats`.
     ///
     /// Emits exactly `{(u, v) : scan_shard emits the pair ∧ the packed
     /// oracle has the edge}`. Only the bucketed source supports it; the
@@ -124,10 +127,11 @@ pub trait PairSource: Sync {
         &self,
         s: usize,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
-        let _ = (s, packed, hits, emit_edge);
+        let _ = (s, packed, masks, stats, emit_edge);
         unreachable!("packed scan on a source without bucket structure");
     }
 
@@ -138,10 +142,11 @@ pub trait PairSource: Sync {
         &self,
         rows: Range<usize>,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
-        let _ = (rows, packed, hits, emit_edge);
+        let _ = (rows, packed, masks, stats, emit_edge);
         unreachable!("packed scan on a source without bucket structure");
     }
 
@@ -288,30 +293,73 @@ impl<'a> BucketSource<'a> {
     }
 
     /// Packed-kernel twin of [`BucketSource::scan_positions`]: the
-    /// oracle runs first (whole-tail lane kernel), the dedup filter
+    /// oracle runs first (whole-tail mask kernel), the dedup filter
     /// second, only on hits — the emitted edge set is identical because
     /// both filters are pure and intersection is order-independent. The
     /// dedup itself is the packed bitmask test
     /// ([`PackedBuckets::shares_color_below`]): both vertices hold this
     /// bucket's color, so their smallest shared color is this one
-    /// exactly when they share nothing below it.
+    /// exactly when they share nothing below it. Zero mask words are
+    /// skipped without touching the bucket at all; set bits are walked
+    /// with `trailing_zeros`, so a near-empty tail costs one branch per
+    /// 64 candidates.
     fn scan_positions_packed(
         &self,
         k: usize,
         positions: Range<usize>,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
         let bucket = self.index.bucket(k);
         let start = self.index.bucket_start(k);
         for a in positions {
             let u = bucket[a] as usize;
+            packed.tail_edge_mask(start, bucket.len(), a, u, masks);
+            stats.scanned_words += masks.len() as u64;
+            let tail = &bucket[a + 1..];
+            for (wi, &word) in masks.iter().enumerate() {
+                if word == 0 {
+                    stats.skipped_words += 1;
+                    continue;
+                }
+                stats.hit_bits += u64::from(word.count_ones());
+                let mut word = word;
+                while word != 0 {
+                    let t = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let v = tail[t] as usize;
+                    // Emit only from the smallest shared color's bucket.
+                    if !packed.shares_color_below(u, v, k) {
+                        emit_edge(u as u32, v as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The PR-5 bool-hits consumer, kept as the reference the
+    /// density-sweep equivalence tests and the `oracle_batch` sparse
+    /// bench compare the mask pipeline against: same emission, one
+    /// `bool` per examined lane via
+    /// [`PackedBuckets::tail_edge_bits`].
+    pub fn scan_shard_packed_bool(
+        &self,
+        s: usize,
+        packed: &PackedBuckets,
+        hits: &mut Vec<bool>,
+        emit_edge: &mut dyn FnMut(u32, u32),
+    ) {
+        let k = s;
+        let bucket = self.index.bucket(k);
+        let start = self.index.bucket_start(k);
+        for a in 0..bucket.len() {
+            let u = bucket[a] as usize;
             packed.tail_edge_bits(start, bucket.len(), a, u, hits);
             for (t, &hit) in hits.iter().enumerate() {
                 if hit {
                     let v = bucket[a + 1 + t] as usize;
-                    // Emit only from the smallest shared color's bucket.
                     if !packed.shares_color_below(u, v, k) {
                         emit_edge(u as u32, v as u32);
                     }
@@ -354,10 +402,18 @@ impl PairSource for BucketSource<'_> {
         &self,
         s: usize,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
-        self.scan_positions_packed(s, 0..self.index.bucket(s).len(), packed, hits, emit_edge);
+        self.scan_positions_packed(
+            s,
+            0..self.index.bucket(s).len(),
+            packed,
+            masks,
+            stats,
+            emit_edge,
+        );
     }
 
     #[inline]
@@ -400,11 +456,12 @@ impl PairSource for BucketSource<'_> {
         &self,
         rows: Range<usize>,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
         walk_row_span(self.index, rows, |k, positions| {
-            self.scan_positions_packed(k, positions, packed, hits, emit_edge)
+            self.scan_positions_packed(k, positions, packed, masks, stats, emit_edge)
         });
     }
 }
@@ -585,12 +642,17 @@ impl PairSource for CandidateEngine<'_> {
         &self,
         s: usize,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
         match self {
-            CandidateEngine::Buckets(src) => src.scan_shard_packed(s, packed, hits, emit_edge),
-            CandidateEngine::AllPairs(src) => src.scan_shard_packed(s, packed, hits, emit_edge),
+            CandidateEngine::Buckets(src) => {
+                src.scan_shard_packed(s, packed, masks, stats, emit_edge)
+            }
+            CandidateEngine::AllPairs(src) => {
+                src.scan_shard_packed(s, packed, masks, stats, emit_edge)
+            }
         }
     }
 
@@ -598,12 +660,17 @@ impl PairSource for CandidateEngine<'_> {
         &self,
         rows: Range<usize>,
         packed: &PackedBuckets,
-        hits: &mut Vec<bool>,
+        masks: &mut Vec<u64>,
+        stats: &mut MaskScanStats,
         emit_edge: &mut dyn FnMut(u32, u32),
     ) {
         match self {
-            CandidateEngine::Buckets(src) => src.scan_rows_packed(rows, packed, hits, emit_edge),
-            CandidateEngine::AllPairs(src) => src.scan_rows_packed(rows, packed, hits, emit_edge),
+            CandidateEngine::Buckets(src) => {
+                src.scan_rows_packed(rows, packed, masks, stats, emit_edge)
+            }
+            CandidateEngine::AllPairs(src) => {
+                src.scan_rows_packed(rows, packed, masks, stats, emit_edge)
+            }
         }
     }
 }
@@ -813,14 +880,33 @@ mod tests {
             }
             truth.sort_unstable();
 
-            let mut hits = Vec::new();
+            let mut masks = Vec::new();
+            let mut stats = MaskScanStats::default();
             let mut shard_edges = Vec::new();
             for s in 0..source.num_shards() {
-                source
-                    .scan_shard_packed(s, &packed, &mut hits, &mut |u, v| shard_edges.push((u, v)));
+                source.scan_shard_packed(s, &packed, &mut masks, &mut stats, &mut |u, v| {
+                    shard_edges.push((u, v))
+                });
             }
             shard_edges.sort_unstable();
             assert_eq!(shard_edges, truth, "qubits={qubits} shard grain");
+            // Every examined word is either skipped or scanned, hits
+            // dominate the (deduplicated) emission, and the per-pivot
+            // word totals cover the candidate pairs.
+            assert!(stats.skipped_words <= stats.scanned_words);
+            assert!(stats.hit_bits >= truth.len() as u64);
+            assert!(stats.scanned_words * 64 >= source.candidate_pairs());
+
+            // The legacy bool consumer emits the identical edge set.
+            let mut hits = Vec::new();
+            let mut bool_edges = Vec::new();
+            for s in 0..source.num_shards() {
+                source.scan_shard_packed_bool(s, &packed, &mut hits, &mut |u, v| {
+                    bool_edges.push((u, v))
+                });
+            }
+            bool_edges.sort_unstable();
+            assert_eq!(bool_edges, truth, "qubits={qubits} bool consumer");
 
             // Row grain, split at awkward cuts including mid-bucket.
             for parts in [1usize, 3, 7] {
@@ -830,9 +916,15 @@ mod tests {
                 let mut at = 0usize;
                 while at < rows {
                     let hi = (at + step).min(rows);
-                    source.scan_rows_packed(at..hi, &packed, &mut hits, &mut |u, v| {
-                        row_edges.push((u, v))
-                    });
+                    let mut row_stats = MaskScanStats::default();
+                    source.scan_rows_packed(
+                        at..hi,
+                        &packed,
+                        &mut masks,
+                        &mut row_stats,
+                        &mut |u, v| row_edges.push((u, v)),
+                    );
+                    stats.merge(row_stats);
                     at = hi;
                 }
                 row_edges.sort_unstable();

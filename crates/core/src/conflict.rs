@@ -52,14 +52,14 @@
 use crate::assign::ColorLists;
 use crate::candidates::PairSource;
 use crate::iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
-use crate::packed::PackedBuckets;
+use crate::packed::{MaskScanStats, PackedBuckets};
 use device::{DeviceError, DeviceSim};
 use graph::{
     csr_from_coo_parallel, csr_from_coo_parallel_in, csr_from_coo_sequential_in, CsrGraph,
     EdgeOracle,
 };
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A constructed conflict graph plus build metadata.
 #[derive(Debug)]
@@ -78,6 +78,11 @@ pub struct ConflictBuild {
     /// scalar path — so `packed_lanes / candidate_pairs` is the build's
     /// packed-lane utilization.
     pub packed_lanes: u64,
+    /// Hit-mask word counters of the packed consumers (zero on scalar
+    /// builds): total words scanned, zero words skipped whole, and set
+    /// bits walked — the lane-occupancy signal behind the
+    /// [`PackCalibrator`](crate::PackCalibrator)'s density estimate.
+    pub scan_stats: MaskScanStats,
     /// For the device backend: whether the CSR was assembled on-device
     /// (`Some(true)`), on the host after an edge-list download
     /// (`Some(false)`), or not built by a device at all (`None`).
@@ -86,12 +91,14 @@ pub struct ConflictBuild {
 
 /// Runs the candidates of contiguous flat rows `rows` through the
 /// oracle, pushing hits as `(u, v)` pairs via `push`. With a packed
-/// replica the edge bits come from the bucket-major lane kernel
-/// ([`PairSource::scan_rows_packed`] — no candidate-run staging, no
-/// per-row gather); otherwise the batched-with-scratch scalar path
-/// runs. `run`, `hits` and `mapped` are caller-owned arenas (context
-/// scratch on single-threaded paths, pooled [`TaskArena`] buffers on
-/// parallel ones), so a warm scan allocates nothing either way.
+/// replica the edge bits come as `u64` hit masks from the bucket-major
+/// lane kernel ([`PairSource::scan_rows_packed`] — no candidate-run
+/// staging, no per-row gather, zero words skipped whole), with word/bit
+/// counters accumulated into `stats`; otherwise the
+/// batched-with-scratch scalar path runs. `run`, `hits`, `masks` and
+/// `mapped` are caller-owned arenas (context scratch on
+/// single-threaded paths, pooled [`TaskArena`] buffers on parallel
+/// ones), so a warm scan allocates nothing either way.
 ///
 /// [`TaskArena`]: crate::iteration::TaskArena
 #[inline]
@@ -103,11 +110,13 @@ fn scan_rows_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     rows: std::ops::Range<usize>,
     run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
+    masks: &mut Vec<u64>,
+    stats: &mut MaskScanStats,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
     if let Some(packed) = packed {
-        source.scan_rows_packed(rows, packed, hits, &mut |u, v| push(u, v));
+        source.scan_rows_packed(rows, packed, masks, stats, &mut |u, v| push(u, v));
         return;
     }
     source.scan_rows_scratch(rows, run, &mut |u, vs| {
@@ -133,11 +142,13 @@ fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
     shard: usize,
     run: &mut Vec<usize>,
     hits: &mut Vec<bool>,
+    masks: &mut Vec<u64>,
+    stats: &mut MaskScanStats,
     mapped: &mut Vec<usize>,
     mut push: impl FnMut(u32, u32),
 ) {
     if let Some(packed) = packed {
-        source.scan_shard_packed(shard, packed, hits, &mut |u, v| push(u, v));
+        source.scan_shard_packed(shard, packed, masks, stats, &mut |u, v| push(u, v));
         return;
     }
     source.scan_shard_scratch(shard, run, &mut |u, vs| {
@@ -150,6 +161,35 @@ fn scan_shard_edges<O: EdgeOracle, S: PairSource + ?Sized>(
             }
         }
     });
+}
+
+/// Shared atomic accumulator for per-task [`MaskScanStats`] on the
+/// parallel and device paths.
+#[derive(Default)]
+struct SharedScanStats {
+    hit_bits: AtomicU64,
+    scanned_words: AtomicU64,
+    skipped_words: AtomicU64,
+}
+
+impl SharedScanStats {
+    fn add(&self, s: MaskScanStats) {
+        if s.scanned_words != 0 || s.hit_bits != 0 {
+            self.hit_bits.fetch_add(s.hit_bits, Ordering::Relaxed);
+            self.scanned_words
+                .fetch_add(s.scanned_words, Ordering::Relaxed);
+            self.skipped_words
+                .fetch_add(s.skipped_words, Ordering::Relaxed);
+        }
+    }
+
+    fn into_stats(self) -> MaskScanStats {
+        MaskScanStats {
+            hit_bits: self.hit_bits.into_inner(),
+            scanned_words: self.scanned_words.into_inner(),
+            skipped_words: self.skipped_words.into_inner(),
+        }
+    }
 }
 
 /// Sequential bucketed build: one pass over the flat pivot-row space —
@@ -166,12 +206,14 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
     let IterationScratch {
         edges,
         hits,
+        masks,
         mapped,
         run,
         csr,
         ..
     } = scratch;
     edges.clear();
+    let mut stats = MaskScanStats::default();
     scan_rows_edges(
         oracle,
         &engine,
@@ -179,6 +221,8 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         0..engine.num_rows(),
         run,
         hits,
+        masks,
+        &mut stats,
         mapped,
         |u, v| edges.push((u, v)),
     );
@@ -189,6 +233,7 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         num_edges,
         candidate_pairs,
         packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
+        scan_stats: stats,
         csr_on_device: None,
     }
 }
@@ -221,6 +266,7 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
         num_edges,
         candidate_pairs: m64 * m64.saturating_sub(1) / 2,
         packed_lanes: 0,
+        scan_stats: MaskScanStats::default(),
         csr_on_device: None,
     }
 }
@@ -236,7 +282,7 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
 /// the output is bit-identical to the sequential build under any
 /// scheduling.
 pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> ConflictBuild {
-    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
+    let (engine, packed, scratch) = ctx.engine_packed_scratch_par(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
     let IterationScratch {
@@ -247,19 +293,32 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
     let row_weights = engine.row_weights();
     let cuts = device::balanced_weight_cuts(&row_weights, rayon::current_num_threads() * 4);
     let merged = std::sync::Mutex::new(std::mem::take(edges));
+    let shared_stats = SharedScanStats::default();
     cuts.into_par_iter().for_each(|rows| {
         let mut arena = pool.take();
         let TaskArena {
             edges: staged,
             run,
             hits,
+            masks,
             mapped,
             ..
         } = &mut arena;
         staged.clear();
-        scan_rows_edges(oracle, &engine, packed, rows, run, hits, mapped, |u, v| {
-            staged.push((u, v))
-        });
+        let mut stats = MaskScanStats::default();
+        scan_rows_edges(
+            oracle,
+            &engine,
+            packed,
+            rows,
+            run,
+            hits,
+            masks,
+            &mut stats,
+            mapped,
+            |u, v| staged.push((u, v)),
+        );
+        shared_stats.add(stats);
         if !staged.is_empty() {
             merged.lock().unwrap().extend_from_slice(staged);
         }
@@ -274,6 +333,7 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
         num_edges,
         candidate_pairs,
         packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
+        scan_stats: shared_stats.into_stats(),
         csr_on_device: None,
     }
 }
@@ -326,7 +386,7 @@ pub fn build_device<O: EdgeOracle>(
     input_bytes_per_vertex: usize,
 ) -> Result<ConflictBuild, DeviceError> {
     let list_bytes = ctx.lists().list_size() * std::mem::size_of::<u32>();
-    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
+    let (engine, packed, scratch) = ctx.engine_packed_scratch_par(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
     let IterationScratch {
@@ -343,6 +403,7 @@ pub fn build_device<O: EdgeOracle>(
             num_edges: 0,
             candidate_pairs: 0,
             packed_lanes: 0,
+            scan_stats: MaskScanStats::default(),
             csr_on_device: Some(true),
         });
     }
@@ -369,6 +430,7 @@ pub fn build_device<O: EdgeOracle>(
             num_edges: 0,
             candidate_pairs: 0,
             packed_lanes: 0,
+            scan_stats: MaskScanStats::default(),
             csr_on_device: Some(true),
         });
     }
@@ -391,6 +453,7 @@ pub fn build_device<O: EdgeOracle>(
             num_edges: 0,
             candidate_pairs: 0,
             packed_lanes: 0,
+            scan_stats: MaskScanStats::default(),
             csr_on_device: Some(true),
         });
     }
@@ -418,6 +481,7 @@ pub fn build_device<O: EdgeOracle>(
     // is race-free.
     let cursor = AtomicUsize::new(0);
     let overflow = AtomicBool::new(false);
+    let shared_stats = SharedScanStats::default();
     {
         struct SendPtr(*mut u32);
         unsafe impl Send for SendPtr {}
@@ -436,16 +500,30 @@ pub fn build_device<O: EdgeOracle>(
                 staged,
                 run,
                 hits,
+                masks,
                 mapped,
                 ..
             } = &mut arena;
             staged.clear();
+            let mut stats = MaskScanStats::default();
             for s in shards {
-                scan_shard_edges(oracle, &engine, packed, s, run, hits, mapped, |u, v| {
-                    staged.push(u);
-                    staged.push(v);
-                });
+                scan_shard_edges(
+                    oracle,
+                    &engine,
+                    packed,
+                    s,
+                    run,
+                    hits,
+                    masks,
+                    &mut stats,
+                    mapped,
+                    |u, v| {
+                        staged.push(u);
+                        staged.push(v);
+                    },
+                );
             }
+            shared_stats.add(stats);
             if !staged.is_empty() {
                 let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
                 if at + staged.len() > edge_slots {
@@ -471,6 +549,7 @@ pub fn build_device<O: EdgeOracle>(
     }
     let used_slots = cursor.load(Ordering::Relaxed);
     let num_edges = used_slots / 2;
+    let scan_stats = shared_stats.into_stats();
 
     // Canonicalize into the context's COO arena: block scheduling
     // perturbs edge order, but CSR construction sorts adjacency, so the
@@ -503,6 +582,7 @@ pub fn build_device<O: EdgeOracle>(
                     num_edges,
                     candidate_pairs,
                     packed_lanes,
+                    scan_stats,
                     csr_on_device: Some(false),
                 });
             }
@@ -518,6 +598,7 @@ pub fn build_device<O: EdgeOracle>(
         num_edges,
         candidate_pairs,
         packed_lanes,
+        scan_stats,
         csr_on_device: Some(on_device),
     })
 }
@@ -558,7 +639,7 @@ pub fn build_multi_device<O: EdgeOracle>(
 ) -> Result<ConflictBuild, DeviceError> {
     assert!(!devices.is_empty(), "need at least one device");
     let list_bytes = ctx.lists().list_size() * std::mem::size_of::<u32>();
-    let (engine, packed, scratch) = ctx.engine_packed_scratch(oracle);
+    let (engine, packed, scratch) = ctx.engine_packed_scratch_par(oracle);
     let m = engine.num_vertices();
     debug_assert_eq!(m, oracle.num_vertices());
     let IterationScratch {
@@ -575,6 +656,7 @@ pub fn build_multi_device<O: EdgeOracle>(
             num_edges: 0,
             candidate_pairs: 0,
             packed_lanes: 0,
+            scan_stats: MaskScanStats::default(),
             csr_on_device: Some(false),
         });
     }
@@ -598,12 +680,22 @@ pub fn build_multi_device<O: EdgeOracle>(
     );
 
     edges.clear();
+    let shared_stats = SharedScanStats::default();
     for (span, dev) in cuts.iter().zip(devices.iter()) {
-        // (1) Input replica, charged to this device's budget: the packed
-        // replica + lists when this iteration packed, the raw encoded
-        // set otherwise — every device holds the same kernel input.
+        // (1) Input replica, charged to this device's budget: when this
+        // iteration packed, only the replica *slice* the span's kernel
+        // actually reads — the touched buckets' key lanes, one query
+        // row per pivot in the span, the touched members' palette
+        // bitmasks ([`PackedBuckets::device_bytes_for_span`]) — plus
+        // the lists; the raw encoded set otherwise. A narrow span no
+        // longer charges all `m` query rows.
         let input_bytes = match packed {
-            Some(p) => m * list_bytes + p.device_bytes(),
+            Some(p) => {
+                let index = engine
+                    .index()
+                    .expect("a packed build implies the bucketed engine");
+                m * list_bytes + p.device_bytes_for_span(index, span.clone())
+            }
             None => m * input_bytes_per_vertex,
         };
         let _input = dev.reserve(input_bytes)?;
@@ -662,14 +754,28 @@ pub fn build_multi_device<O: EdgeOracle>(
                     staged,
                     run,
                     hits,
+                    masks,
                     mapped,
                     ..
                 } = &mut arena;
                 staged.clear();
-                scan_rows_edges(oracle, &engine, packed, rows, run, hits, mapped, |u, v| {
-                    staged.push(u);
-                    staged.push(v);
-                });
+                let mut stats = MaskScanStats::default();
+                scan_rows_edges(
+                    oracle,
+                    &engine,
+                    packed,
+                    rows,
+                    run,
+                    hits,
+                    masks,
+                    &mut stats,
+                    mapped,
+                    |u, v| {
+                        staged.push(u);
+                        staged.push(v);
+                    },
+                );
+                shared_stats.add(stats);
                 if !staged.is_empty() {
                     let at = cursor.fetch_add(staged.len(), Ordering::Relaxed);
                     if at + staged.len() > edge_slots {
@@ -708,6 +814,7 @@ pub fn build_multi_device<O: EdgeOracle>(
         num_edges,
         candidate_pairs,
         packed_lanes: if packed.is_some() { candidate_pairs } else { 0 },
+        scan_stats: shared_stats.into_stats(),
         csr_on_device: Some(false),
     })
 }
@@ -732,6 +839,7 @@ pub fn build_multi_device_rowsharded<O: EdgeOracle>(
             num_edges: 0,
             candidate_pairs: 0,
             packed_lanes: 0,
+            scan_stats: MaskScanStats::default(),
             csr_on_device: Some(false),
         });
     }
@@ -824,6 +932,7 @@ pub fn build_multi_device_rowsharded<O: EdgeOracle>(
         num_edges,
         candidate_pairs: m64 * m64.saturating_sub(1) / 2,
         packed_lanes: 0,
+        scan_stats: MaskScanStats::default(),
         csr_on_device: Some(false),
     })
 }
@@ -1024,6 +1133,58 @@ mod tests {
             "packed upload = lists + replica + index, not m·input_bpv"
         );
         assert_eq!(dev.used_bytes(), 0, "all leases released");
+    }
+
+    #[test]
+    fn packed_multi_device_spans_charge_only_their_replica_slice() {
+        // Satellite regression: every device used to be charged all `m`
+        // query rows (the full `device_bytes()` replica) even when its
+        // sub-bucket span touched a fraction of the rows. Each device's
+        // upload must now be exactly lists + span slice + index.
+        use crate::candidates::CandidateEngine;
+        use crate::oracle::PauliComplementOracle;
+        use crate::packed::{PackedBuckets, PackingMode};
+        use rand::SeedableRng;
+        let m = 150;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let strings = pauli::string::random_unique_set(m, 12, &mut rng);
+        let set = pauli::EncodedSet::from_strings(&strings);
+        let oracle = PauliComplementOracle::new(&set);
+        let lists = ColorLists::assign(m, 0, 30, 3, 5, 0);
+        let devices = 4usize;
+        // Recompute the spans and the replica the build will use.
+        let index = lists.bucket_index();
+        let engine = CandidateEngine::with_index(&lists, Some(&index));
+        let row_weights = engine.row_weights();
+        let mut cuts = device::balanced_weight_cuts(&row_weights, devices);
+        let end = row_weights.len();
+        while cuts.len() < devices {
+            cuts.push(end..end);
+        }
+        let mut packed = PackedBuckets::new();
+        assert!(packed.pack_from(&oracle, &lists, &index));
+        let list_bytes = m * 3 * 4;
+        let mut ctx = ctx_for(&lists);
+        ctx.set_packing(PackingMode::Always);
+        let fleet: Vec<DeviceSim> = (0..devices)
+            .map(|_| DeviceSim::new(8 * 1024 * 1024))
+            .collect();
+        let built = build_multi_device(&oracle, &mut ctx, &fleet, 16).unwrap();
+        assert_eq!(built.packed_lanes, built.candidate_pairs);
+        let mut some_span_is_narrow = false;
+        for (span, dev) in cuts.iter().zip(fleet.iter()) {
+            let span_bytes = packed.device_bytes_for_span(&index, span.clone());
+            assert_eq!(
+                dev.stats().h2d_bytes,
+                list_bytes + span_bytes + index.device_bytes(),
+                "span {span:?}: upload must be lists + span slice + index, exactly"
+            );
+            some_span_is_narrow |= span_bytes < packed.device_bytes();
+        }
+        assert!(
+            some_span_is_narrow,
+            "with {devices} devices at least one span must upload less than the full replica"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use crate::assign::{BucketIndex, BucketLoad, ColorLists};
 use crate::candidates::CandidateEngine;
-use crate::packed::{PackedBuckets, PackingMode};
+use crate::packed::{PackCalibrator, PackedBuckets, PackingMode, PackingVerdict};
 use graph::{CsrArena, CsrGraph, EdgeOracle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -50,6 +50,9 @@ pub struct TaskArena {
     pub run: Vec<usize>,
     /// Oracle hit vector for batched `has_edge_block` queries.
     pub hits: Vec<bool>,
+    /// Hit-mask words for the packed kernel
+    /// ([`crate::PackedBuckets::tail_edge_mask`]).
+    pub masks: Vec<u64>,
     /// Index-remapping arena for [`crate::LiveView`]'s batched path.
     pub mapped: Vec<usize>,
 }
@@ -107,6 +110,9 @@ pub struct IterationScratch {
     pub edges: Vec<(u32, u32)>,
     /// Oracle hit vector for batched `has_edge_block` queries.
     pub hits: Vec<bool>,
+    /// Hit-mask words for the packed kernel's zero-word-skipping consumer
+    /// ([`crate::PackedBuckets::tail_edge_mask`]).
+    pub masks: Vec<u64>,
     /// Index-remapping arena for [`crate::LiveView`]'s batched path
     /// ([`graph::EdgeOracle::has_edge_block_scratch`]).
     pub mapped: Vec<usize>,
@@ -161,6 +167,13 @@ pub struct IterationContext {
     /// by every backend of the round, mirrored by the solver into
     /// [`PicassoResult::pack_builds`](crate::PicassoResult::pack_builds).
     pack_builds: usize,
+    /// The measured scalar-vs-packed crossover model behind
+    /// [`PackingMode::Auto`] (see [`PackCalibrator`]). Fed by the solver
+    /// via [`IterationContext::record_packing`] after each conflict
+    /// build; consulted by the single decision helper shared by
+    /// [`IterationContext::ensure_packed`] and the forecast twin
+    /// [`IterationContext::will_pack`].
+    calibrator: PackCalibrator,
     scratch: IterationScratch,
 }
 
@@ -186,6 +199,7 @@ impl IterationContext {
             packed_active: false,
             packing: PackingMode::Auto,
             pack_builds: 0,
+            calibrator: PackCalibrator::new(),
             scratch: IterationScratch::default(),
         }
     }
@@ -261,6 +275,59 @@ impl IterationContext {
         self.packing
     }
 
+    /// The calibrated crossover model behind [`PackingMode::Auto`].
+    pub fn calibrator(&self) -> &PackCalibrator {
+        &self.calibrator
+    }
+
+    /// Feeds one finished conflict build back into the calibrator: the
+    /// measured build time becomes a scalar- or packed-rate observation
+    /// (whichever path ran), and the post-observation decision is
+    /// compared against the path that was actually chosen — a mismatch
+    /// is a *mispredict*, the quantity the `Auto` crossover is tuned to
+    /// minimize. The solver calls this once per iteration, right after
+    /// the conflict build; `packed_words` is the oracle's packed word
+    /// width (`None` = no packed form). Degenerate builds (zero
+    /// candidate pairs) carry no signal and are skipped.
+    pub fn record_packing(
+        &mut self,
+        build: &crate::conflict::ConflictBuild,
+        secs: f64,
+        packed_words: Option<usize>,
+    ) -> PackingVerdict {
+        if build.candidate_pairs == 0 {
+            return PackingVerdict::default();
+        }
+        let chosen = build.packed_lanes > 0;
+        if let Some(words) = packed_words {
+            if self.bucketed {
+                if chosen {
+                    self.calibrator.observe_packed(
+                        build.candidate_pairs,
+                        build.scan_stats.hit_bits,
+                        words,
+                        secs,
+                    );
+                } else {
+                    self.calibrator.observe_scalar(
+                        build.candidate_pairs,
+                        build.num_edges as u64,
+                        words,
+                        secs,
+                    );
+                }
+            }
+        }
+        let predicted = self.packing_decision(packed_words);
+        let mispredicted = chosen != predicted;
+        self.calibrator.note_outcome(mispredicted);
+        PackingVerdict {
+            chosen,
+            predicted,
+            mispredicted,
+        }
+    }
+
     /// Overrides the packing policy. Takes effect from the next
     /// iteration's (or the next backend's first) engine borrow; the
     /// policy is a pure function of the context, so every backend of an
@@ -291,12 +358,38 @@ impl IterationContext {
         }
     }
 
+    /// The single packing-decision site (the forecast's `will_pack` and
+    /// the build's `ensure_packed` used to duplicate this match): a pure
+    /// function of the context, the policy, and the oracle's packed word
+    /// width (`None` = no packed form). `Auto` consults the calibrated
+    /// crossover model ([`PackCalibrator::should_pack`]).
+    fn packing_decision(&self, packed_words: Option<usize>) -> bool {
+        let Some(words) = packed_words else {
+            return false;
+        };
+        if !self.bucketed {
+            return false;
+        }
+        match self.packing {
+            PackingMode::Never => false,
+            PackingMode::Always => true,
+            PackingMode::Auto => self.calibrator.should_pack(
+                self.load.total_pairs,
+                self.lists.len() * self.lists.list_size(),
+                words,
+            ),
+        }
+    }
+
     /// Builds the packed oracle replica for the current iteration if the
     /// bucketed engine is selected, the policy engages, and the oracle
     /// has a packed form — lazily, at most once per iteration, into the
     /// persistent arena. Idempotent within an iteration: the decision
     /// (and the replica) is shared by every backend of the round.
-    fn ensure_packed<O: EdgeOracle + ?Sized>(&mut self, oracle: &O) {
+    /// `parallel` selects [`PackedBuckets::pack_from_parallel`] for the
+    /// key-lane scatter — only the parallel backends request it, so the
+    /// sequential build stays allocation-free.
+    fn ensure_packed<O: EdgeOracle + ?Sized>(&mut self, oracle: &O, parallel: bool) {
         if self.packed_valid {
             // The replica is cached per iteration: every build between
             // two lists changes must use the same oracle (the solver
@@ -316,22 +409,17 @@ impl IterationContext {
         }
         self.packed_valid = true;
         self.packed_active = false;
-        if !self.bucketed {
-            return;
-        }
-        let engage = match self.packing {
-            PackingMode::Never => false,
-            PackingMode::Always => true,
-            PackingMode::Auto => PackedBuckets::worth_packing(
-                self.load.total_pairs,
-                self.lists.len() * self.lists.list_size(),
-            ),
-        };
-        if !engage {
+        if !self.packing_decision(oracle.packed_form().map(|f| f.words.max(1))) {
             return;
         }
         self.ensure_index();
-        if self.packed.pack_from(oracle, &self.lists, &self.index) {
+        let packed = if parallel {
+            self.packed
+                .pack_from_parallel(oracle, &self.lists, &self.index)
+        } else {
+            self.packed.pack_from(oracle, &self.lists, &self.index)
+        };
+        if packed {
             self.packed_active = true;
             self.pack_builds += 1;
         }
@@ -374,8 +462,37 @@ impl IterationContext {
         Option<&PackedBuckets>,
         &mut IterationScratch,
     ) {
+        self.engine_packed_scratch_impl(oracle, false)
+    }
+
+    /// [`IterationContext::engine_packed_scratch`] for the parallel
+    /// backends: when this borrow triggers the once-per-iteration packed
+    /// replica build, the key-lane scatter runs across the rayon pool
+    /// ([`PackedBuckets::pack_from_parallel`]). The replica is
+    /// bit-identical either way; only the sequential backend must avoid
+    /// the parallel path (its thread scaffolding allocates).
+    pub fn engine_packed_scratch_par<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+    ) -> (
+        CandidateEngine<'_>,
+        Option<&PackedBuckets>,
+        &mut IterationScratch,
+    ) {
+        self.engine_packed_scratch_impl(oracle, true)
+    }
+
+    fn engine_packed_scratch_impl<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        parallel: bool,
+    ) -> (
+        CandidateEngine<'_>,
+        Option<&PackedBuckets>,
+        &mut IterationScratch,
+    ) {
         self.ensure_index();
-        self.ensure_packed(oracle);
+        self.ensure_packed(oracle, parallel);
         let index = if self.bucketed {
             Some(&self.index)
         } else {
@@ -541,17 +658,7 @@ impl IterationContext {
     /// context and the width, evaluated without building anything, so
     /// the strict gate predicts exactly the path the build will choose.
     fn will_pack(&self, packed_words: Option<usize>) -> bool {
-        if packed_words.is_none() || !self.bucketed {
-            return false;
-        }
-        match self.packing {
-            PackingMode::Never => false,
-            PackingMode::Always => true,
-            PackingMode::Auto => PackedBuckets::worth_packing(
-                self.load.total_pairs,
-                self.lists.len() * self.lists.list_size(),
-            ),
-        }
+        self.packing_decision(packed_words)
     }
 
     /// Bytes of the device input replica this iteration will charge: the
@@ -683,10 +790,7 @@ mod tests {
         // and the O(N·L) packing pass cannot amortize.
         ctx.set_lists(ColorLists::assign(40, 0, 600, 2, 7, 1));
         assert!(ctx.prefers_buckets());
-        assert!(!PackedBuckets::worth_packing(
-            ctx.bucket_load().total_pairs,
-            40 * 2
-        ));
+        assert!(!PackCalibrator::default().should_pack(ctx.bucket_load().total_pairs, 40 * 2, 1));
         let (_, packed, _) = ctx.engine_packed_scratch(&oracle);
         assert!(packed.is_none(), "Auto must skip the degenerate load");
         assert_eq!(ctx.pack_builds(), 0);

@@ -18,27 +18,38 @@
 //! A pivot's scan of its bucket tail is then `query_word &
 //! keys[w][lane]` over contiguous `u64` lanes — straight-line,
 //! autovectorizable, no per-row indirection; 21 Pauli operators per
-//! word-lane for the 3-bit code. The smallest-shared-color
-//! deduplication filter runs *after* the parity kernel, only on lanes
-//! that survived the oracle, so the `O(L)` list merge is paid on hits
+//! word-lane for the 3-bit code.
+//!
+//! The kernel's output is a **hit mask**: one `u64` word per 64 tail
+//! lanes, bit `t % 64` of word `t / 64` set exactly when tail candidate
+//! `t` is an edge ([`PackedBuckets::tail_edge_mask`]). The parity
+//! polarity of the oracle's form is folded into the mask, so consumers
+//! skip entire zero words and walk set bits with `trailing_zeros` —
+//! the anticommutation graph gets *sparser* as the palette grows, and
+//! the consumer's cost now tracks the hit count instead of the
+//! candidate count. The smallest-shared-color deduplication filter runs
+//! only on surviving bits, so the `O(L)` list merge is paid on hits
 //! instead of on every candidate.
 //!
 //! The replica is built at most once per iteration, into a persistent
 //! arena owned by the [`IterationContext`](crate::IterationContext)
 //! (the `pack_builds` counter pins the contract), and is **skipped**
 //! when the engine falls back to all-pairs, when the oracle has no
-//! packed form, or — in [`PackingMode::Auto`] — when the iteration's
-//! bucket-pair total is too small for the `O(N·L)` packing pass to
-//! amortize.
+//! packed form, or — in [`PackingMode::Auto`] — when the
+//! [`PackCalibrator`]'s measured scalar-vs-packed crossover says the
+//! `O(N·L·w)` packing pass would not amortize over the iteration's
+//! bucket-pair load.
 
 use crate::assign::{BucketIndex, ColorLists};
 use graph::EdgeOracle;
+use rayon::prelude::*;
 
 /// Whether (and when) the iteration context builds the packed replica.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PackingMode {
     /// Pack whenever the engine is bucketed, the oracle has a packed
-    /// form, and [`PackedBuckets::worth_packing`] holds — the default.
+    /// form, and the [`PackCalibrator`]'s crossover model predicts the
+    /// packed pipeline is cheaper end to end — the default.
     #[default]
     Auto,
     /// Pack whenever the engine is bucketed and the oracle has a packed
@@ -47,6 +58,240 @@ pub enum PackingMode {
     /// Never pack: every backend takes the scalar block path (the bench
     /// baseline and an escape hatch).
     Never,
+}
+
+/// Counters of one mask-kernel consumer pass: how many hit-mask words
+/// were scanned, how many of them were skipped as all-zero, and how
+/// many set bits (oracle hits, pre-deduplication) were walked. The
+/// builders aggregate these across tasks into
+/// [`ConflictBuild`](crate::ConflictBuild) and the solver surfaces them
+/// per iteration — the lane-occupancy signal the [`PackCalibrator`]
+/// feeds on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaskScanStats {
+    /// Set bits walked (oracle hits before smallest-shared-color dedup).
+    pub hit_bits: u64,
+    /// Hit-mask words examined in total.
+    pub scanned_words: u64,
+    /// Of those, words skipped whole because they were zero.
+    pub skipped_words: u64,
+}
+
+impl MaskScanStats {
+    /// Folds another pass's counters into this one.
+    #[inline]
+    pub fn merge(&mut self, other: MaskScanStats) {
+        self.hit_bits += other.hit_bits;
+        self.scanned_words += other.scanned_words;
+        self.skipped_words += other.skipped_words;
+    }
+}
+
+/// Density classes of the calibrator's crossover model, keyed by the
+/// fraction of examined lanes that are oracle hits: sparse (< 2%), mid
+/// (2–20%), dense (> 20%).
+const DENSITY_CLASSES: usize = 3;
+/// Word-width classes: `w == 1`, `2..=4`, wider.
+const WORD_CLASSES: usize = 3;
+
+#[inline]
+fn word_class(words: usize) -> usize {
+    match words {
+        0 | 1 => 0,
+        2..=4 => 1,
+        _ => 2,
+    }
+}
+
+#[inline]
+fn density_class(density: f64) -> usize {
+    if density < 0.02 {
+        0
+    } else if density <= 0.20 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Seed cost model, ns per examined candidate pair on the **scalar**
+/// block path (sorted-merge dedup + batched `has_edge_block_scratch`),
+/// measured by the `oracle_batch` bench group (`cargo bench -p bench`)
+/// at n=2048. Rows: word class (1 / 2–4 / >4); columns: density class.
+/// The scalar path dedups before the oracle, so its per-pair cost is
+/// nearly density-flat.
+const SEED_SCALAR_NS: [[f64; DENSITY_CLASSES]; WORD_CLASSES] =
+    [[6.0, 6.0, 6.5], [7.5, 7.5, 8.0], [10.0, 10.0, 11.0]];
+
+/// Seed cost model, ns per examined lane of the **packed** pipeline
+/// (mask kernel + zero-word-skipping consumer + on-hit dedup), same
+/// bench. Density-sensitive: the consumer only pays for set bits.
+const SEED_PACKED_NS: [[f64; DENSITY_CLASSES]; WORD_CLASSES] =
+    [[0.8, 1.4, 2.5], [1.6, 2.2, 3.5], [2.8, 3.5, 5.0]];
+
+/// Seed cost of the packing pass itself, ns per key-row word written
+/// (scatter + query table + palette bitmasks folded in).
+const SEED_PACK_NS_PER_ROW_WORD: f64 = 3.5;
+
+/// EWMA weight of a fresh observation against the running estimate.
+const CALIBRATION_ALPHA: f64 = 0.3;
+
+/// Measured rates are clamped to this factor around their seed so one
+/// noisy tiny-iteration timing cannot wedge the crossover.
+const CALIBRATION_CLAMP: f64 = 8.0;
+
+/// Runtime scalar-vs-packed crossover model for [`PackingMode::Auto`].
+///
+/// Seeded from the `oracle_batch` bench and refined online: after every
+/// conflict build the solver feeds the measured wall time, the examined
+/// pair count, and the mask kernel's hit-bit count back in
+/// ([`IterationContext::record_packing`](crate::IterationContext::record_packing)),
+/// updating an EWMA per (word class × density class) cell. The decision
+/// itself ([`PackCalibrator::should_pack`]) is pure — the forecast twin
+/// [`IterationContext::will_pack`](crate::IterationContext::will_pack)
+/// and the build call it with identical state inside one iteration, so
+/// strict device-memory forecasts stay exact.
+///
+/// The seeds are chosen so the *uncalibrated* crossover sits near the
+/// historical `total_pairs ≥ num_rows` heuristic for one-word forms
+/// (gain ≈ 4 ns/pair vs ≈ 3.5 ns/row-word of packing), and scales the
+/// packing charge with `w` where the old heuristic did not.
+#[derive(Clone, Debug)]
+pub struct PackCalibrator {
+    /// EWMA of observed hit density (hits / examined pairs).
+    density: f64,
+    /// Whether any observation has landed yet (prior density: 0.5).
+    observed: bool,
+    scalar_ns: [[f64; DENSITY_CLASSES]; WORD_CLASSES],
+    packed_ns: [[f64; DENSITY_CLASSES]; WORD_CLASSES],
+    pack_ns_per_row_word: f64,
+    decisions: u64,
+    mispredicts: u64,
+}
+
+impl Default for PackCalibrator {
+    fn default() -> PackCalibrator {
+        PackCalibrator {
+            density: 0.5,
+            observed: false,
+            scalar_ns: SEED_SCALAR_NS,
+            packed_ns: SEED_PACKED_NS,
+            pack_ns_per_row_word: SEED_PACK_NS_PER_ROW_WORD,
+            decisions: 0,
+            mispredicts: 0,
+        }
+    }
+}
+
+impl PackCalibrator {
+    /// A fresh calibrator holding only the bench-derived seeds.
+    pub fn new() -> PackCalibrator {
+        PackCalibrator::default()
+    }
+
+    /// Current hit-density estimate (EWMA of observations; 0.5 prior).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Whether packing is predicted to beat the scalar path for an
+    /// iteration examining `total_pairs` candidate lanes over
+    /// `num_rows` flat key rows of a `words`-word form: packed saves
+    /// `(scalar − packed) ns` per pair but pays the packing pass up
+    /// front. Pure — safe to call from forecasts and the build alike.
+    pub fn should_pack(&self, total_pairs: u64, num_rows: usize, words: usize) -> bool {
+        if total_pairs == 0 {
+            return false;
+        }
+        let wc = word_class(words);
+        let dc = density_class(self.density);
+        let gain = self.scalar_ns[wc][dc] - self.packed_ns[wc][dc];
+        if gain <= 0.0 {
+            return false;
+        }
+        let pack_cost = self.pack_ns_per_row_word * num_rows as f64 * words.max(1) as f64;
+        total_pairs as f64 * gain > pack_cost
+    }
+
+    /// Feeds back one **packed** build: `secs` of conflict-phase wall
+    /// time over `pairs` examined lanes of a `words`-word form, of
+    /// which `hit_bits` were oracle hits.
+    pub fn observe_packed(&mut self, pairs: u64, hit_bits: u64, words: usize, secs: f64) {
+        if pairs == 0 || !secs.is_finite() || secs <= 0.0 {
+            return;
+        }
+        let d = (hit_bits as f64 / pairs as f64).clamp(0.0, 1.0);
+        self.update_density(d);
+        let rate = secs * 1e9 / pairs as f64;
+        let cell = &mut self.packed_ns[word_class(words)][density_class(d)];
+        let seed = SEED_PACKED_NS[word_class(words)][density_class(d)];
+        let clamped = rate.clamp(seed / CALIBRATION_CLAMP, seed * CALIBRATION_CLAMP);
+        *cell = ewma(*cell, clamped);
+    }
+
+    /// Feeds back one **scalar** build over a packable oracle: `edges`
+    /// (post-dedup, a lower bound on hits) stands in for the density
+    /// signal the mask kernel would have produced.
+    pub fn observe_scalar(&mut self, pairs: u64, edges: u64, words: usize, secs: f64) {
+        if pairs == 0 || !secs.is_finite() || secs <= 0.0 {
+            return;
+        }
+        let d = (edges as f64 / pairs as f64).clamp(0.0, 1.0);
+        self.update_density(d);
+        let rate = secs * 1e9 / pairs as f64;
+        let cell = &mut self.scalar_ns[word_class(words)][density_class(d)];
+        let seed = SEED_SCALAR_NS[word_class(words)][density_class(d)];
+        let clamped = rate.clamp(seed / CALIBRATION_CLAMP, seed * CALIBRATION_CLAMP);
+        *cell = ewma(*cell, clamped);
+    }
+
+    /// Records a predicted-vs-chosen outcome (CLI mispredict counter).
+    pub fn note_outcome(&mut self, mispredicted: bool) {
+        self.decisions += 1;
+        self.mispredicts += u64::from(mispredicted);
+    }
+
+    /// Auto decisions recorded so far.
+    #[inline]
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Of those, how many the post-build model would have made
+    /// differently.
+    #[inline]
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    fn update_density(&mut self, d: f64) {
+        if self.observed {
+            self.density = ewma(self.density, d);
+        } else {
+            self.density = d;
+            self.observed = true;
+        }
+    }
+}
+
+#[inline]
+fn ewma(old: f64, new: f64) -> f64 {
+    old + CALIBRATION_ALPHA * (new - old)
+}
+
+/// What [`IterationContext::record_packing`](crate::IterationContext::record_packing)
+/// concluded about one conflict build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackingVerdict {
+    /// The mode the build actually ran (`true` = packed kernel).
+    pub chosen: bool,
+    /// The calibrator's retrospective recommendation, re-evaluated with
+    /// the density this very build observed.
+    pub predicted: bool,
+    /// `chosen != predicted` — the observation moved the crossover to
+    /// the other side of this iteration's load.
+    pub mispredicted: bool,
 }
 
 /// The packed, bucket-major oracle replica of one iteration (see the
@@ -80,23 +325,42 @@ impl PackedBuckets {
         PackedBuckets::default()
     }
 
-    /// The packing pass costs `O((N·L + m)·w)` word writes while the
-    /// bucket scan it accelerates examines `total_pairs` lanes, so
-    /// packing amortizes once there is at least one examined pair per
-    /// packed lane. Below that (degenerate palettes, near-empty
-    /// buckets) the scalar path wins and [`PackingMode::Auto`] skips.
-    pub fn worth_packing(total_pairs: u64, num_rows: usize) -> bool {
-        total_pairs >= num_rows as u64
-    }
-
     /// (Re)builds the replica for `oracle` over `lists` and their
     /// `index`, reusing this arena's storage. Returns `false` — leaving
     /// the replica inactive — when the oracle has no packed form.
+    ///
+    /// This serial pass is the one the sequential backend uses: it
+    /// allocates nothing once the arena is warm, which
+    /// `tests/memory.rs` pins at exactly zero heap allocations.
     pub fn pack_from<O: EdgeOracle + ?Sized>(
         &mut self,
         oracle: &O,
         lists: &ColorLists,
         index: &BucketIndex,
+    ) -> bool {
+        self.pack_impl(oracle, lists, index, false)
+    }
+
+    /// [`PackedBuckets::pack_from`], with the key scatter fanned out
+    /// over rayon in contiguous bucket ranges (each task owns a
+    /// disjoint slice of the flat key rows, so the writes never
+    /// overlap). The parallel backends use this; the sequential path
+    /// keeps the serial pass because the thread fan-out allocates.
+    pub fn pack_from_parallel<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        lists: &ColorLists,
+        index: &BucketIndex,
+    ) -> bool {
+        self.pack_impl(oracle, lists, index, true)
+    }
+
+    fn pack_impl<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        lists: &ColorLists,
+        index: &BucketIndex,
+        parallel: bool,
     ) -> bool {
         let Some(form) = oracle.packed_form() else {
             return false;
@@ -127,6 +391,20 @@ impl PackedBuckets {
         }
         self.keys.clear();
         self.keys.resize(self.num_rows * w, 0);
+        if parallel && w <= PAR_PACK_MAX_WORDS && index.num_buckets() > 1 {
+            self.scatter_keys_parallel(oracle, index, w);
+        } else {
+            self.scatter_keys_serial(oracle, index, w);
+        }
+        true
+    }
+
+    fn scatter_keys_serial<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        index: &BucketIndex,
+        w: usize,
+    ) {
         let mut tmp = std::mem::take(&mut self.tmp);
         tmp.clear();
         tmp.resize(w, 0);
@@ -147,7 +425,43 @@ impl PackedBuckets {
             }
         }
         self.tmp = tmp;
-        true
+    }
+
+    fn scatter_keys_parallel<O: EdgeOracle + ?Sized>(
+        &mut self,
+        oracle: &O,
+        index: &BucketIndex,
+        w: usize,
+    ) {
+        let nb = index.num_buckets();
+        let tasks = (rayon::current_num_threads() * 4).clamp(1, nb);
+        let keys = SendPtr(self.keys.as_mut_ptr());
+        let keys = &keys;
+        (0..tasks).into_par_iter().for_each(|t| {
+            // Contiguous bucket range → contiguous, disjoint key rows
+            // `bucket_start(lo)*w .. bucket_start(hi)*w`; per-task
+            // staging lives on the stack so the hot path allocates
+            // nothing beyond the fan-out itself.
+            let lo = nb * t / tasks;
+            let hi = nb * (t + 1) / tasks;
+            let mut tmp = [0u64; PAR_PACK_MAX_WORDS];
+            for k in lo..hi {
+                let bucket = index.bucket(k);
+                let base = index.bucket_start(k) * w;
+                let b = bucket.len();
+                for (lane, &v) in bucket.iter().enumerate() {
+                    oracle.write_key_words(v as usize, &mut tmp[..w]);
+                    for (wi, &word) in tmp[..w].iter().enumerate() {
+                        // SAFETY: flat row `base/w + lane` belongs to
+                        // bucket `k`, owned by exactly this task; rows
+                        // were sized to `num_rows * w` above.
+                        unsafe {
+                            *keys.0.add(base + wi * b + lane) = word;
+                        }
+                    }
+                }
+            }
+        });
     }
 
     /// Words per packed row.
@@ -162,13 +476,43 @@ impl PackedBuckets {
         self.num_rows
     }
 
-    /// Bytes a device replica of this packing holds: every key lane,
-    /// every query row, and the per-vertex palette bitmasks, as `u64`
-    /// words. This is what Algorithm 3 charges **instead of** the raw
-    /// encoded set when the packed kernel runs — the replica *is* the
-    /// kernel's input.
+    /// Bytes a full device replica of this packing holds: every key
+    /// lane, every query row, and the per-vertex palette bitmasks, as
+    /// `u64` words. This is what Algorithm 3 charges **instead of** the
+    /// raw encoded set when the packed kernel runs — the replica *is*
+    /// the kernel's input. Single-device builds upload all of it;
+    /// sub-bucket spans charge [`PackedBuckets::device_bytes_for_span`].
     pub fn device_bytes(&self) -> usize {
         (self.keys.len() + self.query.len() + self.color_masks.len()) * std::mem::size_of::<u64>()
+    }
+
+    /// Bytes the replica slice serving flat-row span `span` actually
+    /// uploads to one device: the key lanes from the span's first pivot
+    /// row through the end of the last bucket it touches (a pivot scans
+    /// its whole bucket tail), one query row per pivot in the span, and
+    /// the palette bitmasks of the touched buckets' members. Always
+    /// `≤ device_bytes()`, and equal to it for the full-row span — so
+    /// the full-replica forecasts remain a sound upper bound while
+    /// narrow spans stop charging all `m` query rows.
+    pub fn device_bytes_for_span(
+        &self,
+        index: &BucketIndex,
+        span: std::ops::Range<usize>,
+    ) -> usize {
+        if span.is_empty() {
+            return 0;
+        }
+        debug_assert_eq!(index.num_rows(), self.num_rows);
+        debug_assert!(span.end <= self.num_rows);
+        let first = index.row_bucket(span.start);
+        let last = index.row_bucket(span.end - 1);
+        let touched_start = index.bucket_start(first);
+        let touched_end = index.bucket_start(last + 1);
+        let key_rows = touched_end - span.start;
+        let query_rows = span.len().min(self.num_vertices);
+        let mask_rows = (touched_end - touched_start).min(self.num_vertices);
+        (key_rows * self.words + query_rows * self.words + mask_rows * self.color_words)
+            * std::mem::size_of::<u64>()
     }
 
     /// Debug-build guard for the iteration context's replica cache:
@@ -222,14 +566,91 @@ impl PackedBuckets {
         rem != 0 && (a[full] & b[full] & ((1u64 << rem) - 1)) != 0
     }
 
-    /// The packed kernel: edge bits of pivot `pivot` (local vertex id,
-    /// sitting at position `pos` of the bucket starting at flat row
+    /// The hit-mask kernel: edge bits of pivot `pivot` (local vertex
+    /// id, sitting at position `pos` of the bucket starting at flat row
     /// `bucket_start` with `bucket_len` members) against the **whole
-    /// bucket tail** `pos+1..bucket_len`, written into `hits` (resized
-    /// to the tail length). One-word forms take a fused map over the
-    /// contiguous key lanes; wider forms accumulate popcounts over
-    /// [`PACK_LANES`] lanes at a time — either way the inner loop is
-    /// straight-line over contiguous `u64`s with no per-row gather.
+    /// bucket tail** `pos+1..bucket_len`, packed 64 lanes per `u64`
+    /// into `masks` — bit `t % 64` of word `t / 64` set ⟺ tail
+    /// candidate `t` is an edge, with the form's parity polarity and
+    /// the partial-word masking already folded in. One-word forms take
+    /// `AND`+parity per lane; wider forms XOR-accumulate the per-word
+    /// `AND`s first (`popcount(x ⊕ y) ≡ popcount(x) + popcount(y)
+    /// (mod 2)`), so the parity fold is paid once per lane, not per
+    /// word. The parity itself uses the `POPCNT` instruction when the
+    /// CPU has it and a bitsliced 8-lane fold otherwise.
+    pub fn tail_edge_mask(
+        &self,
+        bucket_start: usize,
+        bucket_len: usize,
+        pos: usize,
+        pivot: usize,
+        masks: &mut Vec<u64>,
+    ) {
+        debug_assert!(pos < bucket_len);
+        debug_assert!(pivot < self.num_vertices);
+        let w = self.words;
+        let tail = bucket_len - pos - 1;
+        let base = bucket_start * w;
+        masks.clear();
+        if tail == 0 {
+            return;
+        }
+        let use_popcnt = have_popcnt();
+        if w == 1 {
+            let qw = self.query[pivot];
+            let keys = &self.keys[base + pos + 1..base + bucket_len];
+            for chunk in keys.chunks(64) {
+                let word = if use_popcnt {
+                    // SAFETY: guarded by runtime POPCNT detection.
+                    unsafe { popcnt::mask_word_1(qw, chunk) }
+                } else {
+                    mask_word_1_portable(qw, chunk)
+                };
+                masks.push(word);
+            }
+        } else {
+            let q = &self.query[pivot * w..(pivot + 1) * w];
+            let mut t = 0usize;
+            let mut acc = [0u64; 64];
+            while t < tail {
+                let c = 64.min(tail - t);
+                acc[..c].fill(0);
+                for (wi, &qw) in q.iter().enumerate() {
+                    let keys = &self.keys[base + wi * bucket_len + pos + 1 + t..][..c];
+                    for (a, &kw) in acc[..c].iter_mut().zip(keys) {
+                        *a ^= qw & kw;
+                    }
+                }
+                let word = if use_popcnt {
+                    // SAFETY: guarded by runtime POPCNT detection.
+                    unsafe { popcnt::mask_word_acc(&acc[..c]) }
+                } else {
+                    mask_word_acc_portable(&acc[..c])
+                };
+                masks.push(word);
+                t += c;
+            }
+        }
+        if !self.odd_means_edge {
+            for word in masks.iter_mut() {
+                *word = !*word;
+            }
+        }
+        // Clear the bits past the tail in the (possibly partial) last
+        // word: the inversion above sets them, and consumers index the
+        // bucket by set-bit position.
+        let rem = tail % 64;
+        if rem != 0 {
+            if let Some(last) = masks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// The PR-5 bool-hits kernel, kept as the reference the
+    /// density-sweep equivalence tests and the `oracle_batch` sparse
+    /// bench compare [`PackedBuckets::tail_edge_mask`] against: same
+    /// tail walk, one `bool` per examined lane.
     pub fn tail_edge_bits(
         &self,
         bucket_start: usize,
@@ -274,17 +695,126 @@ impl PackedBuckets {
     }
 }
 
-/// `u64` lanes processed per accumulator block of the multi-word kernel.
+/// `u64` lanes processed per accumulator block of the multi-word
+/// legacy bool kernel.
 pub const PACK_LANES: usize = 8;
+
+/// Widest form the parallel key scatter stages on the stack; wider
+/// forms (beyond any real Pauli encoding) fall back to the serial pass.
+const PAR_PACK_MAX_WORDS: usize = 16;
+
+/// Raw-pointer courier for the disjoint parallel key scatter.
+struct SendPtr(*mut u64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Whether the running CPU has the `POPCNT` instruction. The workspace
+/// builds for baseline x86-64, where `count_ones` lowers to a ~15-op
+/// SWAR sequence; the detected fast path cuts that to one instruction
+/// per lane. The detection macro caches internally.
+#[inline]
+fn have_popcnt() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("popcnt")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod popcnt {
+    //! `POPCNT`-enabled parity folds. Inside these feature-gated
+    //! functions `count_ones` compiles to the hardware instruction.
+
+    /// One mask word for up to 64 single-word lanes.
+    ///
+    /// # Safety
+    /// Caller must have verified the CPU supports `POPCNT`.
+    #[target_feature(enable = "popcnt")]
+    pub unsafe fn mask_word_1(qw: u64, keys: &[u64]) -> u64 {
+        debug_assert!(keys.len() <= 64);
+        let mut word = 0u64;
+        for (t, &kw) in keys.iter().enumerate() {
+            word |= (((qw & kw).count_ones() & 1) as u64) << t;
+        }
+        word
+    }
+
+    /// One mask word from up to 64 XOR-accumulated lane words.
+    ///
+    /// # Safety
+    /// Caller must have verified the CPU supports `POPCNT`.
+    #[target_feature(enable = "popcnt")]
+    pub unsafe fn mask_word_acc(accs: &[u64]) -> u64 {
+        debug_assert!(accs.len() <= 64);
+        let mut word = 0u64;
+        for (t, &x) in accs.iter().enumerate() {
+            word |= ((x.count_ones() & 1) as u64) << t;
+        }
+        word
+    }
+}
+
+/// Portable parity fold of 8 lane words into 8 mask bits, bitsliced:
+/// each lane's word folds to a byte (`x ^= x>>32; ^=>>16; ^=>>8`), the
+/// 8 bytes pack into one `u64`, three more folds leave the parity in
+/// bit 0 of each byte, and a carry-free multiply gathers those 8 bits
+/// into the top byte (each product bit receives at most one
+/// contribution, so no carries corrupt it).
+#[inline]
+fn parity_bits_8(accs: &[u64; 8]) -> u64 {
+    let mut sliced = 0u64;
+    for (i, &lane) in accs.iter().enumerate() {
+        let mut x = lane;
+        x ^= x >> 32;
+        x ^= x >> 16;
+        x ^= x >> 8;
+        sliced |= (x & 0xff) << (i * 8);
+    }
+    sliced ^= sliced >> 4;
+    sliced ^= sliced >> 2;
+    sliced ^= sliced >> 1;
+    ((sliced & 0x0101_0101_0101_0101).wrapping_mul(0x0102_0408_1020_4080)) >> 56
+}
+
+/// Portable single-word mask kernel for up to 64 lanes.
+fn mask_word_1_portable(qw: u64, keys: &[u64]) -> u64 {
+    debug_assert!(keys.len() <= 64);
+    let mut word = 0u64;
+    for (g, sub) in keys.chunks(8).enumerate() {
+        let mut eight = [0u64; 8];
+        for (slot, &kw) in eight.iter_mut().zip(sub) {
+            *slot = qw & kw;
+        }
+        word |= parity_bits_8(&eight) << (g * 8);
+    }
+    word
+}
+
+/// Portable parity fold of up to 64 XOR-accumulated lane words.
+fn mask_word_acc_portable(accs: &[u64]) -> u64 {
+    debug_assert!(accs.len() <= 64);
+    let mut word = 0u64;
+    for (g, sub) in accs.chunks(8).enumerate() {
+        let mut eight = [0u64; 8];
+        eight[..sub.len()].copy_from_slice(sub);
+        word |= parity_bits_8(&eight) << (g * 8);
+    }
+    word
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::assign::ColorLists;
     use crate::oracle::{LiveView, PauliComplementOracle};
+    use graph::ComplementView;
     use pauli::{EncodedSet, PauliString, SymplecticSet};
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn strings(n: usize, qubits: usize, seed: u64) -> Vec<PauliString> {
         // Duplicates allowed: tiny registers (1 qubit = 4 possible
@@ -305,12 +835,16 @@ mod tests {
         );
         assert_eq!(packed.num_rows(), index.num_rows());
         let mut hits = Vec::new();
+        let mut masks = Vec::new();
         for k in 0..index.num_buckets() {
             let bucket = index.bucket(k);
             let start = index.bucket_start(k);
             for (a, &u) in bucket.iter().enumerate() {
+                let tail = bucket.len() - a - 1;
                 packed.tail_edge_bits(start, bucket.len(), a, u as usize, &mut hits);
-                assert_eq!(hits.len(), bucket.len() - a - 1);
+                packed.tail_edge_mask(start, bucket.len(), a, u as usize, &mut masks);
+                assert_eq!(hits.len(), tail);
+                assert_eq!(masks.len(), tail.div_ceil(64));
                 for (t, &hit) in hits.iter().enumerate() {
                     let v = bucket[a + 1 + t] as usize;
                     assert_eq!(
@@ -318,6 +852,15 @@ mod tests {
                         oracle.has_edge(u as usize, v),
                         "bucket {k} pivot {u} vs {v}"
                     );
+                    assert_eq!(
+                        masks[t / 64] >> (t % 64) & 1 == 1,
+                        hit,
+                        "mask kernel disagrees with bool kernel at bucket {k} pivot {u} vs {v}"
+                    );
+                }
+                // No garbage past the tail in the partial last word.
+                if !tail.is_multiple_of(64) {
+                    assert_eq!(masks[tail / 64] & !((1u64 << (tail % 64)) - 1), 0);
                 }
             }
         }
@@ -338,6 +881,19 @@ mod tests {
     }
 
     #[test]
+    fn mask_kernel_covers_both_parity_polarities() {
+        // ComplementView flips `odd_means_edge`, so the mask inversion
+        // path (and its partial-last-word masking) gets exercised on
+        // whichever polarity the Pauli oracle did not use.
+        let ss = strings(70, 9, 21);
+        let enc = EncodedSet::from_strings(&ss);
+        let inner = PauliComplementOracle::new(&enc);
+        let lists = ColorLists::assign(70, 0, 10, 3, 13, 1);
+        check_matches_scalar(&inner, &lists);
+        check_matches_scalar(&ComplementView::new(&inner), &lists);
+    }
+
+    #[test]
     fn packed_kernel_matches_through_a_live_view() {
         let ss = strings(80, 10, 7);
         let enc = EncodedSet::from_strings(&ss);
@@ -349,12 +905,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_pack_matches_the_serial_pass() {
+        for qubits in [8usize, 30, 70] {
+            let ss = strings(120, qubits, 17);
+            let enc = EncodedSet::from_strings(&ss);
+            let oracle = PauliComplementOracle::new(&enc);
+            let lists = ColorLists::assign(120, 0, 18, 4, 5, 1);
+            let index = lists.bucket_index();
+            let mut serial = PackedBuckets::new();
+            let mut parallel = PackedBuckets::new();
+            assert!(serial.pack_from(&oracle, &lists, &index));
+            assert!(parallel.pack_from_parallel(&oracle, &lists, &index));
+            assert_eq!(serial.keys, parallel.keys, "{qubits} qubits");
+            assert_eq!(serial.query, parallel.query);
+            assert_eq!(serial.color_masks, parallel.color_masks);
+        }
+    }
+
+    #[test]
+    fn portable_parity_folds_match_a_naive_popcount() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [1usize, 7, 8, 9, 63, 64] {
+            let qw: u64 = rng.next_u64();
+            let keys: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let word = mask_word_1_portable(qw, &keys);
+            for (t, &kw) in keys.iter().enumerate() {
+                let expect = (qw & kw).count_ones() & 1 == 1;
+                assert_eq!(word >> t & 1 == 1, expect, "len {len} lane {t}");
+            }
+            assert_eq!(word & !ones(len), 0, "bits past lane {len} must be 0");
+            let accs: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let word = mask_word_acc_portable(&accs);
+            for (t, &x) in accs.iter().enumerate() {
+                assert_eq!(word >> t & 1, (x.count_ones() & 1) as u64);
+            }
+            if have_popcnt() {
+                // SAFETY: just detected.
+                unsafe {
+                    assert_eq!(
+                        popcnt::mask_word_1(qw, &keys),
+                        mask_word_1_portable(qw, &keys)
+                    );
+                    assert_eq!(popcnt::mask_word_acc(&accs), mask_word_acc_portable(&accs));
+                }
+            }
+        }
+    }
+
+    fn ones(n: usize) -> u64 {
+        if n >= 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    #[test]
     fn unpackable_oracles_are_declined() {
         let lists = ColorLists::assign(20, 0, 5, 2, 1, 1);
         let index = lists.bucket_index();
         let oracle = graph::FnOracle::new(20, |u, v| (u + v) % 2 == 0);
         let mut packed = PackedBuckets::new();
         assert!(!packed.pack_from(&oracle, &lists, &index));
+        assert!(!packed.pack_from_parallel(&oracle, &lists, &index));
     }
 
     #[test]
@@ -379,10 +992,48 @@ mod tests {
     }
 
     #[test]
-    fn worth_packing_thresholds() {
-        assert!(PackedBuckets::worth_packing(100, 100));
-        assert!(PackedBuckets::worth_packing(1_000, 100));
-        assert!(!PackedBuckets::worth_packing(99, 100));
+    fn calibrator_seeds_sit_near_the_historical_crossover() {
+        let cal = PackCalibrator::default();
+        // One-word forms: the uncalibrated crossover is within ~15% of
+        // the old `total_pairs >= num_rows` rule.
+        assert!(cal.should_pack(1_000, 100, 1));
+        assert!(cal.should_pack(100, 100, 1));
+        assert!(!cal.should_pack(20, 100, 1));
+        assert!(!cal.should_pack(0, 100, 1));
+        // Degenerate palettes (tiny pair loads over many rows) skip.
+        assert!(!cal.should_pack(10, 1_200, 1));
+        // Wider forms pay a w-scaled packing pass.
+        assert!(!cal.should_pack(100, 100, 6));
+        assert!(cal.should_pack(10_000, 100, 6));
+    }
+
+    #[test]
+    fn calibrator_observations_move_the_crossover_and_stay_clamped() {
+        let mut cal = PackCalibrator::default();
+        let before = cal.density();
+        // A very sparse packed iteration: density EWMA drops into the
+        // sparse class, where the packed gain is larger.
+        cal.observe_packed(100_000, 100, 1, 100_000.0 * 0.8e-9);
+        assert!(cal.density() < before);
+        assert!(
+            !PackCalibrator::default().should_pack(70, 100, 1),
+            "the dense prior skips this load"
+        );
+        assert!(cal.should_pack(70, 100, 1), "sparse class packs earlier");
+        // Absurd timings are clamped to 8x around the seed: even many
+        // pathological observations cannot push the rate to infinity.
+        for _ in 0..64 {
+            cal.observe_packed(1_000, 1, 1, 10.0);
+        }
+        let seeded = SEED_PACKED_NS[0][0];
+        assert!(cal.packed_ns[0][0] <= seeded * CALIBRATION_CLAMP + 1e-9);
+        // And the decision still flips once packing measures worse
+        // than scalar everywhere.
+        assert!(!cal.should_pack(1_000_000, 10, 1));
+        // Outcome counters accumulate.
+        cal.note_outcome(false);
+        cal.note_outcome(true);
+        assert_eq!((cal.decisions(), cal.mispredicts()), (2, 1));
     }
 
     #[test]
@@ -392,9 +1043,50 @@ mod tests {
         let oracle = PauliComplementOracle::new(&enc);
         let lists = ColorLists::assign(50, 0, 10, 4, 3, 1);
         let mut packed = PackedBuckets::new();
-        assert!(packed.pack_from(&oracle, &lists, &lists.bucket_index()));
+        let index = lists.bucket_index();
+        assert!(packed.pack_from(&oracle, &lists, &index));
         // 50 vertices × 4 list colors = 200 key rows + 50 query rows +
         // 50 one-word palette bitmasks (palette 10 < 64), one word each.
         assert_eq!(packed.device_bytes(), (200 + 50 + 50) * 8);
+        // The full-row span charges exactly the full replica…
+        assert_eq!(
+            packed.device_bytes_for_span(&index, 0..index.num_rows()),
+            packed.device_bytes()
+        );
+        // …while a narrow span charges only its touched slice, and an
+        // empty span charges nothing.
+        assert_eq!(packed.device_bytes_for_span(&index, 0..0), 0);
+        let k = index.num_buckets() / 2;
+        let span = index.bucket_start(k)..index.bucket_start(k + 1);
+        let b = span.len();
+        assert_eq!(
+            packed.device_bytes_for_span(&index, span.clone()),
+            (b + b.min(50) + b.min(50)) * 8
+        );
+        assert!(packed.device_bytes_for_span(&index, span) < packed.device_bytes());
+    }
+
+    #[test]
+    fn span_charges_sum_bounded_by_forecast_shape() {
+        // Spans cutting mid-bucket still charge the whole touched
+        // bucket's keys and masks (the pivot scans its full tail).
+        let mut rng = StdRng::seed_from_u64(23);
+        let ss: Vec<PauliString> = (0..90).map(|_| PauliString::random(11, &mut rng)).collect();
+        let enc = EncodedSet::from_strings(&ss);
+        let oracle = PauliComplementOracle::new(&enc);
+        let lists = ColorLists::assign(90, 0, 9, 3, 4, 1);
+        let index = lists.bucket_index();
+        let mut packed = PackedBuckets::new();
+        assert!(packed.pack_from(&oracle, &lists, &index));
+        let rows = index.num_rows();
+        for cut in [1, rows / 3, rows / 2, rows - 1] {
+            let a = packed.device_bytes_for_span(&index, 0..cut);
+            let b = packed.device_bytes_for_span(&index, cut..rows);
+            assert!(a <= packed.device_bytes());
+            assert!(b <= packed.device_bytes());
+            // Each side alone never exceeds the full replica, and both
+            // sides cover at least every key row once.
+            assert!(a + b >= rows * packed.words() * 8);
+        }
     }
 }

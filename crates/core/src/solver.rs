@@ -91,6 +91,25 @@ pub struct IterationStats {
     /// replica, zero on a scalar path, so `packed_lanes /
     /// candidate_pairs` is the iteration's packed-lane utilization.
     pub packed_lanes: u64,
+    /// Set bits across the hit-mask words the packed kernel produced
+    /// this iteration (pre-dedup oracle edges among candidates); zero on
+    /// scalar paths. `hit_bits / packed_lanes` is the iteration's
+    /// hit density — the quantity the palette trick drives toward zero.
+    pub hit_bits: u64,
+    /// Hit-mask words the zero-word-skip consumer retired without
+    /// touching a single lane (all 64 bits clear), out of
+    /// `scanned_words` produced; the sparse-regime win the u64 kernel
+    /// exists for.
+    pub skipped_words: u64,
+    /// Hit-mask words the packed kernel produced this iteration.
+    pub scanned_words: u64,
+    /// What the calibrated `Auto` model predicts for this iteration's
+    /// shape *after* absorbing its timing observation (see
+    /// [`IterationContext::record_packing`](crate::IterationContext::record_packing)).
+    pub packing_predicted: bool,
+    /// Whether the path actually chosen disagrees with
+    /// `packing_predicted` — a packing mispredict.
+    pub packing_mispredicted: bool,
     /// Vertices colored on Line 8 (no conflicts).
     pub colored_unconflicted: usize,
     /// Vertices colored by Algorithm 2 / the static scheme.
@@ -162,6 +181,38 @@ impl PicassoResult {
     /// [`IterationStats::packed_lanes`]).
     pub fn total_packed_lanes(&self) -> u64 {
         self.iterations.iter().map(|s| s.packed_lanes).sum()
+    }
+
+    /// Sum of hit-mask set bits across iterations (see
+    /// [`IterationStats::hit_bits`]).
+    pub fn total_hit_bits(&self) -> u64 {
+        self.iterations.iter().map(|s| s.hit_bits).sum()
+    }
+
+    /// Sum of all-zero hit-mask words the packed consumer skipped whole
+    /// (see [`IterationStats::skipped_words`]).
+    pub fn total_skipped_words(&self) -> u64 {
+        self.iterations.iter().map(|s| s.skipped_words).sum()
+    }
+
+    /// Fraction of streamed packed lanes that were oracle edges, in
+    /// `[0, 1]` — the solve-wide hit density (0.0 when nothing packed).
+    pub fn hit_density(&self) -> f64 {
+        let lanes = self.total_packed_lanes();
+        if lanes == 0 {
+            return 0.0;
+        }
+        self.total_hit_bits() as f64 / lanes as f64
+    }
+
+    /// Iterations whose chosen scalar/packed path disagreed with the
+    /// post-observation calibrated prediction (see
+    /// [`IterationStats::packing_mispredicted`]).
+    pub fn packing_mispredicts(&self) -> usize {
+        self.iterations
+            .iter()
+            .filter(|s| s.packing_mispredicted)
+            .count()
     }
 
     /// Fraction of the solve's candidate enumeration that ran through
@@ -381,6 +432,14 @@ impl Picasso {
                 }
             };
             let conflict_secs = t1.elapsed().as_secs_f64();
+            // Feed the measured build back into the Auto calibrator and
+            // grade the iteration's packing decision against the
+            // post-observation model.
+            let verdict = ctx.record_packing(
+                &build,
+                conflict_secs,
+                view.packed_form().map(|f| f.words.max(1)),
+            );
             let gc = build.graph;
 
             // Lines 8-9: color unconflicted vertices, then the conflict
@@ -437,6 +496,11 @@ impl Picasso {
                 conflict_edges: build.num_edges,
                 candidate_pairs: build.candidate_pairs,
                 packed_lanes: build.packed_lanes,
+                hit_bits: build.scan_stats.hit_bits,
+                skipped_words: build.scan_stats.skipped_words,
+                scanned_words: build.scan_stats.scanned_words,
+                packing_predicted: verdict.predicted,
+                packing_mispredicted: verdict.mispredicted,
                 colored_unconflicted,
                 colored_in_conflict: outcome.assigned.len(),
                 uncolored_after: new_live.len(),
@@ -670,6 +734,38 @@ mod tests {
         assert_eq!(allpairs.pack_builds, 0);
         assert_eq!(allpairs.total_packed_lanes(), 0);
         assert_eq!(allpairs.colors, r.colors, "packed vs all-pairs coloring");
+    }
+
+    #[test]
+    fn scan_stats_and_packing_verdicts_are_internally_consistent() {
+        let set = random_set(300, 10, 23);
+        let r = Picasso::new(PicassoConfig::normal(4))
+            .solve_pauli(&set)
+            .unwrap();
+        for s in &r.iterations {
+            assert!(s.skipped_words <= s.scanned_words, "iter {}", s.iteration);
+            assert!(s.hit_bits <= s.packed_lanes, "iter {}", s.iteration);
+            if s.packed_lanes > 0 {
+                // One mask word covers at most 64 lanes.
+                assert!(s.scanned_words * 64 >= s.packed_lanes);
+                // Dedup can only shrink the raw hit count.
+                assert!(s.hit_bits >= s.conflict_edges as u64);
+            } else {
+                assert_eq!((s.hit_bits, s.scanned_words), (0, 0));
+            }
+        }
+        // Normal-config Pauli solves pack, so the solve-wide density is
+        // a real ratio.
+        assert!(r.total_hit_bits() > 0);
+        assert!(r.hit_density() > 0.0 && r.hit_density() <= 1.0);
+        assert!(r.packing_mispredicts() <= r.iterations.len());
+        // A scalar-only solve reports empty scan stats.
+        let never = Picasso::new(PicassoConfig::normal(4).with_backend(ConflictBackend::AllPairs))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(never.total_hit_bits(), 0);
+        assert_eq!(never.total_skipped_words(), 0);
+        assert_eq!(never.hit_density(), 0.0);
     }
 
     #[test]

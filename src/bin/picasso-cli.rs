@@ -402,6 +402,10 @@ fn main() {
             "index_builds": result.index_builds,
             "pack_builds": result.pack_builds,
             "packed_lane_utilization": result.packed_lane_utilization(),
+            "total_hit_bits": result.total_hit_bits(),
+            "total_skipped_words": result.total_skipped_words(),
+            "hit_density": result.hit_density(),
+            "packing_mispredicts": result.packing_mispredicts(),
             "total_secs": result.total_secs,
             "groups": groups,
         });
@@ -426,11 +430,21 @@ fn main() {
 
     if args.stats {
         eprintln!(
-            "iter |live |palette |L |maxB |est.pairs |cand.pairs |packed |lane% |Vc |Ec |uncolored"
+            "iter |live |palette |L |maxB |est.pairs |cand.pairs |packed |lane% |hit% |skipw \
+             |pred |Vc |Ec |uncolored"
         );
         for s in &result.iterations {
+            // `pred` grades the calibrated Auto decision: chosen mode /
+            // post-observation predicted mode, "!" on a mispredict.
+            let pred = format!(
+                "{}/{}{}",
+                if s.packed_lanes > 0 { "p" } else { "s" },
+                if s.packing_predicted { "p" } else { "s" },
+                if s.packing_mispredicted { "!" } else { "" }
+            );
             eprintln!(
-                "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>5.1} {:>6} {:>8} {:>6}",
+                "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>5.1} {:>5.1} {:>6} {:>5} \
+                 {:>6} {:>8} {:>6}",
                 s.iteration,
                 s.live_vertices,
                 s.palette_size,
@@ -440,15 +454,22 @@ fn main() {
                 s.candidate_pairs,
                 if s.packed_lanes > 0 { "y" } else { "n" },
                 100.0 * s.packed_lanes as f64 / s.candidate_pairs.max(1) as f64,
+                100.0 * s.hit_bits as f64 / s.packed_lanes.max(1) as f64,
+                s.skipped_words,
+                pred,
                 s.conflict_vertices,
                 s.conflict_edges,
                 s.uncolored_after
             );
         }
         eprintln!(
-            "pack builds: {} ({}% of candidate enumeration ran packed)",
+            "pack builds: {} ({}% of candidate enumeration ran packed, {:.1}% hit density, \
+             {} mask words skipped whole, {} packing mispredicts)",
             result.pack_builds,
-            (100.0 * result.packed_lane_utilization()).round()
+            (100.0 * result.packed_lane_utilization()).round(),
+            100.0 * result.hit_density(),
+            result.total_skipped_words(),
+            result.packing_mispredicts()
         );
     }
 }

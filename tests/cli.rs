@@ -73,11 +73,40 @@ fn stats_table_surfaces_packed_lane_columns() {
     );
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("|packed |lane%"), "header in:\n{stderr}");
+    assert!(
+        stderr.contains("|hit% |skipw |pred"),
+        "mask-scan columns in:\n{stderr}"
+    );
     assert!(stderr.contains("pack builds:"), "summary in:\n{stderr}");
+    assert!(
+        stderr.contains("hit density") && stderr.contains("packing mispredicts"),
+        "mask-scan summary in:\n{stderr}"
+    );
+    // Every iteration row grades the packing decision as chosen/predicted.
+    let rows: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .collect();
+    assert!(!rows.is_empty(), "stats rows in:\n{stderr}");
+    for row in &rows {
+        assert!(
+            row.contains("p/") || row.contains("s/"),
+            "pred column in row: {row}"
+        );
+    }
     let doc: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid json");
     // 700 distinct strings at Normal parameters pack from iteration one.
     assert!(doc["pack_builds"].as_u64().unwrap() >= 1);
     assert!(doc["packed_lane_utilization"].as_f64().unwrap() > 0.0);
+    // Mask-scan telemetry rides along: the packed build visits every lane
+    // through u64 words, so scanned lanes bound hit bits from above and
+    // the hit density lands in [0, 1].
+    let hit_bits = doc["total_hit_bits"].as_u64().unwrap();
+    assert!(hit_bits > 0, "packed build reports mask hits");
+    assert!(doc["total_skipped_words"].as_u64().is_some());
+    let density = doc["hit_density"].as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&density), "hit density {density}");
+    assert!(doc["packing_mispredicts"].as_u64().is_some());
 }
 
 #[test]

@@ -5,12 +5,14 @@
 //! degenerate case (one packed word, duplicate strings guaranteed) and
 //! >64-qubit registers (multi-word rows in both encodings).
 
-use graph::CsrGraph;
+use graph::{CsrGraph, PackedWordOracle};
 use pauli::{EncodedSet, PauliString, SymplecticSet};
 use picasso::conflict::{
     build_device, build_multi_device, build_parallel, build_sequential, build_sequential_allpairs,
 };
-use picasso::{ColorLists, IterationContext, PackingMode, PauliComplementOracle};
+use picasso::{
+    BucketSource, ColorLists, IterationContext, PackedBuckets, PackingMode, PauliComplementOracle,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,6 +115,126 @@ proptest! {
         let enc_build = build_sequential(&enc_oracle, &mut enc_ctx);
         prop_assert_eq!(&enc_build.graph, &packed.graph);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Density sweep over the synthetic packed-word oracle: from the
+    /// empty graph through ~1% and ~50% to all-edges buckets, at one-
+    /// and multi-word row widths, the mask-kernel CSRs are bit-identical
+    /// to the scalar bucketed build, the all-pairs reference, *and* the
+    /// legacy bool-hits consumer — across all five backends.
+    #[test]
+    fn density_sweep_pins_mask_csrs_across_all_backends(
+        density in prop_oneof![Just(0.0f64), Just(0.01), Just(0.5), Just(1.0)],
+        words in prop_oneof![Just(1usize), Just(2), Just(3)],
+        n in 40usize..120,
+        palette in 4u32..24,
+        list in 2u32..5,
+        seed in any::<u64>(),
+    ) {
+        let oracle = PackedWordOracle::with_edge_density(n, words, density, seed);
+        let lists = ColorLists::assign(n, 0, palette, list, seed ^ 0xa076_1d64, 1);
+
+        // Scalar references.
+        let mut scalar_ctx = ctx_with(&lists, PackingMode::Never);
+        let reference = build_sequential(&oracle, &mut scalar_ctx);
+        prop_assert_eq!(reference.packed_lanes, 0);
+        let allpairs = build_sequential_allpairs(&oracle, &mut scalar_ctx);
+        prop_assert_eq!(&allpairs.graph, &reference.graph);
+
+        // Mask pipeline through every backend.
+        let mut ctx = ctx_with(&lists, PackingMode::Always);
+        let seq = build_sequential(&oracle, &mut ctx);
+        let par = build_parallel(&oracle, &mut ctx);
+        let dev = device::DeviceSim::new(64 * 1024 * 1024);
+        let devb = build_device(&oracle, &mut ctx, &dev, 16).unwrap();
+        let fleet: Vec<device::DeviceSim> =
+            (0..3).map(|_| device::DeviceSim::new(32 * 1024 * 1024)).collect();
+        let multi = build_multi_device(&oracle, &mut ctx, &fleet, 16).unwrap();
+        for (name, build) in
+            [("sequential", &seq), ("parallel", &par), ("device", &devb), ("multi", &multi)]
+        {
+            prop_assert_eq!(&build.graph, &reference.graph, "{} at density {}", name, density);
+            prop_assert!(build.scan_stats.skipped_words <= build.scan_stats.scanned_words);
+            if build.packed_lanes > 0 {
+                prop_assert!(build.scan_stats.hit_bits >= build.num_edges as u64);
+            }
+        }
+        // The zero-word-skip accounting matches the density extremes.
+        if ctx.pack_builds() == 1 && seq.candidate_pairs > 0 {
+            if density == 0.0 {
+                prop_assert_eq!(seq.scan_stats.hit_bits, 0);
+                prop_assert_eq!(seq.scan_stats.skipped_words, seq.scan_stats.scanned_words);
+            }
+            if density == 1.0 {
+                prop_assert_eq!(seq.scan_stats.hit_bits, seq.candidate_pairs);
+                prop_assert_eq!(seq.scan_stats.skipped_words, 0);
+            }
+        }
+
+        // Legacy bool-hits consumer emits the identical edge set.
+        if ctx.pack_builds() == 1 {
+            let index = lists.bucket_index();
+            let mut packed = PackedBuckets::new();
+            prop_assert!(packed.pack_from(&oracle, &lists, &index));
+            let source = BucketSource::new(&lists, &index);
+            let mut hits = Vec::new();
+            let mut legacy: Vec<(u32, u32)> = Vec::new();
+            for s in 0..index.num_buckets() {
+                source.scan_shard_packed_bool(s, &packed, &mut hits, &mut |u, v| {
+                    legacy.push((u.min(v), u.max(v)));
+                });
+            }
+            legacy.sort_unstable();
+            let mut mask_edges: Vec<(u32, u32)> = reference
+                .graph
+                .edges()
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            mask_edges.sort_unstable();
+            prop_assert_eq!(legacy, mask_edges, "bool vs mask consumer at density {}", density);
+        }
+    }
+}
+
+/// Non-property pin: a single 70-member bucket whose only edges sit at
+/// tail positions 63 and 64 — the high bit of mask word 0 and the low
+/// bit of word 1. Catches sign-extension / off-by-one slips at the
+/// word boundary that random sweeps rarely isolate.
+#[test]
+fn mask_words_with_high_bit_only_hits_round_trip() {
+    let n = 70;
+    // Defective vertices 0, 64, 65: from pivot 0 the tail hits are at
+    // t = 63 and t = 64 exactly.
+    let oracle = PackedWordOracle::with_defects(n, 2, &[0, 64, 65]);
+    // One palette color, one-slot lists: a single bucket holding all 70
+    // members in vertex order.
+    let lists = ColorLists::assign(n, 0, 1, 1, 3, 1);
+    let index = lists.bucket_index();
+    assert_eq!(index.num_buckets(), 1);
+    assert_eq!(index.bucket(0).len(), n);
+    let mut packed = PackedBuckets::new();
+    assert!(packed.pack_from(&oracle, &lists, &index));
+    let mut masks = Vec::new();
+    packed.tail_edge_mask(0, n, 0, index.bucket(0)[0] as usize, &mut masks);
+    assert_eq!(masks.len(), 2, "69-lane tail spans two mask words");
+    assert_eq!(masks[0], 1u64 << 63, "high-bit-only hit in word 0");
+    assert_eq!(masks[1], 1u64, "low-bit hit in word 1");
+    // The zero-word-skip consumer recovers exactly the defect triangle
+    // (one hit bit per edge, every other word skipped whole).
+    use picasso::{MaskScanStats, PairSource};
+    let source = BucketSource::new(&lists, &index);
+    let mut stats = MaskScanStats::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    source.scan_shard_packed(0, &packed, &mut masks, &mut stats, &mut |u, v| {
+        edges.push((u.min(v), u.max(v)));
+    });
+    edges.sort_unstable();
+    assert_eq!(edges, vec![(0, 64), (0, 65), (64, 65)]);
+    assert_eq!(stats.hit_bits, 3, "one set bit per defect pair");
+    assert!(stats.skipped_words > 0, "the empty tails skip whole words");
 }
 
 /// Non-property pin: an empty set and a singleton survive the packed
