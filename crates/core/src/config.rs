@@ -47,6 +47,62 @@ pub enum ListColoringScheme {
     /// Static order: visit in the given heuristic's order, take the first
     /// feasible color from the vertex's own list.
     Static(coloring::OrderingHeuristic),
+    /// Parallel list-constrained Jones–Plassmann rounds
+    /// ([`crate::listcolor::jp_list_color_into`]). Deterministic per
+    /// seed, bit-identical across thread counts.
+    JonesPlassmann,
+    /// Parallel speculative color-then-repair
+    /// ([`crate::listcolor::speculative_list_color_into`]). Deterministic
+    /// per seed, bit-identical across thread counts.
+    Speculative,
+    /// Per-iteration calibrated choice between greedy / JP / speculative
+    /// ([`crate::listcolor::ColorCalibrator`]). Every candidate kernel is
+    /// individually deterministic, but the *choice* is fed by wall-clock
+    /// timings, so the end-to-end coloring may vary run to run — opt in
+    /// where throughput matters more than replay determinism.
+    Auto,
+}
+
+impl ListColoringScheme {
+    /// Parses the CLI / job-config spelling of a scheme.
+    pub fn from_label(label: &str) -> Result<ListColoringScheme, String> {
+        use coloring::OrderingHeuristic as H;
+        Ok(match label {
+            "greedy" | "dynamic" => ListColoringScheme::DynamicGreedy,
+            "jp" | "jones-plassmann" => ListColoringScheme::JonesPlassmann,
+            "spec" | "speculative" => ListColoringScheme::Speculative,
+            "auto" => ListColoringScheme::Auto,
+            "natural" => ListColoringScheme::Static(H::Natural),
+            "random" => ListColoringScheme::Static(H::Random),
+            "lf" => ListColoringScheme::Static(H::LargestFirst),
+            "sl" => ListColoringScheme::Static(H::SmallestLast),
+            "dlf" => ListColoringScheme::Static(H::DynamicLargestFirst),
+            "id" => ListColoringScheme::Static(H::IncidenceDegree),
+            other => {
+                return Err(format!(
+                    "unknown coloring scheme '{other}' (expected greedy, jp, spec, auto, \
+                     natural, random, lf, sl, dlf, or id)"
+                ))
+            }
+        })
+    }
+
+    /// Stable label, the inverse of [`ListColoringScheme::from_label`].
+    pub fn label(&self) -> &'static str {
+        use coloring::OrderingHeuristic as H;
+        match self {
+            ListColoringScheme::DynamicGreedy => "greedy",
+            ListColoringScheme::JonesPlassmann => "jp",
+            ListColoringScheme::Speculative => "spec",
+            ListColoringScheme::Auto => "auto",
+            ListColoringScheme::Static(H::Natural) => "natural",
+            ListColoringScheme::Static(H::Random) => "random",
+            ListColoringScheme::Static(H::LargestFirst) => "lf",
+            ListColoringScheme::Static(H::SmallestLast) => "sl",
+            ListColoringScheme::Static(H::DynamicLargestFirst) => "dlf",
+            ListColoringScheme::Static(H::IncidenceDegree) => "id",
+        }
+    }
 }
 
 /// Full Picasso configuration.
@@ -211,6 +267,25 @@ mod tests {
         assert!(aggr.list_size(n) <= aggr.palette_size(n));
         // Never below 1.
         assert!(cfg.list_size(2) >= 1);
+    }
+
+    #[test]
+    fn scheme_labels_round_trip() {
+        for label in [
+            "greedy", "jp", "spec", "auto", "natural", "random", "lf", "sl", "dlf", "id",
+        ] {
+            let scheme = ListColoringScheme::from_label(label).expect(label);
+            assert_eq!(scheme.label(), label);
+        }
+        assert_eq!(
+            ListColoringScheme::from_label("dynamic"),
+            Ok(ListColoringScheme::DynamicGreedy)
+        );
+        assert_eq!(
+            ListColoringScheme::from_label("jones-plassmann"),
+            Ok(ListColoringScheme::JonesPlassmann)
+        );
+        assert!(ListColoringScheme::from_label("bogus").is_err());
     }
 
     #[test]

@@ -29,6 +29,8 @@
 
 use crate::assign::{BucketIndex, BucketLoad, ColorLists};
 use crate::candidates::CandidateEngine;
+use crate::config::ListColoringScheme;
+use crate::listcolor::{ColorCalibrator, ColorScratch, ColoringVerdict, SchemeKind};
 use crate::packed::{PackCalibrator, PackedBuckets, PackingMode, PackingVerdict};
 use graph::{CsrArena, CsrGraph, EdgeOracle};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -135,6 +137,10 @@ pub struct IterationScratch {
     /// [`device::DeviceLease`] and stage into this reused array instead
     /// of allocating a backing vector per build.
     pub coo: Vec<u32>,
+    /// Line-8/9 buffers for the sequential coloring schemes (live-list
+    /// matrix, buckets, stamps). Persists across iterations so the warm
+    /// greedy path allocates nothing (`tests/memory.rs`).
+    pub color: ColorScratch,
 }
 
 /// The per-iteration workspace: owns the color lists, the shared bucket
@@ -174,6 +180,11 @@ pub struct IterationContext {
     /// [`IterationContext::ensure_packed`] and the forecast twin
     /// [`IterationContext::will_pack`].
     calibrator: PackCalibrator,
+    /// The measured greedy-vs-JP-vs-speculative crossover model behind
+    /// [`ListColoringScheme::Auto`] (see [`ColorCalibrator`]). Fed by
+    /// the solver via [`IterationContext::record_coloring`] after each
+    /// Line-8/9 run.
+    color_calibrator: ColorCalibrator,
     scratch: IterationScratch,
 }
 
@@ -200,6 +211,7 @@ impl IterationContext {
             packing: PackingMode::Auto,
             pack_builds: 0,
             calibrator: PackCalibrator::new(),
+            color_calibrator: ColorCalibrator::default(),
             scratch: IterationScratch::default(),
         }
     }
@@ -326,6 +338,76 @@ impl IterationContext {
             predicted,
             mispredicted,
         }
+    }
+
+    /// The calibrated crossover model behind
+    /// [`ListColoringScheme::Auto`].
+    pub fn color_calibrator(&self) -> &ColorCalibrator {
+        &self.color_calibrator
+    }
+
+    /// Resolves the configured coloring scheme to the kernel that should
+    /// run on this iteration's conflict instance. Fixed schemes map
+    /// directly; `Auto` consults the [`ColorCalibrator`] with the
+    /// instance shape (`|Vc|`, `|Ec|`, list size).
+    pub fn choose_scheme(
+        &self,
+        scheme: ListColoringScheme,
+        vertices: usize,
+        edges: usize,
+        list_size: usize,
+    ) -> SchemeKind {
+        match scheme {
+            ListColoringScheme::DynamicGreedy => SchemeKind::Greedy,
+            ListColoringScheme::Static(_) => SchemeKind::Static,
+            ListColoringScheme::JonesPlassmann => SchemeKind::JonesPlassmann,
+            ListColoringScheme::Speculative => SchemeKind::Speculative,
+            ListColoringScheme::Auto => self.color_calibrator.choose(vertices, edges, list_size),
+        }
+    }
+
+    /// Feeds one finished Line-8/9 run back into the color calibrator
+    /// (mirror of [`IterationContext::record_packing`]): the measured
+    /// coloring time becomes a rate observation for the kernel that ran,
+    /// and the post-observation choice is compared against it — a
+    /// mismatch is a *mispredict*, surfaced per iteration as
+    /// [`IterationStats::scheme_mispredicted`]. Static runs are
+    /// operator-forced and never graded; empty instances carry no
+    /// signal and are skipped.
+    ///
+    /// [`IterationStats::scheme_mispredicted`]: crate::solver::IterationStats::scheme_mispredicted
+    pub fn record_coloring(
+        &mut self,
+        kind: SchemeKind,
+        vertices: usize,
+        edges: usize,
+        list_size: usize,
+        secs: f64,
+    ) -> ColoringVerdict {
+        if vertices == 0 || kind == SchemeKind::Static {
+            return ColoringVerdict {
+                chosen: kind,
+                predicted: kind,
+                mispredicted: false,
+            };
+        }
+        self.color_calibrator
+            .observe(kind, vertices, edges, list_size, secs);
+        let predicted = self.color_calibrator.choose(vertices, edges, list_size);
+        let mispredicted = predicted != kind;
+        self.color_calibrator.note_outcome(mispredicted);
+        ColoringVerdict {
+            chosen: kind,
+            predicted,
+            mispredicted,
+        }
+    }
+
+    /// The lists plus the coloring scratch — the borrow of the Line-8/9
+    /// sequential schemes (field split, same shape as
+    /// [`IterationContext::lists_and_scratch`]).
+    pub fn lists_and_color_scratch(&mut self) -> (&ColorLists, &mut ColorScratch) {
+        (&self.lists, &mut self.scratch.color)
     }
 
     /// Overrides the packing policy. Takes effect from the next

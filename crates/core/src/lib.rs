@@ -60,6 +60,7 @@ pub use candidates::{AllPairsSource, BucketSource, CandidateEngine, PairSource};
 pub use config::{ConflictBackend, ListColoringScheme, PicassoConfig};
 pub use conflict::ConflictBuild;
 pub use iteration::{IterationContext, IterationScratch, ScratchPool, TaskArena};
+pub use listcolor::{ColorCalibrator, ColorScratch, ColoringVerdict, ListColorOutcome, SchemeKind};
 pub use oracle::{LiveView, PauliComplementOracle};
 pub use packed::{
     MaskScanStats, PackCalibrator, PackedBuckets, PackingMode, PackingVerdict, PACK_LANES,

@@ -114,6 +114,20 @@ pub struct IterationStats {
     pub colored_unconflicted: usize,
     /// Vertices colored by Algorithm 2 / the static scheme.
     pub colored_in_conflict: usize,
+    /// The Line-8/9 kernel that actually ran this iteration.
+    pub scheme_chosen: listcolor::SchemeKind,
+    /// What the calibrated `Auto` model picks for this iteration's shape
+    /// *after* absorbing its timing observation (see
+    /// [`IterationContext::record_coloring`](crate::IterationContext::record_coloring)).
+    pub scheme_predicted: listcolor::SchemeKind,
+    /// Whether the kernel actually run disagrees with `scheme_predicted`
+    /// — a scheme mispredict.
+    pub scheme_mispredicted: bool,
+    /// Rounds the coloring kernel ran (1 for the sequential schemes).
+    pub color_rounds: u32,
+    /// Same-color speculation conflicts repaired (speculative kernel
+    /// only; zero elsewhere).
+    pub repair_conflicts: u64,
     /// Vertices left for the next iteration (`|Vu|`).
     pub uncolored_after: usize,
     /// Seconds in list assignment (Line 6).
@@ -241,6 +255,28 @@ impl PicassoResult {
         self.iterations.iter().map(|s| s.color_secs).sum()
     }
 
+    /// Sum of coloring-kernel rounds across iterations (each sequential
+    /// scheme counts one round per iteration).
+    pub fn total_color_rounds(&self) -> u64 {
+        self.iterations.iter().map(|s| s.color_rounds as u64).sum()
+    }
+
+    /// Sum of repaired speculation conflicts across iterations (see
+    /// [`IterationStats::repair_conflicts`]).
+    pub fn total_repair_conflicts(&self) -> u64 {
+        self.iterations.iter().map(|s| s.repair_conflicts).sum()
+    }
+
+    /// Iterations whose chosen coloring kernel disagreed with the
+    /// post-observation calibrated prediction (see
+    /// [`IterationStats::scheme_mispredicted`]).
+    pub fn scheme_mispredicts(&self) -> usize {
+        self.iterations
+            .iter()
+            .filter(|s| s.scheme_mispredicted)
+            .count()
+    }
+
     /// `C / |V| · 100` — the paper's *Color percentage* (shrinkage of
     /// Pauli strings into unitaries).
     pub fn color_percentage(&self) -> f64 {
@@ -356,6 +392,7 @@ impl Picasso {
         let index_builds_at_start = ctx.index_builds();
         let pack_builds_at_start = ctx.pack_builds();
         let mut conflicted: Vec<u32> = Vec::new();
+        let mut outcome = listcolor::ListColorOutcome::default();
 
         let mut iter = 0usize;
         while !live.is_empty() {
@@ -455,25 +492,73 @@ impl Picasso {
                     conflicted.push(local as u32);
                 }
             }
-            let outcome = match cfg.scheme {
-                ListColoringScheme::DynamicGreedy => listcolor::greedy_list_color(
-                    &gc,
-                    ctx.lists(),
-                    &conflicted,
-                    cfg.seed ^ (iter as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                ),
-                ListColoringScheme::Static(h) => listcolor::static_list_color(
-                    &gc,
-                    ctx.lists(),
-                    &conflicted,
-                    h,
-                    cfg.seed ^ iter as u64,
-                ),
-            };
+            let kind = ctx.choose_scheme(
+                cfg.scheme,
+                conflicted.len(),
+                build.num_edges,
+                list_size as usize,
+            );
+            let color_seed = cfg.seed ^ (iter as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let chunks = rayon::current_num_threads();
+            match cfg.scheme {
+                // The static seed predates the splitmix mixing of the
+                // other schemes; kept verbatim for replay compatibility.
+                ListColoringScheme::Static(h) => {
+                    let (lists, cs) = ctx.lists_and_color_scratch();
+                    listcolor::static_list_color_into(
+                        &gc,
+                        lists,
+                        &conflicted,
+                        h,
+                        cfg.seed ^ iter as u64,
+                        cs,
+                        &mut outcome,
+                    );
+                }
+                _ => match kind {
+                    listcolor::SchemeKind::Greedy => {
+                        let (lists, cs) = ctx.lists_and_color_scratch();
+                        listcolor::greedy_list_color_into(
+                            &gc,
+                            lists,
+                            &conflicted,
+                            color_seed,
+                            cs,
+                            &mut outcome,
+                        );
+                    }
+                    listcolor::SchemeKind::JonesPlassmann => listcolor::jp_list_color_into(
+                        &gc,
+                        ctx.lists(),
+                        &conflicted,
+                        color_seed,
+                        chunks,
+                        &mut outcome,
+                    ),
+                    listcolor::SchemeKind::Speculative => listcolor::speculative_list_color_into(
+                        &gc,
+                        ctx.lists(),
+                        &conflicted,
+                        color_seed,
+                        chunks,
+                        &mut outcome,
+                    ),
+                    listcolor::SchemeKind::Static => unreachable!("Static is matched above"),
+                },
+            }
             for &(v, c) in &outcome.assigned {
                 colors[live[v as usize] as usize] = c;
             }
             let color_secs = t2.elapsed().as_secs_f64();
+            // Feed the measured coloring back into the Auto scheme
+            // calibrator and grade this iteration's kernel choice.
+            let cverdict = ctx.record_coloring(
+                kind,
+                conflicted.len(),
+                build.num_edges,
+                list_size as usize,
+                color_secs,
+            );
             // The conflict graph is done for this round: hand its
             // storage back so the next iteration's CSR assembles into
             // the same arrays (the allocation-free Line 7 loop).
@@ -503,6 +588,11 @@ impl Picasso {
                 packing_mispredicted: verdict.mispredicted,
                 colored_unconflicted,
                 colored_in_conflict: outcome.assigned.len(),
+                scheme_chosen: cverdict.chosen,
+                scheme_predicted: cverdict.predicted,
+                scheme_mispredicted: cverdict.mispredicted,
+                color_rounds: outcome.rounds,
+                repair_conflicts: outcome.repair_conflicts,
                 uncolored_after: new_live.len(),
                 assign_secs,
                 conflict_secs,
@@ -981,6 +1071,64 @@ mod tests {
         let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
         let oracle = PauliComplementOracle::new(&set);
         assert!(validate_oracle_coloring(&oracle, &result.colors).is_ok());
+    }
+
+    #[test]
+    fn parallel_schemes_also_converge_to_valid_colorings() {
+        let set = random_set(120, 9, 13);
+        let oracle = PauliComplementOracle::new(&set);
+        for scheme in [
+            ListColoringScheme::JonesPlassmann,
+            ListColoringScheme::Speculative,
+            ListColoringScheme::Auto,
+        ] {
+            let cfg = PicassoConfig::normal(5).with_scheme(scheme);
+            let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+            assert!(
+                validate_oracle_coloring(&oracle, &result.colors).is_ok(),
+                "scheme {scheme:?}"
+            );
+            assert!(result.total_color_rounds() >= result.iterations.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_schemes_are_deterministic_per_seed() {
+        let set = random_set(110, 9, 14);
+        for scheme in [
+            ListColoringScheme::JonesPlassmann,
+            ListColoringScheme::Speculative,
+        ] {
+            let cfg = PicassoConfig::normal(9).with_scheme(scheme);
+            let a = Picasso::new(cfg).solve_pauli(&set).unwrap();
+            let b = Picasso::new(cfg).solve_pauli(&set).unwrap();
+            assert_eq!(a.colors, b.colors, "scheme {scheme:?}");
+        }
+    }
+
+    #[test]
+    fn scheme_stats_are_surfaced_per_iteration() {
+        let set = random_set(100, 8, 15);
+        let cfg = PicassoConfig::normal(6).with_scheme(ListColoringScheme::Speculative);
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        for s in &result.iterations {
+            assert_eq!(s.scheme_chosen, crate::SchemeKind::Speculative);
+            if s.conflict_vertices > 0 {
+                assert!(s.color_rounds >= 1);
+            }
+        }
+        // Aggregates agree with the per-iteration rows.
+        assert_eq!(
+            result.total_repair_conflicts(),
+            result.iterations.iter().map(|s| s.repair_conflicts).sum()
+        );
+        let greedy = Picasso::new(PicassoConfig::normal(6))
+            .solve_pauli(&set)
+            .unwrap();
+        for s in &greedy.iterations {
+            assert_eq!(s.scheme_chosen, crate::SchemeKind::Greedy);
+            assert_eq!(s.repair_conflicts, 0);
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! served from the result cache is bit-identical to the freshly solved
 //! one.
 
-use picasso::{ConflictBackend, PicassoConfig};
+use picasso::{ConflictBackend, ListColoringScheme, PicassoConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -214,6 +214,9 @@ pub struct JobConfig {
     /// Conflict backend override: `seq`, `par` or `allpairs` (device
     /// backends are placed by the service, not by jobs).
     pub backend: Option<String>,
+    /// List-coloring scheme override (`greedy`, `jp`, `spec`, `auto`, or
+    /// a static ordering: `natural`, `random`, `lf`, `sl`, `dlf`, `id`).
+    pub coloring: Option<String>,
 }
 
 impl JobConfig {
@@ -243,6 +246,9 @@ impl JobConfig {
             Some("allpairs") => cfg = cfg.with_backend(ConflictBackend::AllPairs),
             Some(other) => return Err(format!("unknown backend {other:?}")),
         }
+        if let Some(label) = self.coloring.as_deref() {
+            cfg = cfg.with_scheme(ListColoringScheme::from_label(label)?);
+        }
         Ok(cfg)
     }
 
@@ -264,6 +270,9 @@ impl JobConfig {
         if let Some(b) = &self.backend {
             map.insert("backend".to_string(), Value::from(b.as_str()));
         }
+        if let Some(c) = &self.coloring {
+            map.insert("coloring".to_string(), Value::from(c.as_str()));
+        }
         Value::Object(map)
     }
 
@@ -275,6 +284,7 @@ impl JobConfig {
             seed: v["seed"].as_u64(),
             aggressive: v["aggressive"].as_bool().unwrap_or(false),
             backend: v["backend"].as_str().map(str::to_string),
+            coloring: v["coloring"].as_str().map(str::to_string),
         };
         // Fail fast on malformed overrides so the error is attributed at
         // parse time, not on a worker thread.
@@ -658,6 +668,7 @@ mod tests {
             seed: Some(9),
             aggressive: false,
             backend: Some("seq".into()),
+            coloring: Some("jp".into()),
         }
         .effective()
         .unwrap();
@@ -665,6 +676,7 @@ mod tests {
         assert_eq!(cfg.alpha, 4.0);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.backend, ConflictBackend::Sequential);
+        assert_eq!(cfg.scheme, ListColoringScheme::JonesPlassmann);
         let aggressive = JobConfig {
             aggressive: true,
             ..JobConfig::default()
@@ -672,6 +684,23 @@ mod tests {
         .effective()
         .unwrap();
         assert_eq!(aggressive.palette_fraction, 0.03);
+    }
+
+    #[test]
+    fn coloring_override_round_trips_and_distinguishes_the_cache_key() {
+        let mut req = sample_request();
+        req.config.coloring = Some("spec".into());
+        let line = serde_json::to_string(&req.to_json()).unwrap();
+        let back = SolveRequest::from_json_line(&line).unwrap();
+        assert_eq!(back, req);
+        // A different coloring scheme is a different solve.
+        assert_ne!(req.instance_key(), sample_request().instance_key());
+        // Unknown schemes are rejected at parse time.
+        assert!(SolveRequest::from_json_line(
+            r#"{"id": "x", "workload": {"type": "synthetic_pauli", "n": 4, "qubits": 2},
+                "config": {"coloring": "rainbow"}}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! picasso-cli strings.txt [--palette PCT] [--alpha A] [--seed N]
 //!             [--aggressive] [--backend seq|par|allpairs|device:MIB]
+//!             [--coloring greedy|jp|spec|auto|natural|random|lf|sl|dlf|id]
 //!             [--json] [--stats]
 //!
 //! picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N]
@@ -21,7 +22,7 @@
 //! summary on stderr. `--once` runs a built-in smoke batch — solves,
 //! a cache replay, and an admission rejection — without an input file.
 
-use picasso::{color_classes, ConflictBackend, Picasso, PicassoConfig};
+use picasso::{color_classes, ConflictBackend, ListColoringScheme, Picasso, PicassoConfig};
 use picasso_service::{
     parse_request_lines, AdmissionConfig, ServiceConfig, SolveRequest, SolveService, Workload,
 };
@@ -36,6 +37,7 @@ struct CliArgs {
     seed: u64,
     aggressive: bool,
     backend: ConflictBackend,
+    coloring: Option<ListColoringScheme>,
     json: bool,
     stats: bool,
 }
@@ -43,7 +45,8 @@ struct CliArgs {
 fn usage() -> ! {
     eprintln!(
         "usage: picasso-cli [FILE|-] [--palette PCT] [--alpha A] [--seed N] \
-         [--aggressive] [--backend seq|par|allpairs|device:MIB] [--json] [--stats]"
+         [--aggressive] [--backend seq|par|allpairs|device:MIB] \
+         [--coloring greedy|jp|spec|auto|natural|random|lf|sl|dlf|id] [--json] [--stats]"
     );
     exit(2);
 }
@@ -56,6 +59,7 @@ fn parse_args() -> CliArgs {
         seed: 1,
         aggressive: false,
         backend: ConflictBackend::Parallel,
+        coloring: None,
         json: false,
         stats: false,
     };
@@ -106,6 +110,17 @@ fn parse_args() -> CliArgs {
                         None => usage(),
                     },
                 };
+                i += 2;
+            }
+            "--coloring" => {
+                let v = args
+                    .get(i + 1)
+                    .map(String::as_str)
+                    .unwrap_or_else(|| usage());
+                out.coloring = Some(ListColoringScheme::from_label(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                }));
                 i += 2;
             }
             "--json" => {
@@ -376,6 +391,9 @@ fn main() {
         cfg = cfg.with_alpha(a);
     }
     cfg = cfg.with_backend(args.backend);
+    if let Some(scheme) = args.coloring {
+        cfg = cfg.with_scheme(scheme);
+    }
 
     let set = pauli::EncodedSet::from_strings(&parsed.strings);
     let result = Picasso::new(cfg).solve_pauli(&set).unwrap_or_else(|e| {
@@ -406,6 +424,11 @@ fn main() {
             "total_skipped_words": result.total_skipped_words(),
             "hit_density": result.hit_density(),
             "packing_mispredicts": result.packing_mispredicts(),
+            "coloring": cfg.scheme.label(),
+            "color_secs": result.color_secs(),
+            "total_color_rounds": result.total_color_rounds(),
+            "total_repair_conflicts": result.total_repair_conflicts(),
+            "scheme_mispredicts": result.scheme_mispredicts(),
             "total_secs": result.total_secs,
             "groups": groups,
         });
@@ -431,7 +454,7 @@ fn main() {
     if args.stats {
         eprintln!(
             "iter |live |palette |L |maxB |est.pairs |cand.pairs |packed |lane% |hit% |skipw \
-             |pred |Vc |Ec |uncolored"
+             |pred |sch |rnd |rep |colms |Vc |Ec |uncolored"
         );
         for s in &result.iterations {
             // `pred` grades the calibrated Auto decision: chosen mode /
@@ -442,9 +465,18 @@ fn main() {
                 if s.packing_predicted { "p" } else { "s" },
                 if s.packing_mispredicted { "!" } else { "" }
             );
+            // `sch` grades the Line-8/9 kernel choice the same way:
+            // chosen kernel / post-observation predicted kernel
+            // (g=greedy, t=static, j=jp, s=speculative).
+            let sch = format!(
+                "{}/{}{}",
+                s.scheme_chosen.letter(),
+                s.scheme_predicted.letter(),
+                if s.scheme_mispredicted { "!" } else { "" }
+            );
             eprintln!(
                 "{:>4} {:>6} {:>7} {:>3} {:>5} {:>10} {:>10} {:>6} {:>5.1} {:>5.1} {:>6} {:>5} \
-                 {:>6} {:>8} {:>6}",
+                 {:>4} {:>4} {:>4} {:>6.2} {:>6} {:>8} {:>6}",
                 s.iteration,
                 s.live_vertices,
                 s.palette_size,
@@ -457,6 +489,10 @@ fn main() {
                 100.0 * s.hit_bits as f64 / s.packed_lanes.max(1) as f64,
                 s.skipped_words,
                 pred,
+                sch,
+                s.color_rounds,
+                s.repair_conflicts,
+                1e3 * s.color_secs,
                 s.conflict_vertices,
                 s.conflict_edges,
                 s.uncolored_after
@@ -470,6 +506,14 @@ fn main() {
             100.0 * result.hit_density(),
             result.total_skipped_words(),
             result.packing_mispredicts()
+        );
+        eprintln!(
+            "coloring [{}]: {:.3}s across {} rounds, {} repair conflicts, {} scheme mispredicts",
+            cfg.scheme.label(),
+            result.color_secs(),
+            result.total_color_rounds(),
+            result.total_repair_conflicts(),
+            result.scheme_mispredicts()
         );
     }
 }

@@ -110,6 +110,87 @@ fn stats_table_surfaces_packed_lane_columns() {
 }
 
 #[test]
+fn coloring_flag_selects_scheme_and_surfaces_telemetry() {
+    // Enough distinct strings that every iteration actually has a
+    // conflict graph to color (base-4 digits of the counter, 8 qubits).
+    let strings: String = (0..300usize)
+        .map(|i| {
+            let ops = [b'I', b'X', b'Y', b'Z'];
+            let mut s: Vec<u8> = (0..8).map(|q| ops[(i >> (2 * q)) & 3]).collect();
+            s.push(b'\n');
+            String::from_utf8(s).unwrap()
+        })
+        .collect();
+    let path = write_input("cli_coloring.txt", &strings);
+    let run = |scheme: &str| {
+        let out = Command::new(CLI)
+            .arg(&path)
+            .args(["--seed", "9", "--coloring", scheme, "--json", "--stats"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            serde_json::from_slice(&out.stdout).expect("valid json"),
+            String::from_utf8(out.stderr).unwrap(),
+        )
+    };
+
+    let (doc, stderr) = run("jp");
+    // Stats table gains the scheme/rounds/repair/coloring-ms columns.
+    assert!(
+        stderr.contains("|sch |rnd |rep |colms"),
+        "header in:\n{stderr}"
+    );
+    assert!(stderr.contains("coloring [jp]:"), "footer in:\n{stderr}");
+    assert!(
+        stderr.contains("scheme mispredicts"),
+        "footer in:\n{stderr}"
+    );
+    // Every iteration row grades the coloring decision as chosen/predicted.
+    let rows: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .collect();
+    assert!(!rows.is_empty(), "stats rows in:\n{stderr}");
+    for row in &rows {
+        assert!(row.contains("j/"), "sch column in row: {row}");
+    }
+    // JSON contract: scheme label plus the coloring telemetry totals.
+    assert_eq!(doc["coloring"], "jp");
+    assert!(doc["color_secs"].as_f64().unwrap() >= 0.0);
+    assert!(doc["total_color_rounds"].as_u64().unwrap() >= 1);
+    assert!(doc["total_repair_conflicts"].as_u64().is_some());
+    assert!(doc["scheme_mispredicts"].as_u64().is_some());
+
+    // The speculative scheme is deterministic end to end, and greedy
+    // reports no repair conflicts (it never speculates).
+    let (spec_a, _) = run("spec");
+    let (spec_b, _) = run("spec");
+    assert_eq!(spec_a["groups"], spec_b["groups"]);
+    assert_eq!(spec_a["coloring"], "spec");
+    let (greedy, _) = run("greedy");
+    assert_eq!(greedy["total_repair_conflicts"].as_u64().unwrap(), 0);
+    assert_eq!(greedy["num_strings"], spec_a["num_strings"]);
+
+    // Unknown schemes are rejected loudly.
+    let bad = Command::new(CLI)
+        .arg(&path)
+        .args(["--coloring", "rainbow"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("unknown coloring scheme"),
+        "stderr: {}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}
+
+#[test]
 fn allpairs_reference_backend_matches_default() {
     let path = write_input(
         "cli_allpairs.txt",

@@ -184,6 +184,66 @@ fn warm_sequential_build_and_csr_assembly_allocate_nothing() {
 }
 
 #[test]
+fn warm_sequential_coloring_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // Line 8-9 companion to the build test above: the dynamic bucket
+    // greedy runs entirely out of the context-owned `ColorScratch` (flat
+    // live matrix, bucket queues, stamps) and a caller-recycled outcome,
+    // so a steady-state sequential coloring performs exactly zero heap
+    // allocations.
+    use picasso::conflict::build_sequential;
+    use picasso::{listcolor, IterationContext, PauliComplementOracle};
+    use rand::SeedableRng;
+    let n = 800;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let strings = pauli::string::random_unique_set(n, 12, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let oracle = PauliComplementOracle::new(&set);
+    let cfg = PicassoConfig::normal(1);
+    let (p, l) = (cfg.palette_size(n), cfg.list_size(n));
+    let mut ctx = IterationContext::new();
+    let mut outcome = listcolor::ListColorOutcome::default();
+    // Warm-up: three iterations of assign + build + color, recycling the
+    // graph and reusing the same outcome so its vectors keep capacity.
+    for iter in 1..=3u64 {
+        ctx.assign_lists(n, 0, p, l, 1, iter);
+        let built = build_sequential(&oracle, &mut ctx);
+        let conflicted: Vec<u32> = (0..n as u32)
+            .filter(|&v| built.graph.degree(v as usize) > 0)
+            .collect();
+        let (lists, scratch) = ctx.lists_and_color_scratch();
+        listcolor::greedy_list_color_into(
+            &built.graph,
+            lists,
+            &conflicted,
+            7,
+            scratch,
+            &mut outcome,
+        );
+        ctx.recycle_csr(built.graph);
+    }
+    // Measured iteration: same assignment arguments as the last warm-up
+    // (identical lists → identical bucket shapes, deterministic zero).
+    ctx.assign_lists(n, 0, p, l, 1, 3);
+    let built = build_sequential(&oracle, &mut ctx);
+    let conflicted: Vec<u32> = (0..n as u32)
+        .filter(|&v| built.graph.degree(v as usize) > 0)
+        .collect();
+    assert!(!conflicted.is_empty());
+    let before = memtrack::total_allocations();
+    let (lists, scratch) = ctx.lists_and_color_scratch();
+    listcolor::greedy_list_color_into(&built.graph, lists, &conflicted, 7, scratch, &mut outcome);
+    let after = memtrack::total_allocations();
+    assert!(!outcome.assigned.is_empty());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state dynamic greedy coloring must allocate nothing"
+    );
+    ctx.recycle_csr(built.graph);
+}
+
+#[test]
 fn scan_shard_defaults_reuse_one_thread_buffer() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     // Regression for the default-impl footgun: `scan_shard`/`scan_rows`
