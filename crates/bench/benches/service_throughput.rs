@@ -74,6 +74,35 @@ fn bench_service(c: &mut Criterion) {
             "cache-hit path must be >= 10x faster than a cold solve at n={n} \
              (cold {cold_secs:.4}s vs hit {hit_secs:.4}s)"
         );
+
+        // Latency distribution, not means: replay a handful more cache
+        // hits, then read p50/p99 straight from the service's telemetry
+        // histograms.
+        for i in 0..8 {
+            service.process_batch(vec![synth(&format!("replay{i}"), n, 1)]);
+        }
+        let registry = service.registry();
+        let quantile_ms = |name: &str, q: f64| {
+            registry
+                .histogram(name)
+                .quantile(q)
+                .map_or(f64::NAN, |ns| ns as f64 / 1e6)
+        };
+        println!(
+            "service_latency_n{n}: solve p50={:.2}ms p99={:.2}ms | cache-hit p50={:.3}ms \
+             p99={:.3}ms | end-to-end p50={:.2}ms p99={:.2}ms over {} requests",
+            quantile_ms("service_solve_ns", 0.5),
+            quantile_ms("service_solve_ns", 0.99),
+            quantile_ms("service_cache_hit_ns", 0.5),
+            quantile_ms("service_cache_hit_ns", 0.99),
+            quantile_ms("service_total_ns", 0.5),
+            quantile_ms("service_total_ns", 0.99),
+            registry.histogram("service_total_ns").count()
+        );
+        assert!(
+            registry.histogram("service_cache_hit_ns").count() >= 9,
+            "cache-hit latency histogram must cover every replay"
+        );
     }
 
     let mut group = c.benchmark_group(format!("service_n{n}"));

@@ -214,6 +214,15 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
     } = scratch;
     edges.clear();
     let mut stats = MaskScanStats::default();
+    let scan_span = telemetry::SpanGuard::begin(
+        if packed.is_some() {
+            "packed_scan"
+        } else {
+            "scalar_scan"
+        },
+        "",
+        0,
+    );
     scan_rows_edges(
         oracle,
         &engine,
@@ -226,8 +235,10 @@ pub fn build_sequential<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -
         mapped,
         |u, v| edges.push((u, v)),
     );
+    drop(scan_span);
     let num_edges = edges.len();
     let candidate_pairs = engine.candidate_pairs();
+    let _csr_span = telemetry::span!("csr_assembly");
     ConflictBuild {
         graph: csr_from_coo_sequential_in(m, edges, csr),
         num_edges,
@@ -252,6 +263,7 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
     debug_assert_eq!(m, lists.len());
     let IterationScratch { edges, csr, .. } = scratch;
     edges.clear();
+    let scan_span = telemetry::span!("scalar_scan");
     for i in 0..m {
         for j in (i + 1)..m {
             if lists.intersects(i, j) && oracle.has_edge(i, j) {
@@ -259,8 +271,10 @@ pub fn build_sequential_allpairs<O: EdgeOracle>(
             }
         }
     }
+    drop(scan_span);
     let num_edges = edges.len();
     let m64 = m as u64;
+    let _csr_span = telemetry::span!("csr_assembly");
     ConflictBuild {
         graph: csr_from_coo_sequential_in(m, edges, csr),
         num_edges,
@@ -294,6 +308,15 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
     let cuts = device::balanced_weight_cuts(&row_weights, rayon::current_num_threads() * 4);
     let merged = std::sync::Mutex::new(std::mem::take(edges));
     let shared_stats = SharedScanStats::default();
+    let scan_span = telemetry::SpanGuard::begin(
+        if packed.is_some() {
+            "packed_scan"
+        } else {
+            "scalar_scan"
+        },
+        "",
+        0,
+    );
     cuts.into_par_iter().for_each(|rows| {
         let mut arena = pool.take();
         let TaskArena {
@@ -326,8 +349,10 @@ pub fn build_parallel<O: EdgeOracle>(oracle: &O, ctx: &mut IterationContext) -> 
     });
     *edges = merged.into_inner().unwrap();
     edges.sort_unstable();
+    drop(scan_span);
     let num_edges = edges.len();
     let candidate_pairs = engine.candidate_pairs();
+    let _csr_span = telemetry::span!("csr_assembly");
     ConflictBuild {
         graph: csr_from_coo_parallel_in(m, edges, csr),
         num_edges,

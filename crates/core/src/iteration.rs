@@ -434,6 +434,7 @@ impl IterationContext {
     /// iteration yet. Idempotent within an iteration.
     fn ensure_index(&mut self) {
         if self.bucketed && !self.index_valid {
+            let _span = telemetry::span!("index_build");
             self.lists.bucket_index_into(&mut self.index);
             self.index_valid = true;
             self.index_builds += 1;
@@ -495,6 +496,7 @@ impl IterationContext {
             return;
         }
         self.ensure_index();
+        let _span = telemetry::span!("replica_pack");
         let packed = if parallel {
             self.packed
                 .pack_from_parallel(oracle, &self.lists, &self.index)

@@ -48,6 +48,7 @@ pub mod config;
 pub mod conflict;
 pub mod iteration;
 pub mod listcolor;
+pub mod metrics;
 pub mod oracle;
 pub mod packed;
 pub mod partition;

@@ -412,7 +412,10 @@ impl Picasso {
             // Line 6: random list assignment from the fresh palette,
             // into the context's reused flat array.
             let t0 = Instant::now();
-            ctx.assign_lists(m, next_base, palette, list_size, cfg.seed, iter as u64);
+            {
+                let _span = telemetry::span!("assign", iter = iter);
+                ctx.assign_lists(m, next_base, palette, list_size, cfg.seed, iter as u64);
+            }
             let assign_secs = t0.elapsed().as_secs_f64();
             // Pre-oracle conflict-load estimate from the bucket
             // histogram, captured before any build runs.
@@ -455,6 +458,7 @@ impl Picasso {
                 }
             }
             let t1 = Instant::now();
+            let build_span = telemetry::span!("conflict_build", iter = iter);
             let build: ConflictBuild = match cfg.backend {
                 ConflictBackend::Sequential => conflict::build_sequential(&view, ctx),
                 ConflictBackend::AllPairs => conflict::build_sequential_allpairs(&view, ctx),
@@ -468,6 +472,7 @@ impl Picasso {
                         .map_err(SolveError::DeviceOom)?
                 }
             };
+            drop(build_span);
             let conflict_secs = t1.elapsed().as_secs_f64();
             // Feed the measured build back into the Auto calibrator and
             // grade the iteration's packing decision against the
@@ -477,11 +482,15 @@ impl Picasso {
                 conflict_secs,
                 view.packed_form().map(|f| f.words.max(1)),
             );
+            if verdict.mispredicted {
+                telemetry::event!("packing_mispredict", iter = iter);
+            }
             let gc = build.graph;
 
             // Lines 8-9: color unconflicted vertices, then the conflict
             // graph.
             let t2 = Instant::now();
+            let color_span = telemetry::span!("color", iter = iter);
             conflicted.clear();
             let mut colored_unconflicted = 0usize;
             for local in 0..m {
@@ -549,6 +558,7 @@ impl Picasso {
             for &(v, c) in &outcome.assigned {
                 colors[live[v as usize] as usize] = c;
             }
+            drop(color_span);
             let color_secs = t2.elapsed().as_secs_f64();
             // Feed the measured coloring back into the Auto scheme
             // calibrator and grade this iteration's kernel choice.
@@ -559,6 +569,9 @@ impl Picasso {
                 list_size as usize,
                 color_secs,
             );
+            if cverdict.mispredicted {
+                telemetry::event!("scheme_mispredict", iter = iter);
+            }
             // The conflict graph is done for this round: hand its
             // storage back so the next iteration's CSR assembles into
             // the same arrays (the allocation-free Line 7 loop).
@@ -625,6 +638,9 @@ impl Picasso {
                 total
             })
         });
+        // A solve is a natural trace boundary: deliver this thread's
+        // ring to the sink rather than waiting for it to fill.
+        telemetry::flush_thread();
         Ok(PicassoResult {
             colors,
             num_colors,
@@ -1120,7 +1136,11 @@ mod tests {
         // Aggregates agree with the per-iteration rows.
         assert_eq!(
             result.total_repair_conflicts(),
-            result.iterations.iter().map(|s| s.repair_conflicts).sum()
+            result
+                .iterations
+                .iter()
+                .map(|s| s.repair_conflicts)
+                .sum::<u64>()
         );
         let greedy = Picasso::new(PicassoConfig::normal(6))
             .solve_pauli(&set)

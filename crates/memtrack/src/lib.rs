@@ -151,6 +151,23 @@ impl<T: HeapSize> HeapSize for Option<T> {
     }
 }
 
+/// Publishes the allocator's counters as telemetry gauges:
+/// `heap_current_bytes` (point-in-time), `heap_peak_bytes` (high-water
+/// via [`telemetry::Gauge::set_max`], so repeated exports never lower
+/// it), and the `heap_allocations_total` counter-shaped gauge. All three
+/// read 0 unless [`TrackingAllocator`] is the global allocator.
+pub fn export_gauges(registry: &telemetry::Registry) {
+    registry
+        .gauge("heap_current_bytes")
+        .set(current_bytes() as u64);
+    registry
+        .gauge("heap_peak_bytes")
+        .set_max(peak_bytes() as u64);
+    registry
+        .gauge("heap_allocations_total")
+        .set(total_allocations() as u64);
+}
+
 /// Formats a byte count as a human-readable string (GiB/MiB/KiB/B).
 pub fn format_bytes(bytes: usize) -> String {
     const KIB: f64 = 1024.0;
@@ -224,6 +241,23 @@ mod tests {
         assert!(s.heap_bytes() >= 5);
         let none: Option<Vec<u8>> = None;
         assert_eq!(none.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn export_gauges_reflects_allocator_counters() {
+        let _guard = MEASURE_LOCK.lock().unwrap();
+        let registry = telemetry::Registry::new();
+        let v: Vec<u8> = vec![0u8; 2 * 1024 * 1024];
+        export_gauges(&registry);
+        assert!(registry.gauge("heap_current_bytes").get() >= 2 * 1024 * 1024);
+        assert!(registry.gauge("heap_peak_bytes").get() >= 2 * 1024 * 1024);
+        assert!(registry.gauge("heap_allocations_total").get() > 0);
+        drop(v);
+        // The peak gauge is a high-water mark: a later export with a
+        // smaller process peak must not lower it.
+        let held = registry.gauge("heap_peak_bytes").get();
+        export_gauges(&registry);
+        assert!(registry.gauge("heap_peak_bytes").get() >= held);
     }
 
     #[test]

@@ -1,65 +1,131 @@
-//! Service-level counters: admission, queue, solve, and cache activity.
+//! Service-level metrics: typed instruments in a shared
+//! [`telemetry::Registry`].
 //!
-//! Counters are relaxed atomics bumped from worker threads; a
-//! [`MetricsSnapshot`] is the plain-value view handed to callers and
-//! serialized into the CLI's metrics summary. The headline invariant
-//! the tests pin: `candidate_pairs_scanned` counts enumeration work from
-//! *executed* solves only — a rejected job contributes exactly zero,
-//! because admission runs before any conflict build.
+//! Every counter the service bumps is a [`telemetry::Counter`] in the
+//! registry (names carry the `service_` prefix and Prometheus unit
+//! suffixes), and the request path feeds latency [`Histogram`]s —
+//! queue wait, admission, solve, cache hit, coalesce wait, end-to-end —
+//! so the exposition surfaces (`picasso-cli serve --metrics`, the bench
+//! harness) read p50/p99 instead of means. A [`MetricsSnapshot`] remains
+//! the plain-value view handed to callers and serialized into the CLI's
+//! metrics summary; its fields and semantics are unchanged by the
+//! registry migration. The headline invariant the tests pin:
+//! `candidate_pairs_scanned` counts enumeration work from *executed*
+//! solves only — a rejected job contributes exactly zero, because
+//! admission runs before any conflict build.
 
 use crate::cache::CacheStats;
 use serde::Serialize;
 use serde_json::{json, Value};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, Histogram, Registry};
 
-/// Live counters (shared across worker threads).
-#[derive(Debug, Default)]
+/// Live instruments (shared across worker threads), all registered in
+/// one [`Registry`] so the whole service state is scrapeable.
+#[derive(Debug)]
 pub struct ServiceMetrics {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) admitted: AtomicU64,
-    pub(crate) demoted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) solved: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) candidate_pairs_scanned: AtomicU64,
-    pub(crate) conflict_edges_built: AtomicU64,
+    registry: Arc<Registry>,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) admitted: Arc<Counter>,
+    pub(crate) demoted: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) solved: Arc<Counter>,
+    pub(crate) failed: Arc<Counter>,
+    pub(crate) candidate_pairs_scanned: Arc<Counter>,
+    pub(crate) conflict_edges_built: Arc<Counter>,
     /// Σ admission forecasts of *freshly solved* jobs (cache replays run
     /// no solve and contribute no calibration sample).
-    pub(crate) forecast_bytes_total: AtomicU64,
+    pub(crate) forecast_bytes_total: Arc<Counter>,
     /// Σ observed structural peaks of the same jobs
     /// ([`crate::admission::observed_peak_bytes`]).
-    pub(crate) observed_peak_bytes_total: AtomicU64,
+    pub(crate) observed_peak_bytes_total: Arc<Counter>,
     /// Number of (forecast, observed) calibration samples recorded.
-    pub(crate) calibration_samples: AtomicU64,
+    pub(crate) calibration_samples: Arc<Counter>,
+    /// Time a job spent queued before a worker popped it.
+    pub(crate) queue_wait_ns: Arc<Histogram>,
+    /// Admission assessment latency per submitted request.
+    pub(crate) admission_ns: Arc<Histogram>,
+    /// Fresh-solve latency (cache replays excluded).
+    pub(crate) solve_ns: Arc<Histogram>,
+    /// Latency of requests served straight from the result cache.
+    pub(crate) cache_hit_ns: Arc<Histogram>,
+    /// Time coalesced duplicates spent parked on the single-flight
+    /// condvar before replaying.
+    pub(crate) coalesce_wait_ns: Arc<Histogram>,
+    /// End-to-end latency from enqueue to response, every executed job.
+    pub(crate) total_ns: Arc<Histogram>,
+    /// High-water structural solve peak across served jobs.
+    pub(crate) solver_peak_bytes: Arc<Gauge>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics::new(Arc::new(Registry::new()))
+    }
 }
 
 impl ServiceMetrics {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Instruments registered into `registry`.
+    pub fn new(registry: Arc<Registry>) -> ServiceMetrics {
+        ServiceMetrics {
+            submitted: registry.counter("service_submitted_total"),
+            admitted: registry.counter("service_admitted_total"),
+            demoted: registry.counter("service_demoted_total"),
+            rejected: registry.counter("service_rejected_total"),
+            solved: registry.counter("service_solved_total"),
+            failed: registry.counter("service_failed_total"),
+            candidate_pairs_scanned: registry.counter("service_candidate_pairs_total"),
+            conflict_edges_built: registry.counter("service_conflict_edges_total"),
+            forecast_bytes_total: registry.counter("service_forecast_bytes_total"),
+            observed_peak_bytes_total: registry.counter("service_observed_peak_bytes_total"),
+            calibration_samples: registry.counter("service_calibration_samples_total"),
+            queue_wait_ns: registry.histogram("service_queue_wait_ns"),
+            admission_ns: registry.histogram("service_admission_ns"),
+            solve_ns: registry.histogram("service_solve_ns"),
+            cache_hit_ns: registry.histogram("service_cache_hit_ns"),
+            coalesce_wait_ns: registry.histogram("service_coalesce_wait_ns"),
+            total_ns: registry.histogram("service_total_ns"),
+            solver_peak_bytes: registry.gauge("solver_peak_bytes"),
+            registry,
+        }
     }
 
-    pub(crate) fn add(counter: &AtomicU64, value: u64) {
-        counter.fetch_add(value, Ordering::Relaxed);
+    /// The registry every instrument lives in — the exposition surface.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Mirrors the cache's counters into registry gauges so a scrape of
+    /// the registry alone tells the whole story. Gauges, not counters:
+    /// the cache owns the authoritative monotone values and this is a
+    /// point-in-time mirror.
+    pub fn sync_cache_gauges(&self, cache: &CacheStats) {
+        self.registry.gauge("cache_hits").set(cache.hits);
+        self.registry.gauge("cache_misses").set(cache.misses);
+        self.registry.gauge("cache_evictions").set(cache.evictions);
+        self.registry
+            .gauge("cache_entries")
+            .set(cache.entries as u64);
     }
 
     /// Plain-value snapshot, merged with the cache's counters.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            admitted: self.admitted.load(Ordering::Relaxed),
-            demoted: self.demoted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            solved: self.solved.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            admitted: self.admitted.get(),
+            demoted: self.demoted.get(),
+            rejected: self.rejected.get(),
+            solved: self.solved.get(),
+            failed: self.failed.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             cache_entries: cache.entries,
-            candidate_pairs_scanned: self.candidate_pairs_scanned.load(Ordering::Relaxed),
-            conflict_edges_built: self.conflict_edges_built.load(Ordering::Relaxed),
-            forecast_bytes_total: self.forecast_bytes_total.load(Ordering::Relaxed),
-            observed_peak_bytes_total: self.observed_peak_bytes_total.load(Ordering::Relaxed),
-            calibration_samples: self.calibration_samples.load(Ordering::Relaxed),
+            candidate_pairs_scanned: self.candidate_pairs_scanned.get(),
+            conflict_edges_built: self.conflict_edges_built.get(),
+            forecast_bytes_total: self.forecast_bytes_total.get(),
+            observed_peak_bytes_total: self.observed_peak_bytes_total.get(),
+            calibration_samples: self.calibration_samples.get(),
         }
     }
 }
@@ -146,12 +212,32 @@ mod tests {
     #[test]
     fn snapshot_reflects_bumps() {
         let m = ServiceMetrics::default();
-        ServiceMetrics::bump(&m.submitted);
-        ServiceMetrics::bump(&m.submitted);
-        ServiceMetrics::add(&m.candidate_pairs_scanned, 41);
+        m.submitted.inc();
+        m.submitted.inc();
+        m.candidate_pairs_scanned.add(41);
         let s = m.snapshot(CacheStats::default());
         assert_eq!(s.submitted, 2);
         assert_eq!(s.candidate_pairs_scanned, 41);
         assert_eq!(s.to_json()["submitted"], 2);
+    }
+
+    #[test]
+    fn instruments_are_visible_through_the_registry() {
+        let m = ServiceMetrics::default();
+        m.solved.inc();
+        m.solve_ns.record(1_000_000);
+        m.solver_peak_bytes.set_max(4096);
+        let registry = m.registry();
+        assert_eq!(registry.counter("service_solved_total").get(), 1);
+        assert_eq!(registry.histogram("service_solve_ns").count(), 1);
+        assert_eq!(registry.gauge("solver_peak_bytes").get(), 4096);
+        m.sync_cache_gauges(&CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+            entries: 5,
+        });
+        assert_eq!(registry.gauge("cache_hits").get(), 3);
+        assert_eq!(registry.gauge("cache_entries").get(), 5);
     }
 }

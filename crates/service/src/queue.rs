@@ -19,6 +19,11 @@ pub struct QueuedJob {
     pub seq: usize,
     /// Effective priority (admission may have demoted the request's).
     pub priority: u8,
+    /// When the job entered the queue — the anchor for the
+    /// `service_queue_wait_ns` and `service_total_ns` latency
+    /// histograms. Not part of the job's identity (excluded from
+    /// equality and ordering).
+    pub enqueued_at: std::time::Instant,
     /// The work itself.
     pub request: SolveRequest,
 }
@@ -111,6 +116,7 @@ mod tests {
         QueuedJob {
             seq,
             priority,
+            enqueued_at: std::time::Instant::now(),
             request: SolveRequest::new(
                 format!("j{seq}"),
                 Workload::SyntheticPauli {

@@ -27,6 +27,9 @@ use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, QueueFull, QueuedJob};
 use parking_lot::Mutex;
 use picasso::{IterationContext, Picasso};
+use std::sync::Arc;
+use std::time::Instant;
+use telemetry::Registry;
 
 /// Service-level knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,6 +111,17 @@ impl SolveService {
         self.metrics.snapshot(self.cache.lock().stats())
     }
 
+    /// The instrument registry behind the metrics — every service
+    /// counter, the request-path latency histograms, and the per-solve
+    /// solver roll-ups, ready for
+    /// [`telemetry::render_prometheus`]/[`telemetry::render_json`].
+    /// Cache gauges are synced to the cache's current counters on each
+    /// call.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.metrics.sync_cache_gauges(&self.cache.lock().stats());
+        Arc::clone(self.metrics.registry())
+    }
+
     /// Solver workspaces currently resting in the context pool.
     pub fn pooled_contexts(&self) -> usize {
         self.ctx_pool.lock().len()
@@ -123,19 +137,25 @@ impl SolveService {
         let execution_order: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
         for (seq, request) in requests.into_iter().enumerate() {
-            ServiceMetrics::bump(&self.metrics.submitted);
-            let priority = match self.admission.assess(&request) {
+            self.metrics.submitted.inc();
+            let admit_started = Instant::now();
+            let decision = self.admission.assess(&request);
+            self.metrics
+                .admission_ns
+                .record(admit_started.elapsed().as_nanos() as u64);
+            let priority = match decision {
                 AdmissionDecision::Admit { .. } => {
-                    ServiceMetrics::bump(&self.metrics.admitted);
+                    self.metrics.admitted.inc();
                     request.priority
                 }
                 AdmissionDecision::Demote { .. } => {
-                    ServiceMetrics::bump(&self.metrics.admitted);
-                    ServiceMetrics::bump(&self.metrics.demoted);
+                    self.metrics.admitted.inc();
+                    self.metrics.demoted.inc();
                     0
                 }
                 AdmissionDecision::Reject { reason } => {
-                    ServiceMetrics::bump(&self.metrics.rejected);
+                    self.metrics.rejected.inc();
+                    telemetry::event!("admission_reject");
                     slots.lock()[seq] = Some(SolveResponse {
                         id: request.id,
                         outcome: JobOutcome::Rejected { reason },
@@ -146,6 +166,7 @@ impl SolveService {
             let mut job = QueuedJob {
                 seq,
                 priority,
+                enqueued_at: Instant::now(),
                 request,
             };
             // Backpressure: a full queue means the wave is ready — drain
@@ -188,11 +209,20 @@ impl SolveService {
                 scope.spawn(|| {
                     let mut ctx = self.ctx_pool.lock().pop().unwrap_or_default();
                     while let Some(job) = queue.pop() {
+                        self.metrics
+                            .queue_wait_ns
+                            .record(job.enqueued_at.elapsed().as_nanos() as u64);
                         execution_order.lock().push(job.request.id.clone());
                         let response = self.execute(job.request, &mut ctx);
                         slots.lock()[job.seq] = Some(response);
+                        self.metrics
+                            .total_ns
+                            .record(job.enqueued_at.elapsed().as_nanos() as u64);
                     }
                     self.ctx_pool.lock().push(ctx);
+                    // Worker threads die with the wave: hand their span
+                    // rings to the sink before they do.
+                    telemetry::flush_thread();
                 });
             }
         });
@@ -207,10 +237,22 @@ impl SolveService {
     fn execute(&self, request: SolveRequest, ctx: &mut IterationContext) -> SolveResponse {
         let fingerprint = request.instance_fingerprint();
         let key = crate::job::fnv1a64(fingerprint.as_bytes());
+        let lookup_started = Instant::now();
         {
             let mut inflight = lock_inflight(&self.inflight);
+            let mut waited = false;
             loop {
                 if let Some(outcome) = self.cache.lock().get(key, &fingerprint) {
+                    if waited {
+                        // Parked behind another worker's solve of this
+                        // key, then replayed its cached outcome.
+                        self.metrics
+                            .coalesce_wait_ns
+                            .record(lookup_started.elapsed().as_nanos() as u64);
+                    }
+                    self.metrics
+                        .cache_hit_ns
+                        .record(lookup_started.elapsed().as_nanos() as u64);
                     return SolveResponse {
                         id: request.id,
                         outcome,
@@ -224,6 +266,7 @@ impl SolveService {
                 // re-check the cache. (A failed solve is not cached, so
                 // the waiter takes over the key on wake — duplicates of
                 // a failing job each fail independently.)
+                waited = true;
                 inflight = self
                     .inflight_done
                     .wait(inflight)
@@ -234,19 +277,22 @@ impl SolveService {
         // from here on, including a panicking solve — a leaked key would
         // park coalesced duplicates forever.
         let _claim = InflightClaim { service: self, key };
+        let solve_started = Instant::now();
         let outcome = match self.solve(&request, ctx) {
             Ok(summary) => {
-                ServiceMetrics::bump(&self.metrics.solved);
-                ServiceMetrics::add(
-                    &self.metrics.candidate_pairs_scanned,
-                    summary.candidate_pairs,
-                );
+                self.metrics.solved.inc();
+                self.metrics
+                    .solve_ns
+                    .record(solve_started.elapsed().as_nanos() as u64);
+                self.metrics
+                    .candidate_pairs_scanned
+                    .add(summary.candidate_pairs);
                 let outcome = JobOutcome::Solved(summary);
                 self.cache.lock().insert(key, &fingerprint, outcome.clone());
                 outcome
             }
             Err(error) => {
-                ServiceMetrics::bump(&self.metrics.failed);
+                self.metrics.failed.inc();
                 JobOutcome::Failed { error }
             }
         };
@@ -282,19 +328,23 @@ impl SolveService {
             }
         };
         let result = result.map_err(|e| e.to_string())?;
-        ServiceMetrics::add(
-            &self.metrics.conflict_edges_built,
-            result.total_conflict_edges() as u64,
-        );
+        self.metrics
+            .conflict_edges_built
+            .add(result.total_conflict_edges() as u64);
+        // Per-solve roll-up into the shared registry: solver phase
+        // histograms, work counters, device gauges — the same typed
+        // instruments every exposition surface reads.
+        picasso::metrics::record_result(self.metrics.registry(), &result);
         // Forecast calibration: pair the admission-time worst case with
         // the structural peak this solve actually reached; the running
         // observed ÷ forecast ratio is the correction factor the ROADMAP
         // asks to fit.
         let forecast = crate::admission::forecast_peak_bytes(&request.workload, &cfg);
         let observed = crate::admission::observed_peak_bytes(&request.workload, &result);
-        ServiceMetrics::add(&self.metrics.forecast_bytes_total, forecast as u64);
-        ServiceMetrics::add(&self.metrics.observed_peak_bytes_total, observed as u64);
-        ServiceMetrics::bump(&self.metrics.calibration_samples);
+        self.metrics.forecast_bytes_total.add(forecast as u64);
+        self.metrics.observed_peak_bytes_total.add(observed as u64);
+        self.metrics.calibration_samples.inc();
+        self.metrics.solver_peak_bytes.set_max(observed as u64);
         Ok(SolveSummary {
             num_vertices: result.colors.len(),
             num_colors: result.num_colors,
@@ -487,6 +537,49 @@ mod tests {
         assert_eq!(again.metrics.calibration_samples, 3);
         assert!(again.metrics.forecast_bytes_total > m.forecast_bytes_total);
         assert!(again.metrics.observed_peak_bytes_total > m.observed_peak_bytes_total);
+    }
+
+    #[test]
+    fn latency_histograms_and_rollups_populate_the_registry() {
+        let service = small_service(2);
+        let report = service.process_batch(vec![
+            synth("a", 60, 1),
+            synth("b", 60, 2),
+            // Same content as "a": served from cache (or coalesced).
+            synth("a-again", 60, 1),
+        ]);
+        assert_eq!(report.metrics.solved, 2);
+        let registry = service.registry();
+        // Request-path latency histograms: one queue-wait and one
+        // end-to-end sample per executed job, one solve sample per fresh
+        // solve, at least one cache-hit sample for the duplicate.
+        assert_eq!(registry.histogram("service_queue_wait_ns").count(), 3);
+        assert_eq!(registry.histogram("service_total_ns").count(), 3);
+        assert_eq!(registry.histogram("service_solve_ns").count(), 2);
+        assert_eq!(registry.histogram("service_admission_ns").count(), 3);
+        assert!(registry.histogram("service_cache_hit_ns").count() >= 1);
+        // p50/p99 are answerable (the bench's contract).
+        assert!(
+            registry
+                .histogram("service_total_ns")
+                .quantile(0.99)
+                .unwrap()
+                > 0
+        );
+        // Per-solve solver roll-ups landed in the same registry.
+        assert_eq!(registry.counter("solver_solves_total").get(), 2);
+        assert!(registry.counter("solver_candidate_pairs_total").get() > 0);
+        assert!(registry.gauge("solver_peak_bytes").get() > 0);
+        // Snapshot counters and registry counters agree.
+        assert_eq!(
+            registry.counter("service_submitted_total").get(),
+            report.metrics.submitted
+        );
+        // Cache gauges mirrored on registry().
+        assert_eq!(
+            registry.gauge("cache_hits").get(),
+            service.metrics().cache_hits
+        );
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Exposition: rendering a [`Registry`] as Prometheus text or as a
+//! stable JSON document, plus the schema validator CI runs against the
+//! served metrics file.
+//!
+//! The JSON schema (version [`METRICS_SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "counters":   { "<name>": <u64>, ... },
+//!   "gauges":     { "<name>": <u64>, ... },
+//!   "histograms": {
+//!     "<name>": {
+//!       "count": <u64>, "sum": <u64>,
+//!       "p50": <u64>, "p90": <u64>, "p99": <u64>,
+//!       "buckets": [ { "le": <u64>, "count": <u64> }, ... ]
+//!     }, ...
+//!   }
+//! }
+//! ```
+//!
+//! `buckets` lists only non-empty buckets; `le` is the bucket's
+//! exclusive upper bound and `count` the per-bucket (non-cumulative)
+//! count, so `Σ buckets[i].count == count` — one of the invariants
+//! [`validate_metrics_json`] checks. Names carry their units as
+//! suffixes (`_ns`, `_bytes`, `_total`), Prometheus-style.
+
+use crate::metrics::{Histogram, Registry, NUM_BUCKETS};
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+/// Version stamp written into (and required from) the JSON document.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// Renders every instrument as Prometheus-style exposition text.
+/// Histogram buckets are cumulative with `le` labels, ending in the
+/// conventional `+Inf` bucket; only boundaries that gained samples are
+/// emitted.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters() {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    for (name, value) in registry.gauges() {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+    for (name, hist) in registry.histograms() {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            let c = hist.bucket_count(idx);
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = crate::metrics::bucket_upper(idx);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(out, "{name}_count {}", hist.count());
+    }
+    out
+}
+
+fn histogram_json(hist: &Histogram) -> Value {
+    let mut buckets = Vec::new();
+    for idx in 0..NUM_BUCKETS {
+        let c = hist.bucket_count(idx);
+        if c > 0 {
+            buckets.push(json!({
+                "le": crate::metrics::bucket_upper(idx),
+                "count": c,
+            }));
+        }
+    }
+    json!({
+        "count": hist.count(),
+        "sum": hist.sum(),
+        "p50": hist.quantile(0.50).unwrap_or(0),
+        "p90": hist.quantile(0.90).unwrap_or(0),
+        "p99": hist.quantile(0.99).unwrap_or(0),
+        "buckets": Value::Array(buckets),
+    })
+}
+
+/// Renders the registry as the stable JSON document described in the
+/// module docs.
+pub fn render_json(registry: &Registry) -> Value {
+    let mut counters = serde_json::Value::Object(Default::default());
+    if let Value::Object(map) = &mut counters {
+        for (name, value) in registry.counters() {
+            map.insert(name, json!(value));
+        }
+    }
+    let mut gauges = serde_json::Value::Object(Default::default());
+    if let Value::Object(map) = &mut gauges {
+        for (name, value) in registry.gauges() {
+            map.insert(name, json!(value));
+        }
+    }
+    let mut histograms = serde_json::Value::Object(Default::default());
+    if let Value::Object(map) = &mut histograms {
+        for (name, hist) in registry.histograms() {
+            map.insert(name, histogram_json(&hist));
+        }
+    }
+    json!({
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    })
+}
+
+fn require_u64(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("{what} must be a u64"))
+}
+
+/// Validates a metrics JSON document against the schema: the version
+/// stamp, the three sections, and — per histogram — that the per-bucket
+/// counts sum to `count`, that bucket `le` boundaries strictly
+/// increase, and that the quantile estimates are monotone
+/// (`p50 ≤ p90 ≤ p99`). This is the check the CI smoke step runs on the
+/// file `picasso-cli serve --metrics` writes.
+pub fn validate_metrics_json(doc: &Value) -> Result<(), String> {
+    let version = require_u64(&doc["schema_version"], "schema_version")?;
+    if version != METRICS_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {METRICS_SCHEMA_VERSION}"
+        ));
+    }
+    for section in ["counters", "gauges", "histograms"] {
+        if !matches!(doc[section], Value::Object(_)) {
+            return Err(format!("missing object section {section:?}"));
+        }
+    }
+    let Value::Object(hists) = &doc["histograms"] else {
+        unreachable!("checked above");
+    };
+    for (name, h) in hists {
+        let count = require_u64(&h["count"], "histogram count")?;
+        require_u64(&h["sum"], "histogram sum")?;
+        let p50 = require_u64(&h["p50"], "p50")?;
+        let p90 = require_u64(&h["p90"], "p90")?;
+        let p99 = require_u64(&h["p99"], "p99")?;
+        if !(p50 <= p90 && p90 <= p99) {
+            return Err(format!(
+                "{name}: quantiles not monotone (p50={p50} p90={p90} p99={p99})"
+            ));
+        }
+        let buckets = h["buckets"]
+            .as_array()
+            .ok_or_else(|| format!("{name}: buckets must be an array"))?;
+        let mut total = 0u64;
+        let mut last_le = None;
+        for b in buckets {
+            let le = require_u64(&b["le"], "bucket le")?;
+            if let Some(prev) = last_le {
+                if le <= prev {
+                    return Err(format!("{name}: bucket le {le} not increasing"));
+                }
+            }
+            last_le = Some(le);
+            total += require_u64(&b["count"], "bucket count")?;
+        }
+        if total != count {
+            return Err(format!(
+                "{name}: bucket counts sum to {total}, count says {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("jobs_total").add(5);
+        r.gauge("resident_bytes").set(4096);
+        let h = r.histogram("latency_ns");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets_and_totals() {
+        let text = render_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 5"));
+        assert!(text.contains("# TYPE resident_bytes gauge"));
+        assert!(text.contains("latency_ns_count 5"));
+        assert!(text.contains("latency_ns_sum 1100"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 5"));
+        // Cumulative counts never decrease down the bucket list.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            if line.contains("+Inf") {
+                continue;
+            }
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_document_validates_against_its_own_schema() {
+        let doc = render_json(&sample_registry());
+        assert_eq!(doc["schema_version"].as_u64(), Some(METRICS_SCHEMA_VERSION));
+        assert_eq!(doc["counters"]["jobs_total"].as_u64(), Some(5));
+        assert_eq!(doc["histograms"]["latency_ns"]["count"].as_u64(), Some(5));
+        validate_metrics_json(&doc).expect("self-rendered document validates");
+    }
+
+    #[test]
+    fn validator_rejects_corrupt_documents() {
+        let mut doc = render_json(&sample_registry());
+        validate_metrics_json(&doc).unwrap();
+        // Break the bucket-count invariant.
+        if let Value::Object(root) = &mut doc {
+            let h = root.get_mut("histograms").unwrap();
+            if let Value::Object(hs) = h {
+                let lat = hs.get_mut("latency_ns").unwrap();
+                if let Value::Object(fields) = lat {
+                    fields.insert("count".into(), json!(999));
+                }
+            }
+        }
+        let err = validate_metrics_json(&doc).unwrap_err();
+        assert!(err.contains("bucket counts"), "{err}");
+        assert!(validate_metrics_json(&json!({"schema_version": 2})).is_err());
+        assert!(validate_metrics_json(&json!({})).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `picasso-telemetry`: the observability layer for the Picasso suite.
+//!
+//! Three pieces, stacked so that each is usable alone:
+//!
+//! * **Spans** ([`span!`], [`event!`], [`SpanGuard`]) — guard-style
+//!   structured tracing with a zero-overhead disabled path (one relaxed
+//!   atomic load) and a preallocated per-thread ring buffer when a
+//!   [`TelemetrySink`] is [`install`]ed, so the solver's warm loops stay
+//!   allocation-free with tracing compiled in *and* enabled.
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!   lock-free instruments; histograms use fixed log-scale buckets
+//!   (≤25 % relative width), answer p50/p90/p99 from bucket walks, and
+//!   merge across worker threads by bucket-wise addition.
+//! * **Exposition** ([`render_prometheus`], [`render_json`],
+//!   [`validate_metrics_json`], [`trace::summarize_jsonl`]) — a
+//!   Prometheus-style text surface, a stable versioned JSON schema the
+//!   CI smoke validates, and JSONL trace replay into per-phase
+//!   flame-style summaries.
+//!
+//! The crate deliberately has no dependency on the solver crates; they
+//! depend on it.
+
+pub mod expo;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+pub mod trace;
+
+pub use expo::{render_json, render_prometheus, validate_metrics_json, METRICS_SCHEMA_VERSION};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use sink::{AggregatingSink, CollectingSink, FanoutSink, JsonlSink, NoopSink, TelemetrySink};
+pub use span::{enabled, flush_thread, install, uninstall, SpanGuard, SpanRecord, RING_CAPACITY};

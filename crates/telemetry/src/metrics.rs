@@ -1,0 +1,411 @@
+//! The metrics registry: counters, gauges, and fixed-bucket log-scale
+//! histograms.
+//!
+//! Instruments are lock-free once created — every mutation is a relaxed
+//! atomic on a preallocated cell, so worker threads record without
+//! coordination. The [`Registry`] itself is a name → instrument map
+//! behind a mutex, but lookups return [`Arc`] handles callers are
+//! expected to hold; steady-state recording never takes the registry
+//! lock (and a by-name lookup of an existing instrument performs no
+//! allocation, so even name-based recording is heap-silent once warm).
+//!
+//! Histograms use a fixed log-scale bucket layout (4 sub-buckets per
+//! octave over the whole `u64` range — relative bucket width ≤ 25%), so
+//! they are mergeable across threads by plain bucket-wise addition and
+//! support p50/p90/p99 estimation with a bounded relative error: the
+//! estimated quantile's bucket always contains the exact order
+//! statistic.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (bytes resident, entries
+/// live, high-water marks via [`Gauge::set_max`]).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is higher — the high-water-mark
+    /// update used for peak-bytes gauges.
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` log-spaced buckets, bounding the relative width of any
+/// bucket by `2^-SUB_BITS` (25%).
+const SUB_BITS: u32 = 2;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Buckets 0..4 hold the exact values 0..4; octaves 2..=63 contribute
+/// four buckets each: `4 * (m - 1) + s` for msb `m`, sub-index `s`.
+pub const NUM_BUCKETS: usize = SUB_COUNT * 63;
+
+/// The bucket a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 2
+    let sub = ((v >> (msb - SUB_BITS as usize)) & (SUB_COUNT as u64 - 1)) as usize;
+    SUB_COUNT * (msb - 1) + sub
+}
+
+/// Inclusive lower bound of a bucket.
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB_COUNT {
+        return idx as u64;
+    }
+    let msb = idx / SUB_COUNT + 1;
+    let sub = (idx % SUB_COUNT) as u64;
+    (1u64 << msb) + sub * (1u64 << (msb - SUB_BITS as usize))
+}
+
+/// Exclusive upper bound of a bucket (saturating at `u64::MAX` for the
+/// topmost).
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(idx + 1)
+}
+
+/// A fixed-bucket log-scale histogram of `u64` samples (typically
+/// nanoseconds or bytes).
+///
+/// Recording is one relaxed `fetch_add` on a preallocated bucket —
+/// allocation-free and lock-free, safe from any thread. Per-thread
+/// histograms merge by bucket-wise addition ([`Histogram::merge_from`]),
+/// and the merged result is bit-identical to a single histogram that
+/// recorded the union of the streams (addition commutes).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (one upfront allocation of the bucket array).
+    pub fn new() -> Histogram {
+        // `AtomicU64` has no const array-repeat form; build through a Vec.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let boxed: Box<[AtomicU64]> = v.into_boxed_slice();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = boxed
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec built with NUM_BUCKETS entries"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in seconds as integer nanoseconds.
+    #[inline]
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The count in one bucket.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx].load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket (and count/sum) of `other` into `self` — the
+    /// cross-thread merge. Equivalent to having recorded both streams
+    /// into one histogram.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t > 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The bucket holding the `q`-quantile order statistic, as
+    /// `(inclusive lower, exclusive upper)` bounds — `None` on an empty
+    /// histogram. The exact `ceil(q·count)`-th smallest sample is
+    /// guaranteed to lie inside the returned bucket.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for idx in 0..NUM_BUCKETS {
+            cum += self.bucket_count(idx);
+            if cum >= rank {
+                return Some((bucket_lower(idx), bucket_upper(idx)));
+            }
+        }
+        None
+    }
+
+    /// Point estimate of the `q`-quantile: the exclusive upper bound of
+    /// the bucket holding the order statistic (a conservative "≤ this"
+    /// answer, Prometheus `le` style). `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let c = self.count();
+        if c == 0 {
+            return None;
+        }
+        Some(self.sum() as f64 / c as f64)
+    }
+}
+
+/// The instrument registry: a named, typed home for every counter,
+/// gauge, and histogram a process exposes.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name and hand back an
+/// [`Arc`] handle; repeated lookups of an existing name allocate
+/// nothing. Exposition ([`crate::expo`]) walks the sorted maps, so
+/// rendered output is deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Sorted `(name, value)` snapshot of every counter.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, value)` snapshot of every gauge.
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, handle)` snapshot of every histogram.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket bounds tile the axis without gaps.
+        for v in (0u64..4096).chain([1 << 20, u64::MAX / 2, u64::MAX]) {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v, "v={v} idx={idx}");
+            assert!(
+                v < bucket_upper(idx) || bucket_upper(idx) == u64::MAX,
+                "v={v} idx={idx}"
+            );
+        }
+        for idx in 0..NUM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(idx),
+                bucket_lower(idx + 1),
+                "gap at bucket {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_bounded() {
+        // Log-scale contract: above the exact-value range, width/lower
+        // never exceeds 2^-SUB_BITS.
+        for idx in SUB_COUNT..NUM_BUCKETS - 1 {
+            let lo = bucket_lower(idx);
+            let width = bucket_upper(idx) - lo;
+            assert!(
+                (width as f64) / (lo as f64) <= 0.25 + 1e-12,
+                "bucket {idx}: [{lo}, {}) too wide",
+                bucket_upper(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7, "set_max never lowers");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        g.set(2);
+        assert_eq!(g.get(), 2, "set always stores");
+    }
+
+    #[test]
+    fn histogram_quantiles_on_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        let (lo, hi) = h.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 50 && 50 < hi, "p50 bucket [{lo},{hi}) must hold 50");
+        let (lo, hi) = h.quantile_bounds(0.99).unwrap();
+        assert!(lo <= 99 && 99 < hi, "p99 bucket [{lo},{hi}) must hold 99");
+        assert!(h.quantile(0.5).unwrap() >= 50);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("jobs");
+        let b = r.counter("jobs");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("jobs").get(), 2, "same underlying counter");
+        r.gauge("bytes").set(9);
+        r.histogram("lat").record(5);
+        assert_eq!(r.counters(), vec![("jobs".to_string(), 2)]);
+        assert_eq!(r.gauges(), vec![("bytes".to_string(), 9)]);
+        assert_eq!(r.histograms().len(), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the log-scale histogram: bucket-estimated
+//! quantiles must bracket the exact order statistics, and per-thread
+//! histograms merged by bucket addition must equal one histogram that
+//! recorded every sample.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// Exact `q`-quantile of `samples` as the `max(1, ceil(q·n))`-th
+/// smallest value — the same rank convention `quantile_bounds` uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Values spanning the whole dynamic range: small exact values, typical
+/// latencies, and huge outliers, mixed in one stream.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    vec(
+        prop_oneof![
+            0u64..16,
+            16u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_bounds_bracket_the_exact_order_statistic(samples in sample_strategy()) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty");
+            prop_assert!(
+                lo <= exact && (exact < hi || hi == u64::MAX),
+                "q={q}: exact {exact} outside estimated bucket [{lo}, {hi})"
+            );
+            // The point estimate is the bucket's upper bound, so it can
+            // overshoot by at most one bucket width (≤ 25% relative).
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+            prop_assert!(est <= hi, "q={q}: estimate {est} above bucket bound {hi}");
+        }
+    }
+
+    #[test]
+    fn merged_histograms_equal_single_threaded_recording(
+        streams in vec(vec(0u64..1_000_000_000, 0..120), 1..6),
+    ) {
+        // One histogram records everything; N histograms record one
+        // stream each and merge into an empty one.
+        let single = Histogram::new();
+        let merged = Histogram::new();
+        for stream in &streams {
+            let per_thread = Histogram::new();
+            for &s in stream {
+                single.record(s);
+                per_thread.record(s);
+            }
+            merged.merge_from(&per_thread);
+        }
+        prop_assert_eq!(single.count(), merged.count());
+        prop_assert_eq!(single.sum(), merged.sum());
+        for idx in 0..telemetry::metrics::NUM_BUCKETS {
+            prop_assert_eq!(
+                single.bucket_count(idx),
+                merged.bucket_count(idx),
+                "bucket {} diverged after merge",
+                idx
+            );
+        }
+        // Identical buckets ⇒ identical quantile answers.
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(single.quantile_bounds(q), merged.quantile_bounds(q));
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    // The atomic contract behind the merge property: many threads
+    // hammering one histogram account for every sample.
+    use std::sync::Arc;
+    let h = Arc::new(Histogram::new());
+    let threads = 4;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let h = Arc::clone(&h);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    h.record(t * per_thread + i);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), threads * per_thread);
+}

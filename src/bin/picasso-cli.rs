@@ -5,11 +5,13 @@
 //! picasso-cli strings.txt [--palette PCT] [--alpha A] [--seed N]
 //!             [--aggressive] [--backend seq|par|allpairs|device:MIB]
 //!             [--coloring greedy|jp|spec|auto|natural|random|lf|sl|dlf|id]
-//!             [--json] [--stats]
+//!             [--json] [--stats] [--metrics FILE] [--trace FILE]
 //!
 //! picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N]
 //!             [--queue N] [--cache N] [--budget-mib M] [--demote-mib M]
-//!             [--once]
+//!             [--metrics FILE] [--trace FILE] [--once]
+//!
+//! picasso-cli trace SPANS.jsonl
 //! ```
 //!
 //! One-shot mode: one Pauli string per line (`IXYZ…`), `#` comments
@@ -20,15 +22,30 @@
 //! admission-controlled [`picasso_service::SolveService`] and emits one
 //! JSONL response per request (stdout or `--out`), plus a metrics
 //! summary on stderr. `--once` runs a built-in smoke batch — solves,
-//! a cache replay, and an admission rejection — without an input file.
+//! a cache replay, and an admission rejection — without an input file,
+//! and self-checks the exposition document against the metrics schema.
+//!
+//! Observability: `--metrics FILE` writes the telemetry registry on
+//! exit as schema-versioned JSON (`FILE`) and Prometheus text
+//! (`FILE.prom`); `--trace FILE` records solver phase spans as JSONL;
+//! `picasso-cli trace FILE` replays such a log into a per-phase
+//! flame-style table.
 
 use picasso::{color_classes, ConflictBackend, ListColoringScheme, Picasso, PicassoConfig};
 use picasso_service::{
     parse_request_lines, AdmissionConfig, ServiceConfig, SolveRequest, SolveService, Workload,
 };
 use picasso_suite::io::parse_pauli_lines;
+use picasso_suite::summary::SolveSummary;
 use std::io::Read;
 use std::process::exit;
+use std::sync::Arc;
+use telemetry::{AggregatingSink, FanoutSink, JsonlSink, Registry, TelemetrySink};
+
+// Heap gauges (`heap_peak_bytes` & co) in the `--metrics` exposition
+// are live only when the tracking allocator is the global allocator.
+#[global_allocator]
+static ALLOC: memtrack::TrackingAllocator = memtrack::TrackingAllocator;
 
 struct CliArgs {
     input: Option<String>,
@@ -40,13 +57,16 @@ struct CliArgs {
     coloring: Option<ListColoringScheme>,
     json: bool,
     stats: bool,
+    metrics: Option<String>,
+    trace: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: picasso-cli [FILE|-] [--palette PCT] [--alpha A] [--seed N] \
          [--aggressive] [--backend seq|par|allpairs|device:MIB] \
-         [--coloring greedy|jp|spec|auto|natural|random|lf|sl|dlf|id] [--json] [--stats]"
+         [--coloring greedy|jp|spec|auto|natural|random|lf|sl|dlf|id] [--json] [--stats] \
+         [--metrics FILE] [--trace FILE]"
     );
     exit(2);
 }
@@ -62,6 +82,8 @@ fn parse_args() -> CliArgs {
         coloring: None,
         json: false,
         stats: false,
+        metrics: None,
+        trace: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -131,6 +153,20 @@ fn parse_args() -> CliArgs {
                 out.stats = true;
                 i += 1;
             }
+            "--metrics" => {
+                out.metrics = args.get(i + 1).cloned();
+                if out.metrics.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--trace" => {
+                out.trace = args.get(i + 1).cloned();
+                if out.trace.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other if !other.starts_with('-') || other == "-" => {
                 if out.input.is_some() {
@@ -153,13 +189,16 @@ struct ServeArgs {
     cache: Option<usize>,
     budget_mib: Option<usize>,
     demote_mib: Option<usize>,
+    metrics: Option<String>,
+    trace: Option<String>,
     once: bool,
 }
 
 fn serve_usage() -> ! {
     eprintln!(
         "usage: picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N] \
-         [--queue N] [--cache N] [--budget-mib M] [--demote-mib M] [--once]"
+         [--queue N] [--cache N] [--budget-mib M] [--demote-mib M] \
+         [--metrics FILE] [--trace FILE] [--once]"
     );
     exit(2);
 }
@@ -173,6 +212,8 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
         cache: None,
         budget_mib: None,
         demote_mib: None,
+        metrics: None,
+        trace: None,
         once: false,
     };
     let mut i = 0;
@@ -195,6 +236,20 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
             "--cache" => out.cache = Some(numeric(&mut i, args)),
             "--budget-mib" => out.budget_mib = Some(numeric(&mut i, args)),
             "--demote-mib" => out.demote_mib = Some(numeric(&mut i, args)),
+            "--metrics" => {
+                out.metrics = args.get(i + 1).cloned();
+                if out.metrics.is_none() {
+                    serve_usage();
+                }
+                i += 2;
+            }
+            "--trace" => {
+                out.trace = args.get(i + 1).cloned();
+                if out.trace.is_none() {
+                    serve_usage();
+                }
+                i += 2;
+            }
             "--once" => {
                 out.once = true;
                 i += 1;
@@ -255,6 +310,47 @@ fn smoke_requests() -> Vec<SolveRequest> {
     ]
 }
 
+/// Writes `registry` as schema-versioned JSON to `path` and Prometheus
+/// text to `path.prom`, refreshing the heap gauges first; returns the
+/// JSON document for further validation.
+fn write_metrics_files(registry: &Registry, path: &str) -> serde_json::Value {
+    memtrack::export_gauges(registry);
+    let doc = telemetry::render_json(registry);
+    let text = serde_json::to_string_pretty(&doc).expect("metrics json");
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("error writing {path}: {e}");
+        exit(1);
+    });
+    let prom_path = format!("{path}.prom");
+    std::fs::write(&prom_path, telemetry::render_prometheus(registry)).unwrap_or_else(|e| {
+        eprintln!("error writing {prom_path}: {e}");
+        exit(1);
+    });
+    eprintln!("metrics written to {path} (Prometheus text: {prom_path})");
+    doc
+}
+
+/// Replays a `--trace` JSONL span log as a per-phase summary table.
+fn run_trace(args: &[String]) -> ! {
+    let path = match args {
+        [path] if !path.starts_with('-') => path,
+        _ => {
+            eprintln!("usage: picasso-cli trace SPANS.jsonl");
+            exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error reading {path}: {e}");
+        exit(1);
+    });
+    let phases = telemetry::trace::summarize_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("trace parse error: {e}");
+        exit(1);
+    });
+    print!("{}", telemetry::trace::render_table(&phases));
+    exit(0);
+}
+
 fn run_serve(args: &[String]) -> ! {
     let args = parse_serve_args(args);
     let requests = if args.once {
@@ -300,8 +396,23 @@ fn run_serve(args: &[String]) -> ! {
         },
     });
 
+    let trace_sink = args.trace.as_ref().map(|_| Arc::new(JsonlSink::new()));
+    if let Some(sink) = &trace_sink {
+        telemetry::install(Arc::clone(sink) as Arc<dyn TelemetrySink>);
+    }
+
     let num_requests = requests.len();
     let report = service.process_batch(requests);
+
+    if let Some(sink) = &trace_sink {
+        telemetry::uninstall();
+        let path = args.trace.as_deref().expect("trace path");
+        std::fs::write(path, sink.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            exit(1);
+        });
+        eprintln!("span trace written to {path}");
+    }
     let mut lines = String::new();
     for resp in &report.responses {
         lines.push_str(&resp.to_json_line());
@@ -333,11 +444,43 @@ fn run_serve(args: &[String]) -> ! {
         "{}",
         serde_json::to_string(&m.to_json()).expect("metrics json")
     );
-    // The smoke batch doubles as a self-check in CI.
+    let registry = service.registry();
+    let metrics_doc = args
+        .metrics
+        .as_deref()
+        .map(|path| write_metrics_files(&registry, path));
+    // The smoke batch doubles as a self-check in CI: counter expectations,
+    // then the exposition document itself (schema validity, counter
+    // monotonicity along the admission funnel, non-empty latency
+    // histograms).
     if args.once {
         let ok = m.solved == 2 && m.cache_hits == 1 && m.rejected == 1 && m.failed == 0;
         if !ok {
             eprintln!("smoke batch produced unexpected metrics");
+            exit(1);
+        }
+        let doc = metrics_doc.unwrap_or_else(|| {
+            memtrack::export_gauges(&registry);
+            telemetry::render_json(&registry)
+        });
+        if let Err(e) = telemetry::validate_metrics_json(&doc) {
+            eprintln!("smoke batch metrics document failed validation: {e}");
+            exit(1);
+        }
+        let counter = |name: &str| registry.counter(name).get();
+        let funnel_ok = counter("service_submitted_total") >= counter("service_admitted_total")
+            && counter("service_admitted_total") >= counter("service_solved_total")
+            && counter("service_solved_total") == m.solved
+            && counter("solver_solves_total") == m.solved;
+        if !funnel_ok {
+            eprintln!("smoke batch admission-funnel counters are inconsistent");
+            exit(1);
+        }
+        let histograms_ok = registry.histogram("service_total_ns").count() > 0
+            && registry.histogram("service_solve_ns").count() == m.solved
+            && registry.histogram("service_queue_wait_ns").count() > 0;
+        if !histograms_ok {
+            eprintln!("smoke batch latency histograms are empty");
             exit(1);
         }
     }
@@ -348,6 +491,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         run_serve(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        run_trace(&argv[1..]);
     }
     let args = parse_args();
 
@@ -395,11 +541,50 @@ fn main() {
         cfg = cfg.with_scheme(scheme);
     }
 
+    // Every run folds its result into a registry: the headline, the
+    // --stats footers, the --json roll-up fields and the --metrics
+    // exposition all read the same instruments.
+    let registry = Arc::new(Registry::new());
+    let trace_sink = args.trace.as_ref().map(|_| Arc::new(JsonlSink::new()));
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::new();
+    if let Some(sink) = &trace_sink {
+        sinks.push(Arc::clone(sink) as Arc<dyn TelemetrySink>);
+    }
+    if args.metrics.is_some() {
+        // Phase spans land as span_*_ns histograms next to the solver
+        // roll-ups in the exposition.
+        sinks.push(Arc::new(AggregatingSink::new(Arc::clone(&registry))));
+    }
+    let tracing = !sinks.is_empty();
+    if tracing {
+        telemetry::install(if sinks.len() == 1 {
+            sinks.pop().expect("one sink")
+        } else {
+            Arc::new(FanoutSink::new(sinks))
+        });
+    }
+
     let set = pauli::EncodedSet::from_strings(&parsed.strings);
     let result = Picasso::new(cfg).solve_pauli(&set).unwrap_or_else(|e| {
         eprintln!("solve failed: {e}");
         exit(1);
     });
+
+    if tracing {
+        telemetry::uninstall();
+    }
+    if let (Some(sink), Some(path)) = (&trace_sink, args.trace.as_deref()) {
+        std::fs::write(path, sink.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            exit(1);
+        });
+        eprintln!("span trace written to {path}");
+    }
+    picasso::metrics::record_result(&registry, &result);
+    if let Some(path) = args.metrics.as_deref() {
+        write_metrics_files(&registry, path);
+    }
+    let summary = SolveSummary::from_registry(&registry);
     let classes = color_classes(&result.colors);
 
     if args.json {
@@ -411,27 +596,14 @@ fn main() {
                     .collect()
             })
             .collect();
-        let doc = serde_json::json!({
+        let mut doc = serde_json::json!({
             "num_strings": parsed.strings.len(),
             "num_groups": result.num_colors,
             "color_percentage": result.color_percentage(),
-            "iterations": result.iterations.len(),
-            "total_candidate_pairs": result.total_candidate_pairs(),
-            "index_builds": result.index_builds,
-            "pack_builds": result.pack_builds,
-            "packed_lane_utilization": result.packed_lane_utilization(),
-            "total_hit_bits": result.total_hit_bits(),
-            "total_skipped_words": result.total_skipped_words(),
-            "hit_density": result.hit_density(),
-            "packing_mispredicts": result.packing_mispredicts(),
             "coloring": cfg.scheme.label(),
-            "color_secs": result.color_secs(),
-            "total_color_rounds": result.total_color_rounds(),
-            "total_repair_conflicts": result.total_repair_conflicts(),
-            "scheme_mispredicts": result.scheme_mispredicts(),
-            "total_secs": result.total_secs,
             "groups": groups,
         });
+        summary.extend_json(&mut doc);
         println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
     } else {
         for (k, class) in classes.iter().enumerate() {
@@ -442,12 +614,12 @@ fn main() {
             println!("U{k}: {}", members.join(" "));
         }
         eprintln!(
-            "{} strings -> {} groups ({:.1}%) in {} iterations, {:.3}s",
-            parsed.strings.len(),
-            result.num_colors,
-            result.color_percentage(),
-            result.iterations.len(),
-            result.total_secs
+            "{}",
+            summary.headline(
+                parsed.strings.len(),
+                result.num_colors as usize,
+                result.color_percentage()
+            )
         );
     }
 
@@ -498,22 +670,7 @@ fn main() {
                 s.uncolored_after
             );
         }
-        eprintln!(
-            "pack builds: {} ({}% of candidate enumeration ran packed, {:.1}% hit density, \
-             {} mask words skipped whole, {} packing mispredicts)",
-            result.pack_builds,
-            (100.0 * result.packed_lane_utilization()).round(),
-            100.0 * result.hit_density(),
-            result.total_skipped_words(),
-            result.packing_mispredicts()
-        );
-        eprintln!(
-            "coloring [{}]: {:.3}s across {} rounds, {} repair conflicts, {} scheme mispredicts",
-            cfg.scheme.label(),
-            result.color_secs(),
-            result.total_color_rounds(),
-            result.total_repair_conflicts(),
-            result.scheme_mispredicts()
-        );
+        eprintln!("{}", summary.packing_footer());
+        eprintln!("{}", summary.coloring_footer(cfg.scheme.label()));
     }
 }

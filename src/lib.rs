@@ -6,6 +6,7 @@
 //! contains the runnable end-to-end scenarios.
 
 pub mod io;
+pub mod summary;
 
 pub use coloring;
 pub use device;

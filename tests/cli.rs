@@ -350,6 +350,126 @@ fn serve_rejects_malformed_request_files() {
 }
 
 #[test]
+fn metrics_flag_writes_validated_exposition_files() {
+    let input = write_input("cli_metrics_in.txt", "XXXX\nYYYY\nZZZZ\nXYZI\nIZYX\nXZXZ\n");
+    let metrics = std::env::temp_dir().join("cli_metrics_out.json");
+    let out = Command::new(CLI)
+        .arg(&input)
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).expect("metrics json");
+    telemetry::validate_metrics_json(&doc).expect("schema-valid metrics document");
+    assert_eq!(doc["schema_version"], telemetry::METRICS_SCHEMA_VERSION);
+    assert_eq!(doc["counters"]["solver_solves_total"], 1);
+    // The solve's phase spans aggregate into the same document.
+    assert!(
+        doc["histograms"]["span_conflict_build_ns"]["count"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    // Heap gauges are live (the CLI installs the tracking allocator).
+    assert!(doc["gauges"]["heap_peak_bytes"].as_u64().unwrap() > 0);
+    let prom = std::fs::read_to_string(format!("{}.prom", metrics.display())).unwrap();
+    assert!(
+        prom.contains("# TYPE solver_solves_total counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("span_conflict_build_ns_bucket"), "{prom}");
+}
+
+#[test]
+fn trace_flag_and_replay_subcommand_round_trip() {
+    let input = write_input("cli_trace_in.txt", "XXXX\nYYYY\nZZZZ\nXYZI\nIZYX\nXZXZ\n");
+    let trace = std::env::temp_dir().join("cli_trace_out.jsonl");
+    let out = Command::new(CLI)
+        .arg(&input)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.lines().count() > 0, "trace has span lines");
+    assert!(text.contains("\"span\":\"assign\""), "{text}");
+
+    let replay = Command::new(CLI)
+        .args(["trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        replay.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let table = String::from_utf8(replay.stdout).unwrap();
+    assert!(table.contains("phase"), "header in:\n{table}");
+    assert!(table.contains("assign"), "phase rows in:\n{table}");
+    assert!(table.contains("p99"), "quantile columns in:\n{table}");
+
+    // A corrupt log is rejected with the offending line number.
+    let bad = write_input("cli_trace_bad.jsonl", "not json\n");
+    let rejected = Command::new(CLI)
+        .args(["trace", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!rejected.status.success());
+    assert!(String::from_utf8_lossy(&rejected.stderr).contains("line 1"));
+}
+
+#[test]
+fn serve_once_writes_and_self_checks_the_metrics_exposition() {
+    let metrics = std::env::temp_dir().join("cli_serve_metrics.json");
+    let trace = std::env::temp_dir().join("cli_serve_trace.jsonl");
+    let out = Command::new(CLI)
+        .args(["serve", "--once", "--workers", "2"])
+        .args(["--metrics", metrics.to_str().unwrap()])
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).expect("metrics json");
+    telemetry::validate_metrics_json(&doc).expect("schema-valid metrics document");
+    // Admission-funnel counters are monotone along the pipeline, and the
+    // request-path latency histograms are populated.
+    let counter = |name: &str| doc["counters"][name].as_u64().unwrap();
+    assert_eq!(counter("service_submitted_total"), 4);
+    assert!(counter("service_admitted_total") >= counter("service_solved_total"));
+    assert_eq!(counter("service_solved_total"), 2);
+    assert_eq!(counter("solver_solves_total"), 2);
+    assert!(
+        doc["histograms"]["service_total_ns"]["count"]
+            .as_u64()
+            .unwrap()
+            >= 3
+    );
+    assert!(
+        doc["histograms"]["service_total_ns"]["p99"]
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    // The worker-pool spans land in the trace file.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"span\":\"conflict_build\""), "{text}");
+}
+
+#[test]
 fn custom_parameters_are_accepted() {
     let path = write_input("cli_params.txt", "XX\nYY\nZZ\nXY\nYX\nZI\nIZ\nXZ\n");
     let out = Command::new(CLI)

@@ -244,6 +244,98 @@ fn warm_sequential_coloring_allocates_nothing() {
 }
 
 #[test]
+fn warm_sequential_build_with_noop_sink_allocates_nothing() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // Enabled-sink variant of the zero pin above: with a sink installed
+    // the phase spans record into the preallocated per-thread ring
+    // (paid during warm-up), so the steady-state build still performs
+    // exactly zero heap allocations.
+    use picasso::conflict::build_sequential;
+    use picasso::{IterationContext, PauliComplementOracle};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    let n = 800;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let strings = pauli::string::random_unique_set(n, 12, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let oracle = PauliComplementOracle::new(&set);
+    let cfg = PicassoConfig::normal(1);
+    let (p, l) = (cfg.palette_size(n), cfg.list_size(n));
+    let mut ctx = IterationContext::new();
+    telemetry::install(Arc::new(telemetry::NoopSink));
+    // Warm-up (with tracing live): arenas grow, the ring is allocated
+    // by the first record.
+    for iter in 1..=3u64 {
+        ctx.assign_lists(n, 0, p, l, 1, iter);
+        let built = build_sequential(&oracle, &mut ctx);
+        ctx.recycle_csr(built.graph);
+    }
+    ctx.assign_lists(n, 0, p, l, 1, 3);
+    let before = memtrack::total_allocations();
+    let built = build_sequential(&oracle, &mut ctx);
+    let after = memtrack::total_allocations();
+    telemetry::uninstall();
+    assert!(built.num_edges > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state build with an installed no-op sink must stay within the span ring"
+    );
+    ctx.recycle_csr(built.graph);
+}
+
+#[test]
+fn warm_solve_allocations_are_identical_across_sink_modes() {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    // The zero-overhead contract at full-solve granularity: telemetry is
+    // compiled into every solver phase, and a warm solve must allocate
+    // exactly as much with tracing disabled (the default) as with a
+    // no-op or aggregating sink installed — records live in the
+    // preallocated ring and the aggregating fold hits cached instrument
+    // handles, so neither mode touches the heap once warm.
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    let n = 600;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let strings = pauli::string::random_unique_set(n, 12, &mut rng);
+    let set = EncodedSet::from_strings(&strings);
+    let cfg = PicassoConfig::normal(1).with_backend(picasso::ConflictBackend::Sequential);
+    let measured_solve_allocs = || {
+        // The warm-up solve pays every one-time cost (thread ring, sink
+        // instrument caches); the measured solve is steady state.
+        let warm = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        std::hint::black_box(warm.num_colors);
+        let before = memtrack::total_allocations();
+        let result = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        let after = memtrack::total_allocations();
+        std::hint::black_box(result.num_colors);
+        after - before
+    };
+    telemetry::uninstall();
+    let disabled = measured_solve_allocs();
+    telemetry::install(Arc::new(telemetry::NoopSink));
+    let noop = measured_solve_allocs();
+    let registry = Arc::new(telemetry::Registry::new());
+    telemetry::install(Arc::new(telemetry::AggregatingSink::new(Arc::clone(
+        &registry,
+    ))));
+    let aggregating = measured_solve_allocs();
+    telemetry::uninstall();
+    assert_eq!(
+        disabled, noop,
+        "a no-op sink must not change a warm solve's allocation count"
+    );
+    assert_eq!(
+        disabled, aggregating,
+        "a warm aggregating sink must fold spans without allocating"
+    );
+    assert!(
+        registry.histogram("span_conflict_build_ns").count() > 0,
+        "the aggregating sink must actually have observed the solve"
+    );
+}
+
+#[test]
 fn scan_shard_defaults_reuse_one_thread_buffer() {
     let _guard = MEASURE_LOCK.lock().unwrap();
     // Regression for the default-impl footgun: `scan_shard`/`scan_rows`
