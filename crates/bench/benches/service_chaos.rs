@@ -1,0 +1,238 @@
+//! Chaos soak at benchmark scale: ~10⁴ mixed requests driven through
+//! the solve service under graded seeded fault plans (none / 1% / 10%
+//! device+worker faults / a 30% worker-panic storm). The run is both a
+//! measurement — throughput and retry amplification per plan — and an
+//! assertion: every request yields exactly one terminal response, the
+//! daemon never aborts, retries stay within the attempt budget, and
+//! every job that still succeeds returns a payload bit-identical to the
+//! fault-free run. Results land in `BENCH_chaos.json` at the repo root.
+//!
+//! Set `PICASSO_CHAOS_SMOKE=1` (or `PICASSO_BENCH_SMOKE=1`) for the
+//! seconds-scale CI version — same plans, same assertions, smaller
+//! stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picasso_service::{
+    silence_injected_panics, FaultPlan, FaultSite, JobConfig, JobOutcome, ServiceConfig,
+    SolveRequest, SolveService, Workload,
+};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MAX_ATTEMPTS: u32 = 3;
+
+fn smoke() -> bool {
+    std::env::var_os("PICASSO_CHAOS_SMOKE").is_some()
+        || std::env::var_os("PICASSO_BENCH_SMOKE").is_some()
+}
+
+/// The deterministic mixed stream (tiny Pauli/graph jobs, device
+/// placements, cache duplicates, generous deadlines): request `i` is
+/// identical across plans so payloads are comparable by id.
+fn request_stream(len: usize) -> Vec<SolveRequest> {
+    (0..len)
+        .map(|i| {
+            let workload = match i % 5 {
+                0 | 1 => Workload::SyntheticPauli {
+                    n: 24 + (i % 5) * 8,
+                    qubits: 8,
+                    seed: (i % 9) as u64,
+                },
+                2 => Workload::SyntheticGraph {
+                    n: 40 + (i % 4) * 12,
+                    density: 0.3,
+                    seed: (i % 6) as u64,
+                },
+                3 => Workload::SyntheticPauli {
+                    n: 24,
+                    qubits: 8,
+                    seed: 0,
+                },
+                _ => Workload::SyntheticPauli {
+                    n: 32 + (i % 3) * 6,
+                    qubits: 8,
+                    seed: (i % 4) as u64,
+                },
+            };
+            let mut r = SolveRequest::new(format!("chaos-{i}"), workload);
+            r.priority = (i % 4) as u8;
+            if i % 4 == 1 {
+                r.config = JobConfig {
+                    backend: Some("device:64".into()),
+                    ..JobConfig::default()
+                };
+            }
+            if i % 13 == 0 {
+                r.config.deadline_ms = Some(60_000);
+            }
+            r
+        })
+        .collect()
+}
+
+fn service(faults: Option<FaultPlan>, workers: usize) -> SolveService {
+    SolveService::new(ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        cache_capacity: 128,
+        faults,
+        max_attempts: MAX_ATTEMPTS,
+        retry_backoff_ms: 0,
+        ..ServiceConfig::default()
+    })
+}
+
+struct SoakOutcome {
+    solved_lines: HashMap<String, String>,
+    failed: usize,
+    secs: f64,
+}
+
+fn soak(svc: &SolveService, stream: &[SolveRequest], plan: &str) -> SoakOutcome {
+    let mut solved_lines = HashMap::new();
+    let mut failed = 0usize;
+    let t = Instant::now();
+    for wave in stream.chunks(128) {
+        let report = svc.process_batch(wave.to_vec());
+        assert_eq!(
+            report.responses.len(),
+            wave.len(),
+            "{plan}: exactly one terminal response per request"
+        );
+        for (req, resp) in wave.iter().zip(report.responses.iter()) {
+            assert_eq!(req.id, resp.id, "{plan}: submission order");
+            match &resp.outcome {
+                JobOutcome::Solved(_) => {
+                    solved_lines.insert(resp.id.clone(), resp.to_json_line());
+                }
+                JobOutcome::Failed { .. } => failed += 1,
+                other => panic!("{plan}: {} not terminal: {other:?}", resp.id),
+            }
+        }
+    }
+    SoakOutcome {
+        solved_lines,
+        failed,
+        secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    silence_injected_panics();
+    let len = if smoke() { 1_500 } else { 10_000 };
+    let workers = 4;
+    let stream = request_stream(len);
+
+    // Fault-free truth, and the throughput floor the plans are graded
+    // against.
+    let baseline_svc = service(None, workers);
+    let baseline = soak(&baseline_svc, &stream, "baseline");
+    assert_eq!(baseline.failed, 0, "the healthy stream never fails");
+    assert_eq!(baseline_svc.metrics().faults_injected, 0);
+
+    let plans = [
+        ("faults-1pct", FaultPlan::uniform(101, 0.01)),
+        ("faults-10pct", FaultPlan::uniform(102, 0.10)),
+        (
+            "panic-storm",
+            FaultPlan::new(103).with_rate(FaultSite::WorkerPanic, 0.30),
+        ),
+    ];
+    let mut records = Vec::new();
+    records.push(serde_json::json!({
+        "plan": "baseline",
+        "requests": len,
+        "solved": baseline.solved_lines.len(),
+        "failed": 0,
+        "retries": 0,
+        "quarantined": 0,
+        "faults_injected": 0,
+        "panics_contained": 0,
+        "degradations": baseline_svc.metrics().degradations,
+        "throughput_req_per_s": len as f64 / baseline.secs.max(1e-9),
+    }));
+    for (name, plan) in plans {
+        let svc = service(Some(plan), workers);
+        let out = soak(&svc, &stream, name);
+        let m = svc.metrics();
+        assert_eq!(
+            out.solved_lines.len() + out.failed,
+            len,
+            "{name}: terminal accounting must close"
+        );
+        assert!(
+            m.retries <= len as u64 * u64::from(MAX_ATTEMPTS - 1),
+            "{name}: retries {} exceed the attempt budget",
+            m.retries
+        );
+        assert_eq!(m.quarantined as usize, svc.quarantined().len(), "{name}");
+        for (id, line) in &out.solved_lines {
+            assert_eq!(
+                Some(line),
+                baseline.solved_lines.get(id),
+                "{name}: {id} diverged from the fault-free payload"
+            );
+        }
+        assert!(
+            m.faults_injected > 0,
+            "{name}: a seeded nonzero plan at this scale must fire"
+        );
+        println!(
+            "service_chaos[{name}]: {}/{} solved, {} failed, {} retries, {} quarantined, \
+             {} faults, {} panics, {:.0} req/s (baseline {:.0})",
+            out.solved_lines.len(),
+            len,
+            out.failed,
+            m.retries,
+            m.quarantined,
+            m.faults_injected,
+            m.panics,
+            len as f64 / out.secs.max(1e-9),
+            len as f64 / baseline.secs.max(1e-9),
+        );
+        records.push(serde_json::json!({
+            "plan": name,
+            "requests": len,
+            "solved": out.solved_lines.len(),
+            "failed": out.failed,
+            "retries": m.retries,
+            "quarantined": m.quarantined,
+            "faults_injected": m.faults_injected,
+            "panics_contained": m.panics,
+            "degradations": m.degradations,
+            "throughput_req_per_s": len as f64 / out.secs.max(1e-9),
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "bench": "service_chaos",
+        "smoke": smoke(),
+        "workers": workers,
+        "max_attempts": MAX_ATTEMPTS,
+        "plans": records,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    std::fs::write(
+        path,
+        format!("{}\n", serde_json::to_string_pretty(&doc).unwrap()),
+    )
+    .expect("write BENCH_chaos.json");
+    println!("service_chaos: wrote {path}");
+
+    // A criterion-timed slice: one 128-request wave under the 10% plan,
+    // fresh service per iteration so retry state never accumulates.
+    let wave: Vec<SolveRequest> = request_stream(128);
+    let mut group = c.benchmark_group("service_chaos_wave128");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    group.bench_function("faults_10pct", |b| {
+        b.iter(|| {
+            let svc = service(Some(FaultPlan::uniform(102, 0.10)), workers);
+            black_box(svc.process_batch(wave.clone()).responses.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -13,9 +13,7 @@
 //! that keeps this target honest).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use picasso_service::{
-    AdmissionConfig, JobOutcome, ServiceConfig, SolveRequest, SolveService, Workload,
-};
+use picasso_service::{JobOutcome, ServiceConfig, SolveRequest, SolveService, Workload};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -28,7 +26,7 @@ fn config(workers: usize) -> ServiceConfig {
         workers,
         queue_capacity: 64,
         cache_capacity: 64,
-        admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     }
 }
 

@@ -82,10 +82,14 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                     "ok".into(),
                 ]);
             }
-            // The device backend never reports a zero-device fleet, and
-            // strict forecasting is off in this experiment.
-            Err(SolveError::NoDevices | SolveError::ForecastOverBudget { .. }) => {
-                unreachable!("single-device backend, lazy forecast")
+            // The device backend never reports a zero-device fleet, strict
+            // forecasting is off, and no deadline is armed here.
+            Err(
+                SolveError::NoDevices
+                | SolveError::ForecastOverBudget { .. }
+                | SolveError::DeadlineExceeded { .. },
+            ) => {
+                unreachable!("single-device backend, lazy forecast, no deadline")
             }
             Err(SolveError::DeviceOom(_)) => {
                 // The paper's remedy for the large tier: keep P = 12.5%
@@ -110,8 +114,12 @@ pub fn run(cfg: &HarnessConfig) -> Table {
                         continue;
                     }
                     Err(SolveError::DeviceOom(_)) => "OOM@a2, OOM@a1",
-                    Err(SolveError::NoDevices | SolveError::ForecastOverBudget { .. }) => {
-                        unreachable!("single-device backend, lazy forecast")
+                    Err(
+                        SolveError::NoDevices
+                        | SolveError::ForecastOverBudget { .. }
+                        | SolveError::DeadlineExceeded { .. },
+                    ) => {
+                        unreachable!("single-device backend, lazy forecast, no deadline")
                     }
                 };
                 table.push_row(vec![

@@ -564,7 +564,7 @@ pub fn build_device<O: EdgeOracle>(
                 }
             }
             pool.put(arena);
-        });
+        })?;
     }
     if overflow.load(Ordering::Relaxed) {
         return Err(DeviceError::OutOfMemory {
@@ -743,7 +743,7 @@ pub fn build_multi_device<O: EdgeOracle>(
         if span_pairs == 0 {
             // Idle span (or weight tail): the kernel still launches so
             // per-iteration launch accounting is uniform across devices.
-            dev.launch_weighted_span(span_weights, span.start, 1, |_b, _rows| {});
+            dev.launch_weighted_span(span_weights, span.start, 1, |_b, _rows| {})?;
             continue;
         }
         // (4) COO arena, capped at two u32 slots per candidate pair of
@@ -816,7 +816,7 @@ pub fn build_multi_device<O: EdgeOracle>(
                     }
                 }
                 pool.put(arena);
-            });
+            })?;
         }
         if overflow.load(Ordering::Relaxed) {
             return Err(DeviceError::OutOfMemory {
@@ -928,7 +928,7 @@ pub fn build_multi_device_rowsharded<O: EdgeOracle>(
                             staged.len(),
                         );
                     }
-                });
+                })?;
             }
             if overflow.load(Ordering::Relaxed) {
                 return Err(DeviceError::OutOfMemory {

@@ -32,9 +32,11 @@ use crate::candidates::CandidateEngine;
 use crate::config::ListColoringScheme;
 use crate::listcolor::{ColorCalibrator, ColorScratch, ColoringVerdict, SchemeKind};
 use crate::packed::{PackCalibrator, PackedBuckets, PackingMode, PackingVerdict};
+use device::FaultPlan;
 use graph::{CsrArena, CsrGraph, EdgeOracle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The per-task staging buffers one block of a parallel build checks out
 /// of a [`ScratchPool`]: COO edge staging (tuple form for the host
@@ -186,6 +188,17 @@ pub struct IterationContext {
     /// Line-8/9 run.
     color_calibrator: ColorCalibrator,
     scratch: IterationScratch,
+    /// Cooperative cancellation point for the solver: when set, the
+    /// iteration loop checks it between phases and aborts with
+    /// [`SolveError::DeadlineExceeded`](crate::SolveError::DeadlineExceeded).
+    /// Deliberately context state, **not** [`crate::PicassoConfig`]
+    /// state: a deadline must never enter result identity or cache
+    /// fingerprints. `None` (the default) costs one branch per check.
+    deadline: Option<Instant>,
+    /// Fault plan handed to every [`device::DeviceSim`] the solver
+    /// creates for this context's solves (chaos testing). Same
+    /// placement rationale as `deadline`.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for IterationContext {
@@ -213,7 +226,32 @@ impl IterationContext {
             calibrator: PackCalibrator::new(),
             color_calibrator: ColorCalibrator::default(),
             scratch: IterationScratch::default(),
+            deadline: None,
+            fault_plan: None,
         }
+    }
+
+    /// Arms (or clears) the solver's cooperative deadline. Callers that
+    /// reuse one context across jobs must set it before **every** solve
+    /// — it persists until replaced, like the calibrators.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Installs (or clears) the fault plan future solver-created devices
+    /// inherit. A no-op plan is kept as `None`.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.filter(|p| !p.is_noop());
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
     }
 
     /// Line 6 for the solver: re-assigns the color lists **in place**

@@ -35,6 +35,26 @@ pub enum SolveError {
         /// The configured per-device budget.
         budget_bytes: usize,
     },
+    /// The deadline armed via
+    /// [`IterationContext::set_deadline`](crate::IterationContext::set_deadline)
+    /// passed. The solver checks it cooperatively between phases (never
+    /// mid-kernel), so the abort is clean: no partial result escapes and
+    /// the context stays reusable.
+    DeadlineExceeded {
+        /// Fully completed iterations before the abort.
+        completed_iterations: usize,
+    },
+}
+
+impl SolveError {
+    /// True when the failure was injected by a
+    /// [`FaultPlan`](device::FaultPlan) rather than caused by a genuine
+    /// budget shortfall — injected faults are transient (a retry draws a
+    /// fresh verdict stream), genuine OOMs are permanent at the same
+    /// capacity.
+    pub fn is_injected(&self) -> bool {
+        matches!(self, SolveError::DeviceOom(e) if e.is_injected())
+    }
 }
 
 impl std::fmt::Display for SolveError {
@@ -52,11 +72,24 @@ impl std::fmt::Display for SolveError {
                 "device forecast over budget: iteration could need {estimate_bytes} B \
                  of a {budget_bytes} B device"
             ),
+            SolveError::DeadlineExceeded {
+                completed_iterations,
+            } => write!(
+                f,
+                "deadline exceeded after {completed_iterations} completed iterations"
+            ),
         }
     }
 }
 
-impl std::error::Error for SolveError {}
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::DeviceOom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Per-iteration telemetry (the quantities behind Figs. 2/3/5).
 #[derive(Clone, Copy, Debug, Serialize)]
@@ -360,8 +393,14 @@ impl Picasso {
         let mut next_base = 0u32;
         let mut iterations = Vec::new();
 
+        // Devices inherit the context's fault plan (if any): chaos
+        // testing threads through here without touching `PicassoConfig`,
+        // so fault injection can never perturb cache identity.
+        let faults = ctx.fault_plan();
         let dev = match cfg.backend {
-            ConflictBackend::Device { capacity_bytes } => Some(DeviceSim::new(capacity_bytes)),
+            ConflictBackend::Device { capacity_bytes } => {
+                Some(DeviceSim::with_fault_plan(capacity_bytes, faults))
+            }
             _ => None,
         };
         let multi_dev: Option<Vec<DeviceSim>> = match cfg.backend {
@@ -374,7 +413,12 @@ impl Picasso {
                 }
                 Some(
                     (0..devices)
-                        .map(|_| DeviceSim::new(capacity_each))
+                        .map(|d| {
+                            // Salt the plan per device so fleet members
+                            // draw independent fault streams.
+                            let salted = faults.map(|p| p.reseed(p.seed() ^ ((d as u64) << 32)));
+                            DeviceSim::with_fault_plan(capacity_each, salted)
+                        })
                         .collect(),
                 )
             }
@@ -394,8 +438,23 @@ impl Picasso {
         let mut conflicted: Vec<u32> = Vec::new();
         let mut outcome = listcolor::ListColorOutcome::default();
 
+        // Cooperative deadline: checked between phases only (iteration
+        // top and the build→color seam), never mid-kernel — a clean
+        // abort that leaves the context reusable. `None` is one branch.
+        let deadline = ctx.deadline();
+        let deadline_hit = |completed: usize| {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                Err(SolveError::DeadlineExceeded {
+                    completed_iterations: completed,
+                })
+            } else {
+                Ok(())
+            }
+        };
+
         let mut iter = 0usize;
         while !live.is_empty() {
+            deadline_hit(iter)?;
             iter += 1;
             if iter > cfg.max_iterations {
                 // Safety valve: one fresh color per remaining vertex.
@@ -484,6 +543,12 @@ impl Picasso {
             );
             if verdict.mispredicted {
                 telemetry::event!("packing_mispredict", iter = iter);
+            }
+            // Phase seam: a deadline passing during the build aborts
+            // before any coloring work starts.
+            if let Err(e) = deadline_hit(iter - 1) {
+                ctx.recycle_csr(build.graph);
+                return Err(e);
             }
             let gc = build.graph;
 
@@ -713,6 +778,91 @@ mod tests {
             .unwrap();
         // Different seed is allowed to differ (and essentially always does).
         assert!(a.colors != c.colors || a.num_colors == c.num_colors);
+    }
+
+    #[test]
+    fn solve_error_sources_chain_to_the_device_error() {
+        use std::error::Error;
+        let oom = SolveError::DeviceOom(DeviceError::OutOfMemory {
+            requested: 10,
+            available: 2,
+        });
+        let src = oom.source().expect("DeviceOom carries a source");
+        assert_eq!(
+            src.to_string(),
+            "device out of memory: requested 10 B, 2 B available"
+        );
+        assert!(src.source().is_none(), "DeviceError is the chain's root");
+        assert!(!oom.is_injected());
+
+        let injected = SolveError::DeviceOom(DeviceError::Injected {
+            site: device::FaultSite::DeviceAlloc,
+            op: 3,
+        });
+        assert!(injected.is_injected());
+        let src = injected.source().unwrap();
+        assert!(src.to_string().contains("injected device_alloc fault"));
+
+        for err in [
+            SolveError::NoDevices,
+            SolveError::ForecastOverBudget {
+                estimate_bytes: 2,
+                budget_bytes: 1,
+            },
+            SolveError::DeadlineExceeded {
+                completed_iterations: 0,
+            },
+        ] {
+            assert!(err.source().is_none(), "{err} has no inner error");
+            assert!(!err.is_injected());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_cleanly_and_context_stays_reusable() {
+        let set = random_set(80, 8, 5);
+        let mut ctx = IterationContext::new();
+        ctx.set_deadline(Some(Instant::now()));
+        let err = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli_in(&set, &mut ctx)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::DeadlineExceeded {
+                completed_iterations: 0
+            }
+        );
+        // Disarming and re-solving in the same context matches a fresh
+        // solve bit for bit — the abort left no residue.
+        ctx.set_deadline(None);
+        let replay = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli_in(&set, &mut ctx)
+            .unwrap();
+        let fresh = Picasso::new(PicassoConfig::normal(3))
+            .solve_pauli(&set)
+            .unwrap();
+        assert_eq!(replay.colors, fresh.colors);
+    }
+
+    #[test]
+    fn injected_device_faults_surface_as_typed_transient_errors() {
+        use device::FaultPlan;
+        let set = random_set(60, 8, 6);
+        let cfg = PicassoConfig::normal(3).with_backend(ConflictBackend::Device {
+            capacity_bytes: 32 * 1024 * 1024,
+        });
+        let mut ctx = IterationContext::new();
+        ctx.set_fault_plan(Some(FaultPlan::uniform(11, 1.0)));
+        let err = Picasso::new(cfg)
+            .solve_pauli_in(&set, &mut ctx)
+            .unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        // Clearing the plan heals the context: the re-solve is
+        // bit-identical to a device solve that never saw faults.
+        ctx.set_fault_plan(None);
+        let healed = Picasso::new(cfg).solve_pauli_in(&set, &mut ctx).unwrap();
+        let clean = Picasso::new(cfg).solve_pauli(&set).unwrap();
+        assert_eq!(healed.colors, clean.colors);
     }
 
     #[test]

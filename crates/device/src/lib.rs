@@ -17,9 +17,11 @@
 //! is preserved exactly.
 
 pub mod buffer;
+pub mod fault;
 pub mod sim;
 
 pub use buffer::{DeviceBuffer, DeviceLease};
+pub use fault::{FaultPlan, FaultSite, FAULT_SITES};
 pub use sim::{balanced_weight_cuts, DeviceError, DeviceSim, DeviceStats};
 
 /// Capacity presets, scaled-down analogues of real devices.

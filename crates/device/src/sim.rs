@@ -1,9 +1,10 @@
 //! The device state machine: budgeted allocation, transfers, kernels.
 
 use crate::buffer::DeviceBuffer;
+use crate::fault::{FaultPlan, FaultSite};
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Errors surfaced by the simulated device.
@@ -17,6 +18,25 @@ pub enum DeviceError {
         /// Bytes still available on the device.
         available: usize,
     },
+    /// A fault injected by the device's [`FaultPlan`] — deterministic
+    /// chaos for resilience testing, not a genuine budget failure.
+    /// Transient by definition: retrying the operation advances the
+    /// fault stream, so a retry may succeed.
+    Injected {
+        /// The operation class that fired.
+        site: FaultSite,
+        /// Position in that site's operation stream (replays under the
+        /// same plan fire at the same positions).
+        op: u64,
+    },
+}
+
+impl DeviceError {
+    /// True for faults injected by a [`FaultPlan`] (transient), false
+    /// for genuine budget failures (permanent at this capacity).
+    pub fn is_injected(&self) -> bool {
+        matches!(self, DeviceError::Injected { .. })
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -29,6 +49,9 @@ impl fmt::Display for DeviceError {
                 f,
                 "device out of memory: requested {requested} B, {available} B available"
             ),
+            DeviceError::Injected { site, op } => {
+                write!(f, "injected {site} fault (op {op})")
+            }
         }
     }
 }
@@ -46,6 +69,15 @@ pub(crate) struct DeviceState {
     pub(crate) d2h_bytes: AtomicUsize,
     pub(crate) kernel_launches: AtomicUsize,
     pub(crate) alloc_lock: Mutex<()>,
+    /// Active fault plan (`None` = no injection, the default — the hot
+    /// path then pays exactly one branch per site).
+    pub(crate) faults: Option<FaultPlan>,
+    /// Per-device-site operation counters: the stream positions fed to
+    /// [`FaultPlan::fires`]. Separate streams per site so an extra
+    /// alloc cannot shift which launch fails.
+    pub(crate) fault_ops: [AtomicU64; 4],
+    /// Total faults injected by this device (reporting).
+    pub(crate) faults_injected: AtomicU64,
 }
 
 /// Counters snapshot for reporting.
@@ -72,6 +104,14 @@ pub struct DeviceSim {
 impl DeviceSim {
     /// Creates a device with `capacity` bytes of memory.
     pub fn new(capacity: usize) -> DeviceSim {
+        DeviceSim::with_fault_plan(capacity, None)
+    }
+
+    /// Creates a device with `capacity` bytes of memory and an optional
+    /// fault plan: device-site rates in `faults` make alloc/reserve/
+    /// upload/launch operations fail deterministically as
+    /// [`DeviceError::Injected`].
+    pub fn with_fault_plan(capacity: usize, faults: Option<FaultPlan>) -> DeviceSim {
         DeviceSim {
             state: Arc::new(DeviceState {
                 capacity,
@@ -81,8 +121,44 @@ impl DeviceSim {
                 d2h_bytes: AtomicUsize::new(0),
                 kernel_launches: AtomicUsize::new(0),
                 alloc_lock: Mutex::new(()),
+                // A no-op plan is the same as no plan; normalizing here
+                // keeps the disabled-path guarantee (one branch, no
+                // hashing) even when callers pass a zero-rate plan.
+                faults: faults.filter(|p| !p.is_noop()),
+                fault_ops: [
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                    AtomicU64::new(0),
+                ],
+                faults_injected: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.state.faults
+    }
+
+    /// Total faults this device has injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// The single per-operation fault gate: advances `site`'s stream and
+    /// asks the plan for a verdict. With no plan installed this is one
+    /// branch — no atomic traffic, no hashing.
+    #[inline]
+    fn fault_check(&self, site: FaultSite) -> Result<(), DeviceError> {
+        if let Some(plan) = &self.state.faults {
+            let op = self.state.fault_ops[site.index()].fetch_add(1, Ordering::Relaxed);
+            if plan.fires(site, op) {
+                self.state.faults_injected.fetch_add(1, Ordering::Relaxed);
+                return Err(DeviceError::Injected { site, op });
+            }
+        }
+        Ok(())
     }
 
     /// Total device capacity in bytes.
@@ -114,6 +190,7 @@ impl DeviceSim {
     /// Allocates an uninitialized (zeroed) buffer of `len` elements,
     /// failing with [`DeviceError::OutOfMemory`] if it does not fit.
     pub fn alloc<T: Clone + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+        self.fault_check(FaultSite::DeviceAlloc)?;
         let bytes = len * std::mem::size_of::<T>();
         // Serialize the check-and-reserve so concurrent allocations cannot
         // overshoot the budget.
@@ -138,6 +215,7 @@ impl DeviceSim {
     /// serialized budget check, peak tracking, release when the returned
     /// [`DeviceLease`] drops.
     pub fn reserve(&self, bytes: usize) -> Result<crate::buffer::DeviceLease, DeviceError> {
+        self.fault_check(FaultSite::DeviceReserve)?;
         let _guard = self.state.alloc_lock.lock();
         let used = self.state.used.load(Ordering::Relaxed);
         let available = self.state.capacity - used;
@@ -159,6 +237,7 @@ impl DeviceSim {
     /// Allocates a buffer and fills it from host data, counting the
     /// host→device transfer.
     pub fn upload<T: Clone + Default>(&self, data: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        self.fault_check(FaultSite::DeviceUpload)?;
         let mut buf = self.alloc::<T>(data.len())?;
         buf.as_mut_slice().clone_from_slice(data);
         self.state
@@ -188,14 +267,17 @@ impl DeviceSim {
 
     /// Launches a "kernel": `grid` logical threads executed over the
     /// rayon pool. The closure receives the thread index, exactly like a
-    /// flattened CUDA grid.
-    pub fn launch<F: Fn(usize) + Sync>(&self, grid: usize, kernel: F) {
+    /// flattened CUDA grid. Fails only under an active [`FaultPlan`]
+    /// whose launch site fires (the kernel then never dispatches).
+    pub fn launch<F: Fn(usize) + Sync>(&self, grid: usize, kernel: F) -> Result<(), DeviceError> {
         use rayon::prelude::*;
+        self.fault_check(FaultSite::DeviceLaunch)?;
         self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
         // The closure keeps `kernel` borrowed (only `&F: Send` is needed),
         // so `F` itself does not have to be `Send`.
         #[allow(clippy::redundant_closure)]
         (0..grid).into_par_iter().for_each(|tid| kernel(tid));
+        Ok(())
     }
 
     /// Launches a block-structured kernel: the grid is cut into
@@ -207,8 +289,9 @@ impl DeviceSim {
         grid: usize,
         num_blocks: usize,
         kernel: F,
-    ) {
+    ) -> Result<(), DeviceError> {
         use rayon::prelude::*;
+        self.fault_check(FaultSite::DeviceLaunch)?;
         self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
         let num_blocks = num_blocks.max(1);
         let block = grid.div_ceil(num_blocks);
@@ -219,6 +302,7 @@ impl DeviceSim {
                 kernel(b, lo..hi);
             }
         });
+        Ok(())
     }
 
     /// Launches a *weighted* block kernel over `weights.len()` work items
@@ -233,8 +317,9 @@ impl DeviceSim {
         weights: &[u64],
         num_blocks: usize,
         kernel: F,
-    ) {
+    ) -> Result<(), DeviceError> {
         use rayon::prelude::*;
+        self.fault_check(FaultSite::DeviceLaunch)?;
         self.state.kernel_launches.fetch_add(1, Ordering::Relaxed);
         let cuts = balanced_weight_cuts(weights, num_blocks);
         cuts.into_par_iter().enumerate().for_each(|(b, range)| {
@@ -242,6 +327,7 @@ impl DeviceSim {
                 kernel(b, range);
             }
         });
+        Ok(())
     }
 
     /// Launches a weighted block kernel over a *span* of a larger flat
@@ -258,10 +344,10 @@ impl DeviceSim {
         base: usize,
         num_blocks: usize,
         kernel: F,
-    ) {
+    ) -> Result<(), DeviceError> {
         self.launch_weighted_blocks(weights, num_blocks, |b, local| {
             kernel(b, base + local.start..base + local.end)
-        });
+        })
     }
 }
 
@@ -349,7 +435,8 @@ mod tests {
         let hits = AtomicUsize::new(0);
         dev.launch(1000, |_tid| {
             hits.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
         assert_eq!(dev.stats().kernel_launches, 1);
     }
@@ -364,7 +451,8 @@ mod tests {
                 assert!(!s[i], "index {i} covered twice");
                 s[i] = true;
             }
-        });
+        })
+        .unwrap();
         assert!(seen.lock().iter().all(|&x| x));
     }
 
@@ -382,7 +470,8 @@ mod tests {
                 assert!(!s[i], "item {i} covered twice");
                 s[i] = true;
             }
-        });
+        })
+        .unwrap();
         assert!(seen.lock().iter().all(|&x| x));
         assert_eq!(dev.stats().kernel_launches, 1);
     }
@@ -400,11 +489,13 @@ mod tests {
                 assert!(!s[i - base], "global item {i} covered twice");
                 s[i - base] = true;
             }
-        });
+        })
+        .unwrap();
         assert!(seen.lock().iter().all(|&x| x));
         assert_eq!(dev.stats().kernel_launches, 1);
         // An empty span is still a (counted) launch with no blocks.
-        dev.launch_weighted_span(&[], 99, 3, |_b, _r| panic!("no blocks expected"));
+        dev.launch_weighted_span(&[], 99, 3, |_b, _r| panic!("no blocks expected"))
+            .unwrap();
         assert_eq!(dev.stats().kernel_launches, 2);
     }
 
@@ -433,6 +524,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn injected_faults_fire_deterministically_per_site() {
+        let plan = FaultPlan::new(77).with_rate(FaultSite::DeviceAlloc, 0.5);
+        let run = || {
+            let dev = DeviceSim::with_fault_plan(4096, Some(plan));
+            (0..64)
+                .map(|_| dev.alloc::<u8>(1).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same plan, same fault positions");
+        assert!(a.iter().any(|&f| f), "50% plan fired at least once in 64");
+        assert!(!a.iter().all(|&f| f), "...and not every time");
+    }
+
+    #[test]
+    fn injected_faults_reserve_no_budget_and_launch_no_kernel() {
+        let plan = FaultPlan::uniform(3, 1.0);
+        let dev = DeviceSim::with_fault_plan(4096, Some(plan));
+        let err = dev.alloc::<u8>(16).unwrap_err();
+        assert!(err.is_injected(), "{err}");
+        assert!(matches!(
+            err,
+            DeviceError::Injected {
+                site: FaultSite::DeviceAlloc,
+                ..
+            }
+        ));
+        assert!(dev.reserve(16).unwrap_err().is_injected());
+        let launched = dev.launch(10, |_t| panic!("kernel must not dispatch"));
+        assert!(launched.unwrap_err().is_injected());
+        assert_eq!(dev.used_bytes(), 0, "failed ops hold no budget");
+        assert_eq!(dev.stats().kernel_launches, 0);
+        assert_eq!(dev.faults_injected(), 3);
+    }
+
+    #[test]
+    fn noop_plans_are_discarded_and_fault_free_devices_report_none() {
+        let dev = DeviceSim::with_fault_plan(1024, Some(FaultPlan::new(5)));
+        assert_eq!(dev.fault_plan(), None, "zero-rate plan normalizes away");
+        assert_eq!(DeviceSim::new(1024).fault_plan(), None);
+        assert_eq!(DeviceSim::new(1024).faults_injected(), 0);
     }
 
     #[test]

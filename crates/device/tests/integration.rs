@@ -15,7 +15,8 @@ fn pipeline_computes_and_accounts() {
     dev.launch(buf.len(), |tid| {
         let v = buf[tid] as u64;
         acc.fetch_add(v * v, Ordering::Relaxed);
-    });
+    })
+    .unwrap();
     let expected: u64 = (0..1000u64).map(|v| v * v).sum();
     assert_eq!(acc.load(Ordering::Relaxed), expected);
 

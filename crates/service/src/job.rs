@@ -211,12 +211,23 @@ pub struct JobConfig {
     pub seed: Option<u64>,
     /// Start from the Aggressive preset instead of Normal.
     pub aggressive: bool,
-    /// Conflict backend override: `seq`, `par` or `allpairs` (device
-    /// backends are placed by the service, not by jobs).
+    /// Conflict backend override: `seq`, `par`, `allpairs`,
+    /// `device:<MiB>` (simulated device of that capacity) or
+    /// `multi:<N>:<MiB>` (a fleet of `N` devices, `<MiB>` each). Device
+    /// placements start the service's degradation ladder: on a genuine
+    /// capacity failure the job re-solves down MultiDevice → Device →
+    /// Parallel → Sequential with the identical coloring.
     pub backend: Option<String>,
     /// List-coloring scheme override (`greedy`, `jp`, `spec`, `auto`, or
     /// a static ordering: `natural`, `random`, `lf`, `sl`, `dlf`, `id`).
     pub coloring: Option<String>,
+    /// Soft wall-clock budget for the job, measured from enqueue. The
+    /// solver checks it cooperatively between phases; an expired job
+    /// fails with a deadline error instead of occupying a worker.
+    /// Deliberately **not** part of the resolved [`PicassoConfig`] (and
+    /// therefore not part of the cache fingerprint): the same instance
+    /// under different deadlines is the same solve.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobConfig {
@@ -244,7 +255,7 @@ impl JobConfig {
             Some("seq") => cfg = cfg.with_backend(ConflictBackend::Sequential),
             Some("par") => cfg = cfg.with_backend(ConflictBackend::Parallel),
             Some("allpairs") => cfg = cfg.with_backend(ConflictBackend::AllPairs),
-            Some(other) => return Err(format!("unknown backend {other:?}")),
+            Some(spec) => cfg = cfg.with_backend(parse_device_backend(spec)?),
         }
         if let Some(label) = self.coloring.as_deref() {
             cfg = cfg.with_scheme(ListColoringScheme::from_label(label)?);
@@ -273,6 +284,9 @@ impl JobConfig {
         if let Some(c) = &self.coloring {
             map.insert("coloring".to_string(), Value::from(c.as_str()));
         }
+        if let Some(d) = self.deadline_ms {
+            map.insert("deadline_ms".to_string(), Value::from(d));
+        }
         Value::Object(map)
     }
 
@@ -285,12 +299,49 @@ impl JobConfig {
             aggressive: v["aggressive"].as_bool().unwrap_or(false),
             backend: v["backend"].as_str().map(str::to_string),
             coloring: v["coloring"].as_str().map(str::to_string),
+            deadline_ms: v["deadline_ms"].as_u64(),
         };
         // Fail fast on malformed overrides so the error is attributed at
         // parse time, not on a worker thread.
         cfg.effective()?;
         Ok(cfg)
     }
+}
+
+/// Parses the device backend specs `device:<MiB>` and `multi:<N>:<MiB>`.
+fn parse_device_backend(spec: &str) -> Result<ConflictBackend, String> {
+    fn mib(s: &str, spec: &str) -> Result<usize, String> {
+        let mib: usize = s
+            .parse()
+            .map_err(|_| format!("bad device capacity {s:?} in backend {spec:?}"))?;
+        if mib == 0 || mib > 1024 * 1024 {
+            return Err(format!("device capacity {mib} MiB out of [1, 2^20]"));
+        }
+        Ok(mib * 1024 * 1024)
+    }
+    if let Some(cap) = spec.strip_prefix("device:") {
+        return Ok(ConflictBackend::Device {
+            capacity_bytes: mib(cap, spec)?,
+        });
+    }
+    if let Some(rest) = spec.strip_prefix("multi:") {
+        let (count, cap) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("backend {spec:?} wants multi:<N>:<MiB>"))?;
+        let devices: usize = count
+            .parse()
+            .map_err(|_| format!("bad device count {count:?} in backend {spec:?}"))?;
+        if devices == 0 || devices > 64 {
+            return Err(format!("device count {devices} out of [1, 64]"));
+        }
+        return Ok(ConflictBackend::MultiDevice {
+            devices,
+            capacity_each: mib(cap, spec)?,
+        });
+    }
+    Err(format!(
+        "unknown backend {spec:?} (want seq | par | allpairs | device:<MiB> | multi:<N>:<MiB>)"
+    ))
 }
 
 /// One queued unit of work.
@@ -376,18 +427,50 @@ impl SolveRequest {
     }
 }
 
+/// What [`parse_request_lines`] recovered from a JSONL batch: the
+/// well-formed requests plus one terminal [`JobOutcome::Malformed`]
+/// response per bad line. A malformed line rejects *that line*, never
+/// the wave around it.
+#[derive(Debug, Default)]
+pub struct ParsedRequests {
+    /// Requests that parsed and validated.
+    pub requests: Vec<SolveRequest>,
+    /// One rejection response per malformed line, in line order.
+    pub malformed: Vec<SolveResponse>,
+}
+
 /// Parses a whole JSONL request file (blank lines and `#` comments
-/// allowed).
-pub fn parse_request_lines(text: &str) -> Result<Vec<SolveRequest>, String> {
-    let mut out = Vec::new();
+/// allowed). Malformed lines become per-line [`JobOutcome::Malformed`]
+/// responses — carrying the 1-based line number and, when the line was
+/// at least valid JSON, the request's own id — instead of failing the
+/// batch.
+pub fn parse_request_lines(text: &str) -> ParsedRequests {
+    let mut out = ParsedRequests::default();
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(SolveRequest::from_json_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+        match SolveRequest::from_json_line(line) {
+            Ok(req) => out.requests.push(req),
+            Err(error) => {
+                // Salvage the id when the document parsed as JSON but
+                // failed validation, so the caller can still correlate.
+                let id = serde_json::from_str(line)
+                    .ok()
+                    .and_then(|v: Value| v["id"].as_str().map(str::to_string))
+                    .unwrap_or_else(|| format!("line-{}", idx + 1));
+                out.malformed.push(SolveResponse {
+                    id,
+                    outcome: JobOutcome::Malformed {
+                        line: idx + 1,
+                        error,
+                    },
+                });
+            }
+        }
     }
-    Ok(out)
+    out
 }
 
 /// The deterministic result payload of a completed solve. Carries no
@@ -416,9 +499,18 @@ pub enum JobOutcome {
         /// Human-readable refusal (budget numbers included).
         reason: String,
     },
-    /// The solver reported an error (e.g. a malformed workload).
+    /// The solver reported an error (e.g. a malformed workload), or the
+    /// job was quarantined after exhausting its retry budget.
     Failed {
         /// Rendered error.
+        error: String,
+    },
+    /// The request line never parsed: rejected at intake, one response
+    /// per bad line, without failing the rest of the wave.
+    Malformed {
+        /// 1-based line number in the submitted JSONL batch.
+        line: usize,
+        /// The parse error.
         error: String,
     },
 }
@@ -458,12 +550,25 @@ impl SolveResponse {
                 "status": "failed",
                 "error": error.clone(),
             }),
+            JobOutcome::Malformed { line, error } => json!({
+                "id": self.id.clone(),
+                "status": "malformed",
+                "line": *line,
+                "error": error.clone(),
+            }),
         }
     }
 
-    /// One compact JSONL line.
+    /// One compact JSONL line. Serialization of these documents cannot
+    /// fail in practice; if the shim ever refuses one, the caller still
+    /// gets a well-formed failed line rather than a panic.
     pub fn to_json_line(&self) -> String {
-        serde_json::to_string(&self.to_json()).expect("response json")
+        serde_json::to_string(&self.to_json()).unwrap_or_else(|e| {
+            format!(
+                "{{\"id\":\"{}\",\"status\":\"failed\",\"error\":\"unserializable response: {e}\"}}",
+                self.id.replace(['"', '\\'], "_")
+            )
+        })
     }
 }
 
@@ -669,6 +774,7 @@ mod tests {
             aggressive: false,
             backend: Some("seq".into()),
             coloring: Some("jp".into()),
+            deadline_ms: None,
         }
         .effective()
         .unwrap();
@@ -704,22 +810,96 @@ mod tests {
     }
 
     #[test]
-    fn parse_request_lines_skips_comments_and_reports_line_numbers() {
+    fn parse_request_lines_recovers_per_line_from_malformed_input() {
         let text = format!(
-            "# a comment\n\n{}\nnot json\n",
+            "# a comment\n\n{}\nnot json\n{{\"id\": \"named\", \"workload\": 3}}\n",
             serde_json::to_string(&sample_request().to_json()).unwrap()
         );
-        let err = parse_request_lines(&text).unwrap_err();
-        assert!(err.starts_with("line 4"), "{err}");
-        let ok = parse_request_lines(
-            text.rsplit_once('\n')
-                .unwrap()
-                .0
-                .rsplit_once('\n')
-                .unwrap()
-                .0,
-        )
+        let parsed = parse_request_lines(&text);
+        // The good line still parses — a bad neighbor never fails the batch.
+        assert_eq!(parsed.requests.len(), 1);
+        assert_eq!(parsed.requests[0].id, "job-1");
+        assert_eq!(parsed.malformed.len(), 2);
+        // Unparseable JSON: synthesized id carries the line number.
+        assert_eq!(parsed.malformed[0].id, "line-4");
+        assert!(matches!(
+            &parsed.malformed[0].outcome,
+            JobOutcome::Malformed { line: 4, .. }
+        ));
+        // Valid JSON failing validation: the document's own id survives.
+        assert_eq!(parsed.malformed[1].id, "named");
+        assert!(matches!(
+            &parsed.malformed[1].outcome,
+            JobOutcome::Malformed { line: 5, .. }
+        ));
+        // The wire form names the status and line.
+        let doc = serde_json::from_str(&parsed.malformed[0].to_json_line()).unwrap();
+        assert_eq!(doc["status"], "malformed");
+        assert_eq!(doc["line"], 4);
+        // A clean file reports nothing malformed.
+        let clean = parse_request_lines("# only comments\n\n");
+        assert!(clean.requests.is_empty() && clean.malformed.is_empty());
+    }
+
+    #[test]
+    fn device_backend_specs_parse_and_validate() {
+        let dev = JobConfig {
+            backend: Some("device:64".into()),
+            ..JobConfig::default()
+        }
+        .effective()
         .unwrap();
-        assert_eq!(ok.len(), 1);
+        assert_eq!(
+            dev.backend,
+            ConflictBackend::Device {
+                capacity_bytes: 64 * 1024 * 1024
+            }
+        );
+        let multi = JobConfig {
+            backend: Some("multi:4:16".into()),
+            ..JobConfig::default()
+        }
+        .effective()
+        .unwrap();
+        assert_eq!(
+            multi.backend,
+            ConflictBackend::MultiDevice {
+                devices: 4,
+                capacity_each: 16 * 1024 * 1024
+            }
+        );
+        for bad in [
+            "device:",
+            "device:0",
+            "device:nope",
+            "multi:4",
+            "multi:0:16",
+            "multi:999:16",
+            "multi:2:0",
+            "warp",
+        ] {
+            let err = JobConfig {
+                backend: Some(bad.into()),
+                ..JobConfig::default()
+            }
+            .effective();
+            assert!(err.is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn deadline_round_trips_but_never_enters_the_cache_identity() {
+        let mut req = sample_request();
+        req.config.deadline_ms = Some(250);
+        let line = serde_json::to_string(&req.to_json()).unwrap();
+        let back = SolveRequest::from_json_line(&line).unwrap();
+        assert_eq!(back, req);
+        // Deadlines shape scheduling, not results: same fingerprint and
+        // key with or without one, so cached entries stay shareable.
+        assert_eq!(
+            req.instance_fingerprint(),
+            sample_request().instance_fingerprint()
+        );
+        assert_eq!(req.instance_key(), sample_request().instance_key());
     }
 }

@@ -43,10 +43,13 @@ pub mod service;
 
 pub use admission::{forecast_peak_bytes, AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use cache::{CacheStats, ResultCache};
+pub use device::{FaultPlan, FaultSite, FAULT_SITES};
 pub use job::{
-    parse_request_lines, HashOracle, JobConfig, JobOutcome, SolveRequest, SolveResponse,
-    SolveSummary, Workload,
+    parse_request_lines, HashOracle, JobConfig, JobOutcome, ParsedRequests, SolveRequest,
+    SolveResponse, SolveSummary, Workload,
 };
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use queue::{JobQueue, QueueFull, QueuedJob};
-pub use service::{BatchReport, ServiceConfig, SolveService};
+pub use service::{
+    silence_injected_panics, BatchReport, QuarantineRecord, ServiceConfig, SolveService,
+};

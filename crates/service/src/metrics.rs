@@ -15,6 +15,7 @@
 //! admission runs before any conflict build.
 
 use crate::cache::CacheStats;
+use device::{FaultSite, FAULT_SITES};
 use serde::Serialize;
 use serde_json::{json, Value};
 use std::sync::Arc;
@@ -56,6 +57,18 @@ pub struct ServiceMetrics {
     pub(crate) total_ns: Arc<Histogram>,
     /// High-water structural solve peak across served jobs.
     pub(crate) solver_peak_bytes: Arc<Gauge>,
+    /// Transient failures re-enqueued for another attempt.
+    pub(crate) retries: Arc<Counter>,
+    /// Backend demotions taken by the degradation ladder.
+    pub(crate) degradations: Arc<Counter>,
+    /// Jobs that failed terminally with an expired deadline.
+    pub(crate) deadline_exceeded: Arc<Counter>,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub(crate) quarantined: Arc<Counter>,
+    /// Worker-thread panics contained by the isolation boundary.
+    pub(crate) panics: Arc<Counter>,
+    /// Injected faults observed, per [`FaultSite`] (index order).
+    pub(crate) faults: [Arc<Counter>; 6],
 }
 
 impl Default for ServiceMetrics {
@@ -86,8 +99,20 @@ impl ServiceMetrics {
             coalesce_wait_ns: registry.histogram("service_coalesce_wait_ns"),
             total_ns: registry.histogram("service_total_ns"),
             solver_peak_bytes: registry.gauge("solver_peak_bytes"),
+            retries: registry.counter("service_retries_total"),
+            degradations: registry.counter("service_degradations_total"),
+            deadline_exceeded: registry.counter("service_deadline_exceeded_total"),
+            quarantined: registry.counter("service_quarantined_total"),
+            panics: registry.counter("service_panics_total"),
+            faults: FAULT_SITES
+                .map(|site| registry.counter(&format!("service_fault_{}_total", site.label()))),
             registry,
         }
+    }
+
+    /// The counter tracking injected faults at `site`.
+    pub(crate) fn fault_counter(&self, site: FaultSite) -> &Counter {
+        &self.faults[site.index()]
     }
 
     /// The registry every instrument lives in — the exposition surface.
@@ -126,6 +151,12 @@ impl ServiceMetrics {
             forecast_bytes_total: self.forecast_bytes_total.get(),
             observed_peak_bytes_total: self.observed_peak_bytes_total.get(),
             calibration_samples: self.calibration_samples.get(),
+            retries: self.retries.get(),
+            degradations: self.degradations.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            quarantined: self.quarantined.get(),
+            panics: self.panics.get(),
+            faults_injected: self.faults.iter().map(|c| c.get()).sum(),
         }
     }
 }
@@ -168,6 +199,20 @@ pub struct MetricsSnapshot {
     /// Calibration samples recorded (one per fresh solve; cache replays
     /// and rejections contribute none).
     pub calibration_samples: u64,
+    /// Transient failures re-enqueued for another attempt.
+    pub retries: u64,
+    /// Backend demotions taken by the degradation ladder.
+    pub degradations: u64,
+    /// Jobs terminally failed on an expired deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub quarantined: u64,
+    /// Worker panics contained by the isolation boundary.
+    pub panics: u64,
+    /// Injected faults observed, summed over every fault site (the
+    /// per-site split lives in the registry's
+    /// `service_fault_<site>_total` counters).
+    pub faults_injected: u64,
 }
 
 impl MetricsSnapshot {
@@ -201,6 +246,12 @@ impl MetricsSnapshot {
             "forecast_bytes_total": self.forecast_bytes_total,
             "observed_peak_bytes_total": self.observed_peak_bytes_total,
             "calibration_samples": self.calibration_samples,
+            "retries": self.retries,
+            "degradations": self.degradations,
+            "deadline_exceeded": self.deadline_exceeded,
+            "quarantined": self.quarantined,
+            "panics": self.panics,
+            "faults_injected": self.faults_injected,
         })
     }
 }
@@ -239,5 +290,33 @@ mod tests {
         });
         assert_eq!(registry.gauge("cache_hits").get(), 3);
         assert_eq!(registry.gauge("cache_entries").get(), 5);
+    }
+
+    #[test]
+    fn fault_counters_split_per_site_and_sum_in_the_snapshot() {
+        let m = ServiceMetrics::default();
+        m.fault_counter(FaultSite::DeviceAlloc).add(3);
+        m.fault_counter(FaultSite::WorkerPanic).inc();
+        m.retries.add(2);
+        m.quarantined.inc();
+        let registry = m.registry();
+        assert_eq!(
+            registry.counter("service_fault_device_alloc_total").get(),
+            3
+        );
+        assert_eq!(
+            registry.counter("service_fault_worker_panic_total").get(),
+            1
+        );
+        assert_eq!(
+            registry.counter("service_fault_device_launch_total").get(),
+            0
+        );
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.faults_injected, 4);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.to_json()["faults_injected"], 4);
+        assert_eq!(s.to_json()["quarantined"], 1);
     }
 }

@@ -21,9 +21,18 @@ pub struct QueuedJob {
     pub priority: u8,
     /// When the job entered the queue — the anchor for the
     /// `service_queue_wait_ns` and `service_total_ns` latency
-    /// histograms. Not part of the job's identity (excluded from
-    /// equality and ordering).
+    /// histograms *and* for the job's deadline. Not part of the job's
+    /// identity (excluded from equality and ordering).
     pub enqueued_at: std::time::Instant,
+    /// Execution attempts already consumed (0 on first admission;
+    /// incremented each time the retry layer re-enqueues the job).
+    /// Excluded from equality and ordering: a retried job keeps its
+    /// original priority and sequence, so it neither jumps nor loses its
+    /// place in the deterministic order.
+    pub attempts: u32,
+    /// One entry per failed attempt ("attempt N: <error>"), attached to
+    /// the terminal failure when the job is quarantined.
+    pub fault_history: Vec<String>,
     /// The work itself.
     pub request: SolveRequest,
 }
@@ -105,6 +114,15 @@ impl JobQueue {
     pub fn pop(&self) -> Option<QueuedJob> {
         self.heap.lock().pop()
     }
+
+    /// Re-enqueues a job for a retry attempt, **exempt from the
+    /// capacity bound**. A retried job already holds a response slot in
+    /// the running wave; refusing it would strand that slot and could
+    /// deadlock the wave, so retries always land. Fresh admissions still
+    /// go through the bounded [`JobQueue::push`].
+    pub fn push_retry(&self, job: QueuedJob) {
+        self.heap.lock().push(job);
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +135,8 @@ mod tests {
             seq,
             priority,
             enqueued_at: std::time::Instant::now(),
+            attempts: 0,
+            fault_history: Vec::new(),
             request: SolveRequest::new(
                 format!("j{seq}"),
                 Workload::SyntheticPauli {
@@ -152,6 +172,24 @@ mod tests {
         assert_eq!(q.pop().unwrap().seq, 0);
         q.push(back).unwrap();
         assert_eq!(q.pop().unwrap().seq, 2, "priority 7 beats the leftover");
+    }
+
+    #[test]
+    fn retries_bypass_the_bound_and_keep_their_place_in_order() {
+        let q = JobQueue::new(2);
+        q.push(job(0, 5)).unwrap();
+        q.push(job(1, 5)).unwrap();
+        // A retry of seq 0 lands even though the queue is full…
+        let mut retry = job(0, 5);
+        retry.attempts = 2;
+        retry.fault_history = vec!["attempt 1: injected".into()];
+        q.push_retry(retry);
+        assert_eq!(q.len(), 3);
+        // …and attempts/history don't perturb the deterministic order:
+        // both seq-0 entries pop before seq 1 at equal priority.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq, 1);
     }
 
     #[test]

@@ -16,6 +16,25 @@
 //! The queue bound is backpressure: when a batch outgrows it, the driver
 //! drains a full wave before admitting more, so memory stays bounded by
 //! `queue_capacity` jobs rather than the batch size.
+//!
+//! # Fault tolerance
+//!
+//! The service survives its own workers. Every attempt runs under a
+//! panic-isolation boundary (a panicking job yields a `Failed` response,
+//! never a dead worker or a lost wave). Failures are *classified*:
+//! transient ones (injected faults, panics) are re-enqueued under
+//! deterministic exponential backoff until [`ServiceConfig::max_attempts`]
+//! is spent — then the job is **quarantined** with its full fault
+//! history. Genuine device-capacity failures instead walk the
+//! **degradation ladder** in place — packed → scalar kernels, then
+//! MultiDevice → Device → Parallel → Sequential — re-solving on the next
+//! rung; every backend produces bit-identical colorings, so a degraded
+//! response is indistinguishable from a healthy one. Jobs may carry a
+//! deadline ([`crate::JobConfig::deadline_ms`], measured from enqueue)
+//! that the solver honors cooperatively between phases. Chaos testing is
+//! first-class: a seeded [`FaultPlan`] in [`ServiceConfig::faults`]
+//! injects device faults, worker panics, and slow jobs deterministically
+//! — and costs one branch per site when disabled.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 use crate::cache::ResultCache;
@@ -25,10 +44,12 @@ use crate::job::{
 };
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{JobQueue, QueueFull, QueuedJob};
+use device::{DeviceError, FaultPlan, FaultSite};
 use parking_lot::Mutex;
-use picasso::{IterationContext, Picasso};
+use picasso::{ConflictBackend, IterationContext, PackingMode, Picasso, SolveError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use telemetry::Registry;
 
 /// Service-level knobs.
@@ -42,6 +63,18 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Admission budgets.
     pub admission: AdmissionConfig,
+    /// Seeded fault-injection plan for chaos testing. `None` (the
+    /// default) disables injection entirely; the disabled path costs one
+    /// branch per fault site.
+    pub faults: Option<FaultPlan>,
+    /// Execution attempts per job before quarantine (clamped to ≥ 1).
+    /// Only *transient* failures (injected faults, panics) consume
+    /// attempts; permanent failures are terminal on the first.
+    pub max_attempts: u32,
+    /// Base retry backoff in milliseconds. Attempt `k` waits
+    /// `base × 2^(k-1)` (capped at 64×) plus deterministic jitter; 0
+    /// disables the wait.
+    pub retry_backoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -51,8 +84,24 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             cache_capacity: 256,
             admission: AdmissionConfig::default(),
+            faults: None,
+            max_attempts: 3,
+            retry_backoff_ms: 1,
         }
     }
+}
+
+/// A job that exhausted its retry budget, preserved with the evidence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The request's id.
+    pub id: String,
+    /// Its content-address key.
+    pub key: u64,
+    /// Attempts consumed (equals the configured budget).
+    pub attempts: u32,
+    /// One entry per failed attempt, oldest first.
+    pub history: Vec<String>,
 }
 
 /// Everything one [`SolveService::process_batch`] call produced.
@@ -85,6 +134,28 @@ pub struct SolveService {
     /// (std primitives: the condvar must pair with its own mutex.)
     inflight: std::sync::Mutex<std::collections::HashSet<u64>>,
     inflight_done: std::sync::Condvar,
+    /// Jobs that exhausted their retry budget, with their fault history.
+    quarantine: Mutex<Vec<QuarantineRecord>>,
+}
+
+/// What a worker does with a popped job after one attempt.
+enum JobDisposition {
+    /// Terminal: the response is final (solved, failed, or quarantined).
+    Done(SolveResponse),
+    /// Transient failure with budget left: re-enqueue for another try.
+    Retry(QueuedJob),
+}
+
+/// Why an attempt didn't produce a summary.
+enum SolveFailure {
+    /// The request itself is invalid — permanent, never retried.
+    Config(String),
+    /// The solver failed; injected errors are transient, the rest —
+    /// surviving the degradation ladder — are permanent.
+    Solver(SolveError),
+    /// The attempt panicked (payload rendered). Transient: the worker
+    /// survives, the workspace is discarded, the job retries.
+    Panicked(String),
 }
 
 impl SolveService {
@@ -97,6 +168,7 @@ impl SolveService {
             ctx_pool: Mutex::new(Vec::new()),
             inflight: std::sync::Mutex::new(std::collections::HashSet::new()),
             inflight_done: std::sync::Condvar::new(),
+            quarantine: Mutex::new(Vec::new()),
             config,
         }
     }
@@ -125,6 +197,11 @@ impl SolveService {
     /// Solver workspaces currently resting in the context pool.
     pub fn pooled_contexts(&self) -> usize {
         self.ctx_pool.lock().len()
+    }
+
+    /// Jobs quarantined so far (exhausted retry budgets), oldest first.
+    pub fn quarantined(&self) -> Vec<QuarantineRecord> {
+        self.quarantine.lock().clone()
     }
 
     /// Drains one batch: admission at submission, queued survivors
@@ -167,14 +244,21 @@ impl SolveService {
                 seq,
                 priority,
                 enqueued_at: Instant::now(),
+                attempts: 0,
+                fault_history: Vec::new(),
                 request,
             };
             // Backpressure: a full queue means the wave is ready — drain
-            // it, then the push must succeed.
-            if let Err(QueueFull(back)) = queue.push(job) {
-                self.drain_wave(&queue, &slots, &execution_order);
-                job = back;
-                queue.push(job).expect("queue drained before re-push");
+            // it (which empties the queue, retries included), then the
+            // push lands.
+            loop {
+                match queue.push(job) {
+                    Ok(()) => break,
+                    Err(QueueFull(back)) => {
+                        self.drain_wave(&queue, &slots, &execution_order);
+                        job = back;
+                    }
+                }
             }
         }
         self.drain_wave(&queue, &slots, &execution_order);
@@ -182,7 +266,20 @@ impl SolveService {
         let responses = slots
             .into_inner()
             .into_iter()
-            .map(|slot| slot.expect("every submitted job produces a response"))
+            .enumerate()
+            .map(|(seq, slot)| {
+                // Structurally every admitted job lands a terminal
+                // response (drain_wave runs to an empty queue); a hole
+                // here is a service bug, surfaced as a failed response
+                // rather than a batch-killing panic.
+                debug_assert!(slot.is_some(), "job seq {seq} finished without a response");
+                slot.unwrap_or_else(|| SolveResponse {
+                    id: format!("seq-{seq}"),
+                    outcome: JobOutcome::Failed {
+                        error: "internal: job produced no terminal response".into(),
+                    },
+                })
+            })
             .collect();
         BatchReport {
             responses,
@@ -193,6 +290,10 @@ impl SolveService {
 
     /// Runs worker threads until the queue is empty. Each worker owns a
     /// pooled [`IterationContext`] for the whole wave.
+    ///
+    /// A worker that re-enqueues a retry keeps looping, so the retried
+    /// job is always picked up even when every other worker has already
+    /// seen an empty queue and exited — no job is stranded.
     fn drain_wave(
         &self,
         queue: &JobQueue,
@@ -209,15 +310,38 @@ impl SolveService {
                 scope.spawn(|| {
                     let mut ctx = self.ctx_pool.lock().pop().unwrap_or_default();
                     while let Some(job) = queue.pop() {
-                        self.metrics
-                            .queue_wait_ns
-                            .record(job.enqueued_at.elapsed().as_nanos() as u64);
-                        execution_order.lock().push(job.request.id.clone());
-                        let response = self.execute(job.request, &mut ctx);
-                        slots.lock()[job.seq] = Some(response);
-                        self.metrics
-                            .total_ns
-                            .record(job.enqueued_at.elapsed().as_nanos() as u64);
+                        // First-attempt bookkeeping only: retries keep
+                        // the original wait/order samples, so the
+                        // deterministic execution-order pin and the
+                        // queue-wait histogram see each job once.
+                        if job.attempts == 0 {
+                            self.metrics
+                                .queue_wait_ns
+                                .record(job.enqueued_at.elapsed().as_nanos() as u64);
+                            execution_order.lock().push(job.request.id.clone());
+                        }
+                        let (seq, enqueued_at) = (job.seq, job.enqueued_at);
+                        match self.execute(job, &mut ctx) {
+                            JobDisposition::Done(response) => {
+                                slots.lock()[seq] = Some(response);
+                                self.metrics
+                                    .total_ns
+                                    .record(enqueued_at.elapsed().as_nanos() as u64);
+                            }
+                            JobDisposition::Retry(job) => {
+                                self.metrics.retries.inc();
+                                telemetry::event!("job_retry");
+                                let wait = retry_backoff(
+                                    self.config.retry_backoff_ms,
+                                    job.attempts,
+                                    job.seq as u64,
+                                );
+                                if !wait.is_zero() {
+                                    std::thread::sleep(wait);
+                                }
+                                queue.push_retry(job);
+                            }
+                        }
                     }
                     self.ctx_pool.lock().push(ctx);
                     // Worker threads die with the wave: hand their span
@@ -228,13 +352,16 @@ impl SolveService {
         });
     }
 
-    /// Serves one job: cache lookup by content address (the fingerprint
-    /// is verified, so a 64-bit key collision reads as a miss), then —
-    /// on a miss — the actual solve in the worker's long-lived context,
-    /// with the solved outcome stored back. Concurrent duplicates
-    /// coalesce: the first worker to claim a key solves it; the rest
-    /// wait and replay the cached outcome.
-    fn execute(&self, request: SolveRequest, ctx: &mut IterationContext) -> SolveResponse {
+    /// Serves one attempt of one job: cache lookup by content address
+    /// (the fingerprint is verified, so a 64-bit key collision reads as
+    /// a miss), then — on a miss — the actual solve in the worker's
+    /// long-lived context, under the panic-isolation boundary, with the
+    /// solved outcome stored back. Concurrent duplicates coalesce: the
+    /// first worker to claim a key solves it; the rest wait and replay
+    /// the cached outcome. Transient failures come back as
+    /// [`JobDisposition::Retry`] until the attempt budget is spent.
+    fn execute(&self, mut job: QueuedJob, ctx: &mut IterationContext) -> JobDisposition {
+        let request = &job.request;
         let fingerprint = request.instance_fingerprint();
         let key = crate::job::fnv1a64(fingerprint.as_bytes());
         let lookup_started = Instant::now();
@@ -253,10 +380,10 @@ impl SolveService {
                     self.metrics
                         .cache_hit_ns
                         .record(lookup_started.elapsed().as_nanos() as u64);
-                    return SolveResponse {
-                        id: request.id,
+                    return JobDisposition::Done(SolveResponse {
+                        id: job.request.id,
                         outcome,
-                    };
+                    });
                 }
                 if !inflight.contains(&key) {
                     inflight.insert(key);
@@ -275,10 +402,84 @@ impl SolveService {
         }
         // Guard the claim: released (and waiters woken) on every exit
         // from here on, including a panicking solve — a leaked key would
-        // park coalesced duplicates forever.
+        // park coalesced duplicates forever. A retry re-claims later.
         let _claim = InflightClaim { service: self, key };
+
+        // Injected worker-site faults, decided per (key, attempt) so a
+        // retry draws a fresh verdict. Disabled plans cost this one
+        // branch.
+        let mut inject_panic = false;
+        if let Some(plan) = self.config.faults {
+            let stream = key ^ ((job.attempts as u64 + 1) << 56);
+            if plan.fires(FaultSite::WorkerSlow, stream) {
+                self.metrics.fault_counter(FaultSite::WorkerSlow).inc();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if plan.fires(FaultSite::WorkerPanic, stream) {
+                self.metrics.fault_counter(FaultSite::WorkerPanic).inc();
+                inject_panic = true;
+            }
+        }
+
+        // Deadline, anchored at enqueue: a job that already blew it (in
+        // the queue, or to an injected slowdown) fails without burning a
+        // solve.
+        let deadline = request
+            .config
+            .deadline_ms
+            .map(|ms| job.enqueued_at + Duration::from_millis(ms));
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.metrics.deadline_exceeded.inc();
+            self.metrics.failed.inc();
+            telemetry::event!("deadline_exceeded");
+            return JobDisposition::Done(SolveResponse {
+                id: job.request.id,
+                outcome: JobOutcome::Failed {
+                    error: "deadline exceeded before the solve started".into(),
+                },
+            });
+        }
+
+        // Arm the per-attempt context state: the cooperative deadline and
+        // a per-(job, attempt) reseed of the fault plan, so retried
+        // attempts see fresh device-fault verdicts instead of replaying
+        // the exact faults that killed the last attempt.
+        ctx.set_deadline(deadline);
+        ctx.set_fault_plan(self.config.faults.map(|p| {
+            p.reseed(p.seed() ^ key ^ (job.attempts as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }));
+
+        // The panic-isolation boundary: a panicking attempt — injected
+        // or genuine — is contained here. The worker, its wave, and the
+        // other jobs never see it.
         let solve_started = Instant::now();
-        let outcome = match self.solve(&request, ctx) {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected worker panic");
+            }
+            self.solve(&job.request, ctx)
+        }));
+        let attempt = match attempt {
+            Ok(outcome) => {
+                // Disarm the per-attempt state so the pooled workspace
+                // carries nothing into the next job.
+                ctx.set_deadline(None);
+                ctx.set_fault_plan(None);
+                ctx.set_packing(PackingMode::Auto);
+                outcome
+            }
+            Err(payload) => {
+                // The workspace may have been abandoned mid-mutation:
+                // discard it wholesale (the only allocation the panic
+                // path takes) rather than reason about its state.
+                *ctx = IterationContext::default();
+                self.metrics.panics.inc();
+                telemetry::event!("worker_panic_contained");
+                Err(SolveFailure::Panicked(panic_message(payload.as_ref())))
+            }
+        };
+
+        let outcome = match attempt {
             Ok(summary) => {
                 self.metrics.solved.inc();
                 self.metrics
@@ -291,43 +492,151 @@ impl SolveService {
                 self.cache.lock().insert(key, &fingerprint, outcome.clone());
                 outcome
             }
-            Err(error) => {
-                self.metrics.failed.inc();
-                JobOutcome::Failed { error }
+            Err(failure) => {
+                // Count injected device faults per site now that the
+                // error reached the service layer.
+                if let SolveFailure::Solver(e) = &failure {
+                    if let Some(site) = injected_site(e) {
+                        self.metrics.fault_counter(site).inc();
+                    }
+                }
+                match self.classify(failure) {
+                    FailureClass::Permanent(error) => {
+                        self.metrics.failed.inc();
+                        JobOutcome::Failed { error }
+                    }
+                    FailureClass::Deadline(error) => {
+                        self.metrics.deadline_exceeded.inc();
+                        self.metrics.failed.inc();
+                        telemetry::event!("deadline_exceeded");
+                        JobOutcome::Failed { error }
+                    }
+                    FailureClass::Transient(error) => {
+                        job.attempts += 1;
+                        job.fault_history
+                            .push(format!("attempt {}: {error}", job.attempts));
+                        if job.attempts < self.config.max_attempts.max(1) {
+                            return JobDisposition::Retry(job);
+                        }
+                        // Budget spent: quarantine, with the evidence.
+                        self.metrics.quarantined.inc();
+                        self.metrics.failed.inc();
+                        telemetry::event!("job_quarantined");
+                        self.quarantine.lock().push(QuarantineRecord {
+                            id: job.request.id.clone(),
+                            key,
+                            attempts: job.attempts,
+                            history: job.fault_history.clone(),
+                        });
+                        JobOutcome::Failed {
+                            error: format!(
+                                "quarantined after {} attempts: {}",
+                                job.attempts,
+                                job.fault_history.join("; ")
+                            ),
+                        }
+                    }
+                }
             }
         };
-        SolveResponse {
-            id: request.id,
+        JobDisposition::Done(SolveResponse {
+            id: job.request.id,
             outcome,
+        })
+    }
+
+    /// Sorts a failed attempt into its terminal/retry class.
+    fn classify(&self, failure: SolveFailure) -> FailureClass {
+        match failure {
+            SolveFailure::Config(error) => FailureClass::Permanent(error),
+            SolveFailure::Panicked(msg) => FailureClass::Transient(format!("worker panic: {msg}")),
+            SolveFailure::Solver(e @ SolveError::DeadlineExceeded { .. }) => {
+                FailureClass::Deadline(e.to_string())
+            }
+            SolveFailure::Solver(e) if e.is_injected() => FailureClass::Transient(e.to_string()),
+            // Everything else already survived the degradation ladder
+            // (or cannot be laddered): permanent.
+            SolveFailure::Solver(e) => FailureClass::Permanent(e.to_string()),
         }
     }
 
+    /// One attempt's solve, walking the degradation ladder in place: a
+    /// *genuine* device-capacity failure (not an injected fault, not a
+    /// deadline) demotes — packed kernels → scalar first, then
+    /// MultiDevice → Device → Parallel → Sequential — and re-solves on
+    /// the next rung. Every backend produces bit-identical colorings
+    /// (the solver's determinism contract), so degraded responses are
+    /// payload-identical to healthy ones; demotions surface only in
+    /// `service_degradations_total` and the telemetry events.
     fn solve(
         &self,
         request: &SolveRequest,
         ctx: &mut IterationContext,
-    ) -> Result<SolveSummary, String> {
-        let cfg = request.config.effective()?;
-        let solver = Picasso::new(cfg);
-        let result = match &request.workload {
+    ) -> Result<SolveSummary, SolveFailure> {
+        let mut cfg = request.config.effective().map_err(SolveFailure::Config)?;
+        // Encode the workload once; ladder re-solves reuse it.
+        enum Encoded {
+            Pauli(pauli::EncodedSet),
+            Oracle(HashOracle),
+        }
+        let encoded = match &request.workload {
             Workload::Pauli { strings } => {
                 let parsed: Vec<pauli::PauliString> = strings
                     .iter()
                     .map(|s| s.parse().map_err(|e| format!("bad pauli string: {e}")))
-                    .collect::<Result<_, String>>()?;
-                let set = pauli::EncodedSet::from_strings(&parsed);
-                solver.solve_pauli_in(&set, ctx)
+                    .collect::<Result<_, String>>()
+                    .map_err(SolveFailure::Config)?;
+                Encoded::Pauli(pauli::EncodedSet::from_strings(&parsed))
             }
             Workload::SyntheticPauli { n, qubits, seed } => {
-                let strings = synthetic_pauli_strings(*n, *qubits, *seed)?;
-                let set = pauli::EncodedSet::from_strings(&strings);
-                solver.solve_pauli_in(&set, ctx)
+                let strings =
+                    synthetic_pauli_strings(*n, *qubits, *seed).map_err(SolveFailure::Config)?;
+                Encoded::Pauli(pauli::EncodedSet::from_strings(&strings))
             }
             Workload::SyntheticGraph { n, density, seed } => {
-                solver.solve_oracle_in(&HashOracle::new(*n, *density, *seed), ctx)
+                Encoded::Oracle(HashOracle::new(*n, *density, *seed))
             }
         };
-        let result = result.map_err(|e| e.to_string())?;
+        let mut scalar_retried = false;
+        let result = loop {
+            let solver = Picasso::new(cfg);
+            let outcome = match &encoded {
+                Encoded::Pauli(set) => solver.solve_pauli_in(set, ctx),
+                Encoded::Oracle(oracle) => solver.solve_oracle_in(oracle, ctx),
+            };
+            match outcome {
+                Ok(result) => break result,
+                // Injected faults are transient (the retry layer's
+                // domain) and deadlines are terminal: neither demotes.
+                Err(e) if e.is_injected() => return Err(SolveFailure::Solver(e)),
+                Err(e @ SolveError::DeadlineExceeded { .. }) => {
+                    return Err(SolveFailure::Solver(e))
+                }
+                Err(e) => {
+                    // First rung on a device backend: drop the packed
+                    // kernels (their replica masks cost device memory)
+                    // and re-solve scalar on the same placement.
+                    if !scalar_retried && uses_device(cfg.backend) {
+                        scalar_retried = true;
+                        ctx.set_packing(PackingMode::Never);
+                        self.metrics.degradations.inc();
+                        telemetry::event!("degrade_scalar");
+                        continue;
+                    }
+                    match demote_backend(cfg.backend) {
+                        Some(next) => {
+                            self.metrics.degradations.inc();
+                            telemetry::event!("degrade_backend");
+                            ctx.set_packing(PackingMode::Auto);
+                            scalar_retried = false;
+                            cfg = cfg.with_backend(next);
+                        }
+                        // Bottom of the ladder: the failure is real.
+                        None => return Err(SolveFailure::Solver(e)),
+                    }
+                }
+            }
+        };
         self.metrics
             .conflict_edges_built
             .add(result.total_conflict_edges() as u64);
@@ -353,6 +662,88 @@ impl SolveService {
             colors: result.colors,
         })
     }
+}
+
+/// A failed attempt, sorted for the retry layer.
+enum FailureClass {
+    /// Never retried; the response fails now.
+    Permanent(String),
+    /// Terminal like `Permanent`, but counted against the deadline
+    /// metric — retrying an expired job cannot un-expire it.
+    Deadline(String),
+    /// Worth another attempt (until the budget quarantines it).
+    Transient(String),
+}
+
+/// The fault site of an injected device error, if that's what `e` is.
+fn injected_site(e: &SolveError) -> Option<FaultSite> {
+    match e {
+        SolveError::DeviceOom(DeviceError::Injected { site, .. }) => Some(*site),
+        _ => None,
+    }
+}
+
+/// Whether the backend places work on simulated devices (and can
+/// therefore fail for capacity reasons the ladder can fix).
+fn uses_device(backend: ConflictBackend) -> bool {
+    matches!(
+        backend,
+        ConflictBackend::Device { .. } | ConflictBackend::MultiDevice { .. }
+    )
+}
+
+/// The next rung down the degradation ladder, or `None` at the bottom.
+/// Every rung preserves the coloring bit for bit — the backends are
+/// interchangeable by the solver's determinism contract.
+fn demote_backend(backend: ConflictBackend) -> Option<ConflictBackend> {
+    match backend {
+        ConflictBackend::MultiDevice { capacity_each, .. } => Some(ConflictBackend::Device {
+            capacity_bytes: capacity_each,
+        }),
+        ConflictBackend::Device { .. } => Some(ConflictBackend::Parallel),
+        ConflictBackend::AllPairs | ConflictBackend::Parallel => Some(ConflictBackend::Sequential),
+        ConflictBackend::Sequential => None,
+    }
+}
+
+/// Deterministic exponential backoff for attempt `attempt` (1-based):
+/// `base × 2^(attempt-1)` capped at 64×, plus seed-derived jitter of up
+/// to half the step so synchronized retries fan out.
+fn retry_backoff(base_ms: u64, attempt: u32, salt: u64) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let step = base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(6));
+    let jitter = (salt ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (step / 2 + 1);
+    Duration::from_millis(step + jitter)
+}
+
+/// Renders a panic payload (the standard `&str`/`String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Installs a panic hook that swallows the backtrace noise of *injected*
+/// worker panics (they are contained and expected under chaos testing);
+/// every other panic still reports through the previous hook. Call once
+/// before serving with a fault plan that injects panics.
+pub fn silence_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected worker panic"));
+        if !injected {
+            previous(info);
+        }
+    }));
 }
 
 /// Locks the single-flight set, shrugging off poison: the set only ever
@@ -389,7 +780,7 @@ mod tests {
             workers,
             queue_capacity: 8,
             cache_capacity: 16,
-            admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         })
     }
 
@@ -425,7 +816,7 @@ mod tests {
             workers: 2,
             queue_capacity: 3,
             cache_capacity: 16,
-            admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         });
         let reqs: Vec<SolveRequest> = (0..10).map(|i| synth(&format!("w{i}"), 40, i)).collect();
         let report = service.process_batch(reqs);
@@ -592,5 +983,205 @@ mod tests {
         // Same content → same payload, different echoed id.
         assert_eq!(first.responses[0].outcome, second.responses[0].outcome);
         assert_eq!(second.responses[0].id, "renamed");
+    }
+
+    fn faulted_service(workers: usize, faults: FaultPlan, max_attempts: u32) -> SolveService {
+        SolveService::new(ServiceConfig {
+            workers,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            faults: Some(faults),
+            max_attempts,
+            retry_backoff_ms: 0,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn certain_device_faults_exhaust_retries_into_quarantine() {
+        // Every device reservation fails (reserve is the build's first
+        // device op): each attempt dies injected, the retry budget
+        // drains, and the job lands in quarantine with its full fault
+        // history — while a fault-free sibling (no device backend, and
+        // worker sites at rate 0) is untouched.
+        let plan = FaultPlan::new(5).with_rate(FaultSite::DeviceReserve, 1.0);
+        let service = faulted_service(2, plan, 3);
+        let mut doomed = synth("doomed", 60, 1);
+        doomed.config.backend = Some("device:64".into());
+        let fine = synth("fine", 60, 2);
+        let report = service.process_batch(vec![doomed, fine]);
+        match &report.responses[0].outcome {
+            JobOutcome::Failed { error } => {
+                assert!(error.contains("quarantined after 3 attempts"), "{error}");
+                assert!(error.contains("injected"), "{error}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(report.responses[1].outcome, JobOutcome::Solved(_)));
+        assert_eq!(report.metrics.retries, 2, "attempts 1 and 2 re-enqueued");
+        assert_eq!(report.metrics.quarantined, 1);
+        assert_eq!(report.metrics.failed, 1);
+        assert!(report.metrics.faults_injected >= 3);
+        let quarantined = service.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].id, "doomed");
+        assert_eq!(quarantined[0].attempts, 3);
+        assert_eq!(quarantined[0].history.len(), 3);
+        // The degradation ladder must NOT fire for injected faults —
+        // they are transient, not capacity truths.
+        assert_eq!(report.metrics.degradations, 0);
+    }
+
+    #[test]
+    fn worker_panics_are_contained_and_the_wave_completes() {
+        silence_injected_panics();
+        let plan = FaultPlan::new(9).with_rate(FaultSite::WorkerPanic, 1.0);
+        let service = faulted_service(2, plan, 2);
+        let report = service.process_batch(vec![synth("p0", 50, 1), synth("p1", 50, 2)]);
+        // Both jobs panicked on every attempt, were isolated, retried,
+        // and quarantined — and the batch still produced one terminal
+        // response per request.
+        assert_eq!(report.responses.len(), 2);
+        for resp in &report.responses {
+            match &resp.outcome {
+                JobOutcome::Failed { error } => {
+                    assert!(error.contains("worker panic"), "{error}");
+                    assert!(error.contains("quarantined"), "{error}");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(report.metrics.panics, 4, "2 jobs × 2 attempts");
+        assert_eq!(report.metrics.quarantined, 2);
+        // The workers survived to return their (replaced) contexts.
+        assert!(service.pooled_contexts() >= 1);
+    }
+
+    #[test]
+    fn expired_deadlines_fail_terminally_without_retries() {
+        let service = small_service(1);
+        let mut req = synth("late", 50, 1);
+        req.config.deadline_ms = Some(0);
+        let report = service.process_batch(vec![req, synth("ontime", 50, 2)]);
+        match &report.responses[0].outcome {
+            JobOutcome::Failed { error } => assert!(error.contains("deadline"), "{error}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(report.responses[1].outcome, JobOutcome::Solved(_)));
+        assert_eq!(report.metrics.deadline_exceeded, 1);
+        assert_eq!(report.metrics.retries, 0, "deadlines never retry");
+        assert_eq!(service.quarantined().len(), 0);
+    }
+
+    #[test]
+    fn genuine_device_oom_walks_the_ladder_to_an_identical_coloring() {
+        // A 1 MiB device cannot hold this build: the ladder demotes
+        // packed → scalar, then Device → Parallel, and the job still
+        // solves — with the exact payload the healthy backend produces.
+        let service = small_service(1);
+        let mut degraded = synth("degraded", 1500, 7);
+        degraded.config.backend = Some("device:1".into());
+        let healthy = synth("healthy", 1500, 7);
+        let report = service.process_batch(vec![degraded]);
+        let baseline = small_service(1).process_batch(vec![healthy]);
+        match (&report.responses[0].outcome, &baseline.responses[0].outcome) {
+            (JobOutcome::Solved(got), JobOutcome::Solved(want)) => {
+                assert_eq!(got.colors, want.colors, "degraded payload bit-identical");
+                assert_eq!(got.num_colors, want.num_colors);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            report.metrics.degradations >= 1,
+            "ladder recorded {} demotions",
+            report.metrics.degradations
+        );
+        assert_eq!(
+            report.metrics.retries, 0,
+            "capacity truths demote, not retry"
+        );
+        assert_eq!(report.metrics.failed, 0);
+    }
+
+    #[test]
+    fn moderate_fault_rates_still_terminate_every_job() {
+        silence_injected_panics();
+        // 20% faults across every site: some jobs retry, some degrade,
+        // some quarantine — but each produces exactly one terminal
+        // response and the service never aborts.
+        let plan = FaultPlan::uniform(77, 0.2);
+        let service = faulted_service(3, plan, 3);
+        let reqs: Vec<SolveRequest> = (0..12)
+            .map(|i| {
+                let mut r = synth(&format!("m{i}"), 40 + i, i as u64);
+                if i % 3 == 0 {
+                    r.config.backend = Some("device:64".into());
+                }
+                r
+            })
+            .collect();
+        let report = service.process_batch(reqs);
+        assert_eq!(report.responses.len(), 12);
+        for resp in &report.responses {
+            assert!(
+                matches!(
+                    &resp.outcome,
+                    JobOutcome::Solved(_) | JobOutcome::Failed { .. }
+                ),
+                "{:?}",
+                resp.outcome
+            );
+        }
+        let m = &report.metrics;
+        assert_eq!(
+            m.solved + m.failed,
+            12 - m.cache_hits,
+            "terminal accounting"
+        );
+        // Retries are bounded by the attempt budget.
+        assert!(m.retries <= 12 * 2, "retries {} within budget", m.retries);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        assert_eq!(retry_backoff(0, 3, 42), Duration::ZERO);
+        let b1 = retry_backoff(1, 1, 42);
+        let b2 = retry_backoff(1, 2, 42);
+        assert_eq!(b1, retry_backoff(1, 1, 42), "deterministic");
+        assert!(b2 >= b1, "exponential growth");
+        // Cap: attempt 40 must not shift into overflow.
+        assert!(retry_backoff(1, 40, 1).as_millis() <= 64 + 32);
+        // Different salts spread the jitter.
+        let spread: std::collections::HashSet<u128> = (0..16u64)
+            .map(|s| retry_backoff(4, 3, s).as_millis())
+            .collect();
+        assert!(spread.len() > 1, "jitter varies with the salt");
+    }
+
+    #[test]
+    fn ladder_rungs_demote_in_order_and_bottom_out() {
+        let multi = ConflictBackend::MultiDevice {
+            devices: 4,
+            capacity_each: 123,
+        };
+        let dev = demote_backend(multi).unwrap();
+        assert_eq!(
+            dev,
+            ConflictBackend::Device {
+                capacity_bytes: 123
+            }
+        );
+        assert_eq!(demote_backend(dev).unwrap(), ConflictBackend::Parallel);
+        assert_eq!(
+            demote_backend(ConflictBackend::Parallel).unwrap(),
+            ConflictBackend::Sequential
+        );
+        assert_eq!(
+            demote_backend(ConflictBackend::AllPairs).unwrap(),
+            ConflictBackend::Sequential
+        );
+        assert_eq!(demote_backend(ConflictBackend::Sequential), None);
+        assert!(uses_device(multi) && uses_device(dev));
+        assert!(!uses_device(ConflictBackend::Parallel));
     }
 }

@@ -1,0 +1,165 @@
+//! Property tests for the fault-tolerance layer: retries re-enter the
+//! queue without disturbing the deterministic (priority desc, FIFO
+//! within class) order or starving anyone, and quarantined jobs leave
+//! the queue permanently — the service keeps serving after them.
+
+use picasso_service::{
+    FaultPlan, FaultSite, JobConfig, JobOutcome, JobQueue, QueuedJob, ServiceConfig, SolveRequest,
+    SolveService, Workload,
+};
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn job(seq: usize, priority: u8) -> QueuedJob {
+    QueuedJob {
+        seq,
+        priority,
+        enqueued_at: Instant::now(),
+        attempts: 0,
+        fault_history: Vec::new(),
+        request: SolveRequest::new(
+            format!("job-{seq}"),
+            Workload::SyntheticPauli {
+                n: 20,
+                qubits: 8,
+                seed: seq as u64,
+            },
+        ),
+    }
+}
+
+/// The queue's pop key: priority descending, then seq ascending. Within
+/// one live batch each seq is unique, so keys totally order the queue.
+fn key(j: &QueuedJob) -> (std::cmp::Reverse<u8>, usize) {
+    (std::cmp::Reverse(j.priority), j.seq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drain a queue while re-enqueueing a retried subset mid-stream:
+    /// every pop must still return the minimum key among the jobs that
+    /// are actually queued at that instant, retried copies keep their
+    /// original position (no jumping ahead of higher-priority work, no
+    /// falling behind their own class), and everyone — fresh or retried
+    /// — pops within a bounded number of steps (no starvation).
+    #[test]
+    fn retried_jobs_keep_their_place_and_nobody_starves(
+        jobs in proptest::collection::vec((0u8..4, any::<bool>()), 1..24),
+    ) {
+        let queue = JobQueue::new(jobs.len());
+        let mut expected: std::collections::BTreeSet<(std::cmp::Reverse<u8>, usize)> =
+            std::collections::BTreeSet::new();
+        let mut retry_budget: Vec<u32> = Vec::new();
+        for (seq, &(priority, retried)) in jobs.iter().enumerate() {
+            let j = job(seq, priority);
+            expected.insert(key(&j));
+            retry_budget.push(u32::from(retried));
+            queue.push(j).expect("sized to the batch");
+        }
+
+        let mut pops = 0usize;
+        let budget: usize = jobs.len() + jobs.iter().filter(|&&(_, r)| r).count();
+        while let Some(mut popped) = queue.pop() {
+            pops += 1;
+            prop_assert!(pops <= budget, "a job was served more times than its retries allow");
+            // Deterministic order even with retries interleaved: the pop
+            // is the smallest (priority desc, seq asc) key present.
+            let min = *expected.iter().next().expect("model tracks the queue");
+            prop_assert_eq!(key(&popped), min, "pop must follow the deterministic order");
+            if retry_budget[popped.seq] > 0 {
+                // Transient failure: the worker re-enqueues the same job
+                // (bypassing the bound) and it keeps its identity.
+                retry_budget[popped.seq] -= 1;
+                popped.attempts += 1;
+                queue.push_retry(popped);
+            } else {
+                expected.remove(&min);
+            }
+        }
+        prop_assert_eq!(pops, budget, "every admission and every retry must be served");
+        prop_assert!(expected.is_empty(), "no job may be left behind");
+    }
+
+    /// Doomed jobs (a certain device-fault plan) exhaust their attempts
+    /// into quarantine and *leave the queue permanently*: the batch
+    /// terminates, each doomed job fails exactly once with a bounded
+    /// retry count, healthy jobs in the same batch still solve, and the
+    /// service serves a fresh batch afterwards as if nothing happened.
+    #[test]
+    fn quarantined_jobs_leave_the_queue_and_healthy_traffic_flows(
+        doomed_mask in proptest::collection::vec(any::<bool>(), 1..6),
+        workers in 1usize..3,
+        max_attempts in 1u32..4,
+    ) {
+        let svc = SolveService::new(ServiceConfig {
+            workers,
+            queue_capacity: 16,
+            cache_capacity: 16,
+            faults: Some(FaultPlan::new(7).with_rate(FaultSite::DeviceReserve, 1.0)),
+            max_attempts,
+            retry_backoff_ms: 0,
+            ..ServiceConfig::default()
+        });
+        let reqs: Vec<SolveRequest> = doomed_mask
+            .iter()
+            .enumerate()
+            .map(|(i, &doomed)| {
+                let mut r = SolveRequest::new(
+                    format!("j{i}"),
+                    Workload::SyntheticPauli { n: 30, qubits: 8, seed: i as u64 },
+                );
+                if doomed {
+                    // Only device placements traverse the faulted reserve
+                    // path; CPU jobs in the same batch must be untouched.
+                    r.config = JobConfig {
+                        backend: Some("device:64".into()),
+                        ..JobConfig::default()
+                    };
+                }
+                r
+            })
+            .collect();
+        let n_doomed = doomed_mask.iter().filter(|&&d| d).count() as u64;
+
+        let report = svc.process_batch(reqs.clone());
+        prop_assert_eq!(report.responses.len(), reqs.len(), "one response per request");
+        for (resp, &doomed) in report.responses.iter().zip(doomed_mask.iter()) {
+            match (&resp.outcome, doomed) {
+                (JobOutcome::Failed { error }, true) => {
+                    prop_assert!(error.contains("quarantined"), "{}: {error}", resp.id);
+                }
+                (JobOutcome::Solved(_), false) => {}
+                (other, _) => {
+                    prop_assert!(false, "{}: unexpected outcome {other:?}", resp.id);
+                }
+            }
+        }
+        prop_assert_eq!(report.metrics.quarantined, n_doomed);
+        prop_assert_eq!(
+            report.metrics.retries,
+            n_doomed * u64::from(max_attempts - 1),
+            "bounded retries: exactly max_attempts tries per doomed job"
+        );
+        prop_assert_eq!(svc.quarantined().len() as u64, n_doomed);
+        for rec in svc.quarantined() {
+            prop_assert_eq!(rec.attempts, max_attempts);
+            prop_assert_eq!(rec.history.len() as u32, max_attempts);
+        }
+
+        // Permanence: nothing lingers — a follow-up healthy batch runs
+        // clean, and the quarantined jobs do not re-execute.
+        let after = svc.process_batch(vec![SolveRequest::new(
+            "fresh",
+            Workload::SyntheticPauli { n: 30, qubits: 8, seed: 99 },
+        )]);
+        prop_assert!(matches!(after.responses[0].outcome, JobOutcome::Solved(_)));
+        // Metrics snapshots are cumulative; the counters must not move.
+        prop_assert_eq!(
+            after.metrics.quarantined, report.metrics.quarantined,
+            "no ghost re-executions"
+        );
+        prop_assert_eq!(after.metrics.retries, report.metrics.retries);
+        prop_assert_eq!(svc.quarantined().len() as u64, n_doomed, "record is stable");
+    }
+}

@@ -43,6 +43,7 @@ fn admission_enforces_a_peak_memory_ceiling() {
             max_forecast_bytes: small_forecast,
             demote_forecast_bytes: small_forecast / 2,
         },
+        ..ServiceConfig::default()
     });
 
     let mut batch: Vec<SolveRequest> = (0..6).map(|i| synth(&format!("s{i}"), 400, i)).collect();
@@ -90,7 +91,7 @@ fn steady_state_serving_reuses_worker_contexts() {
         workers: 1,
         queue_capacity: 8,
         cache_capacity: 4,
-        admission: AdmissionConfig::default(),
+        ..ServiceConfig::default()
     });
     // Distinct seeds so the cache never short-circuits the solve.
     let batch = |seed: u64| vec![synth(&format!("b{seed}"), 300, seed)];
@@ -106,7 +107,7 @@ fn steady_state_serving_reuses_worker_contexts() {
             workers: 1,
             queue_capacity: 8,
             cache_capacity: 4,
-            admission: AdmissionConfig::default(),
+            ..ServiceConfig::default()
         });
         fresh.process_batch(batch(3));
         cold_svc_allocs += memtrack::total_allocations() - before;

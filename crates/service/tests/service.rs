@@ -13,6 +13,7 @@ fn service(workers: usize, admission: AdmissionConfig) -> SolveService {
         queue_capacity: 32,
         cache_capacity: 64,
         admission,
+        ..ServiceConfig::default()
     })
 }
 

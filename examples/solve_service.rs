@@ -22,6 +22,7 @@ fn main() {
             max_forecast_bytes: 8 * 1024 * 1024,
             demote_forecast_bytes: 2 * 1024 * 1024,
         },
+        ..ServiceConfig::default()
     });
 
     // The batch: an interactive-sized Pauli job, an oracle-graph job, a
@@ -84,6 +85,9 @@ fn main() {
             ),
             JobOutcome::Rejected { reason } => println!("{:<28} rejected: {reason}", resp.id),
             JobOutcome::Failed { error } => println!("{:<28} failed: {error}", resp.id),
+            JobOutcome::Malformed { line, error } => {
+                println!("{:<28} malformed (line {line}): {error}", resp.id)
+            }
         }
     }
 

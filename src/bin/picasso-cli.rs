@@ -9,6 +9,7 @@
 //!
 //! picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N]
 //!             [--queue N] [--cache N] [--budget-mib M] [--demote-mib M]
+//!             [--fault-rate R] [--fault-seed N] [--max-attempts K]
 //!             [--metrics FILE] [--trace FILE] [--once]
 //!
 //! picasso-cli trace SPANS.jsonl
@@ -20,10 +21,16 @@
 //!
 //! Serve mode: drains a JSONL request file through the
 //! admission-controlled [`picasso_service::SolveService`] and emits one
-//! JSONL response per request (stdout or `--out`), plus a metrics
-//! summary on stderr. `--once` runs a built-in smoke batch — solves,
-//! a cache replay, and an admission rejection — without an input file,
-//! and self-checks the exposition document against the metrics schema.
+//! JSONL response per request (stdout or `--out`) — malformed request
+//! lines get per-line `"malformed"` responses instead of killing the
+//! batch — plus a metrics summary on stderr. `--fault-rate R` arms a
+//! seeded chaos plan (device faults, worker panics, slow jobs, each at
+//! rate `R`); retries, degradations and quarantines are reported in the
+//! footer. `--once` runs a built-in smoke batch — solves, a cache
+//! replay, and an admission rejection — without an input file, and
+//! self-checks the exposition document against the metrics schema (under
+//! a fault plan it instead self-validates that every request still got
+//! exactly one terminal response).
 //!
 //! Observability: `--metrics FILE` writes the telemetry registry on
 //! exit as schema-versioned JSON (`FILE`) and Prometheus text
@@ -33,7 +40,8 @@
 
 use picasso::{color_classes, ConflictBackend, ListColoringScheme, Picasso, PicassoConfig};
 use picasso_service::{
-    parse_request_lines, AdmissionConfig, ServiceConfig, SolveRequest, SolveService, Workload,
+    parse_request_lines, silence_injected_panics, AdmissionConfig, FaultPlan, JobOutcome,
+    ParsedRequests, ServiceConfig, SolveRequest, SolveService, Workload,
 };
 use picasso_suite::io::parse_pauli_lines;
 use picasso_suite::summary::SolveSummary;
@@ -191,6 +199,9 @@ struct ServeArgs {
     demote_mib: Option<usize>,
     metrics: Option<String>,
     trace: Option<String>,
+    fault_rate: Option<f64>,
+    fault_seed: Option<u64>,
+    max_attempts: Option<u32>,
     once: bool,
 }
 
@@ -198,6 +209,7 @@ fn serve_usage() -> ! {
     eprintln!(
         "usage: picasso-cli serve [REQUESTS.jsonl|-] [--out FILE] [--workers N] \
          [--queue N] [--cache N] [--budget-mib M] [--demote-mib M] \
+         [--fault-rate R] [--fault-seed N] [--max-attempts K] \
          [--metrics FILE] [--trace FILE] [--once]"
     );
     exit(2);
@@ -214,6 +226,9 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
         demote_mib: None,
         metrics: None,
         trace: None,
+        fault_rate: None,
+        fault_seed: None,
+        max_attempts: None,
         once: false,
     };
     let mut i = 0;
@@ -236,6 +251,28 @@ fn parse_serve_args(args: &[String]) -> ServeArgs {
             "--cache" => out.cache = Some(numeric(&mut i, args)),
             "--budget-mib" => out.budget_mib = Some(numeric(&mut i, args)),
             "--demote-mib" => out.demote_mib = Some(numeric(&mut i, args)),
+            "--fault-rate" => {
+                let rate = args.get(i + 1).and_then(|v| v.parse::<f64>().ok());
+                match rate {
+                    Some(r) if (0.0..=1.0).contains(&r) => out.fault_rate = Some(r),
+                    _ => serve_usage(),
+                }
+                i += 2;
+            }
+            "--fault-seed" => {
+                out.fault_seed = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.fault_seed.is_none() {
+                    serve_usage();
+                }
+                i += 2;
+            }
+            "--max-attempts" => {
+                let k = numeric(&mut i, args);
+                if k == 0 || k > u32::MAX as usize {
+                    serve_usage();
+                }
+                out.max_attempts = Some(k as u32);
+            }
             "--metrics" => {
                 out.metrics = args.get(i + 1).cloned();
                 if out.metrics.is_none() {
@@ -353,8 +390,11 @@ fn run_trace(args: &[String]) -> ! {
 
 fn run_serve(args: &[String]) -> ! {
     let args = parse_serve_args(args);
-    let requests = if args.once {
-        smoke_requests()
+    let parsed = if args.once {
+        ParsedRequests {
+            requests: smoke_requests(),
+            malformed: Vec::new(),
+        }
     } else {
         let text = match args.input.as_deref() {
             None | Some("-") => {
@@ -372,11 +412,22 @@ fn run_serve(args: &[String]) -> ! {
                 exit(1);
             }),
         };
-        parse_request_lines(&text).unwrap_or_else(|e| {
-            eprintln!("request parse error: {e}");
-            exit(1);
-        })
+        parse_request_lines(&text)
     };
+    let ParsedRequests {
+        requests,
+        malformed,
+    } = parsed;
+
+    let faults = args
+        .fault_rate
+        .filter(|&r| r > 0.0)
+        .map(|r| FaultPlan::uniform(args.fault_seed.unwrap_or(0xC1A0_5EED), r));
+    if faults.is_some() {
+        // Injected worker panics are caught and converted to failed
+        // responses; keep their backtraces off the operator's stderr.
+        silence_injected_panics();
+    }
 
     let defaults = ServiceConfig::default();
     let admission_defaults = AdmissionConfig::default();
@@ -394,6 +445,9 @@ fn run_serve(args: &[String]) -> ! {
                 .map(|m| m * 1024 * 1024)
                 .unwrap_or(admission_defaults.demote_forecast_bytes),
         },
+        faults,
+        max_attempts: args.max_attempts.unwrap_or(defaults.max_attempts),
+        ..defaults
     });
 
     let trace_sink = args.trace.as_ref().map(|_| Arc::new(JsonlSink::new()));
@@ -401,7 +455,7 @@ fn run_serve(args: &[String]) -> ! {
         telemetry::install(Arc::clone(sink) as Arc<dyn TelemetrySink>);
     }
 
-    let num_requests = requests.len();
+    let num_requests = requests.len() + malformed.len();
     let report = service.process_batch(requests);
 
     if let Some(sink) = &trace_sink {
@@ -414,7 +468,7 @@ fn run_serve(args: &[String]) -> ! {
         eprintln!("span trace written to {path}");
     }
     let mut lines = String::new();
-    for resp in &report.responses {
+    for resp in report.responses.iter().chain(malformed.iter()) {
         lines.push_str(&resp.to_json_line());
         lines.push('\n');
     }
@@ -428,9 +482,29 @@ fn run_serve(args: &[String]) -> ! {
     let m = &report.metrics;
     eprintln!(
         "served {num_requests} requests: {} solved, {} cache hits, {} demoted, \
-         {} rejected, {} failed; {} candidate pairs scanned",
-        m.solved, m.cache_hits, m.demoted, m.rejected, m.failed, m.candidate_pairs_scanned
+         {} rejected, {} failed, {} malformed; {} candidate pairs scanned",
+        m.solved,
+        m.cache_hits,
+        m.demoted,
+        m.rejected,
+        m.failed,
+        malformed.len(),
+        m.candidate_pairs_scanned
     );
+    if faults.is_some()
+        || m.retries + m.degradations + m.deadline_exceeded + m.quarantined + m.panics > 0
+    {
+        eprintln!(
+            "fault tolerance: {} faults injected, {} panics contained, {} retries, \
+             {} degradations, {} deadline exceeded, {} quarantined",
+            m.faults_injected,
+            m.panics,
+            m.retries,
+            m.degradations,
+            m.deadline_exceeded,
+            m.quarantined
+        );
+    }
     if let Some(ratio) = m.forecast_utilization() {
         eprintln!(
             "forecast calibration: observed/forecast = {:.4} over {} solved jobs \
@@ -454,10 +528,28 @@ fn run_serve(args: &[String]) -> ! {
     // monotonicity along the admission funnel, non-empty latency
     // histograms).
     if args.once {
-        let ok = m.solved == 2 && m.cache_hits == 1 && m.rejected == 1 && m.failed == 0;
-        if !ok {
-            eprintln!("smoke batch produced unexpected metrics");
+        // Structural invariant, faults or not: exactly one terminal
+        // response per smoke request, every one with a known status.
+        if report.responses.len() != num_requests {
+            eprintln!(
+                "smoke batch lost responses: {} requests, {} responses",
+                num_requests,
+                report.responses.len()
+            );
             exit(1);
+        }
+        for resp in &report.responses {
+            let terminal = matches!(
+                resp.outcome,
+                JobOutcome::Solved(_)
+                    | JobOutcome::Rejected { .. }
+                    | JobOutcome::Failed { .. }
+                    | JobOutcome::Malformed { .. }
+            );
+            if !terminal || resp.id.is_empty() {
+                eprintln!("smoke batch response {:?} is not terminal", resp.id);
+                exit(1);
+            }
         }
         let doc = metrics_doc.unwrap_or_else(|| {
             memtrack::export_gauges(&registry);
@@ -470,18 +562,39 @@ fn run_serve(args: &[String]) -> ! {
         let counter = |name: &str| registry.counter(name).get();
         let funnel_ok = counter("service_submitted_total") >= counter("service_admitted_total")
             && counter("service_admitted_total") >= counter("service_solved_total")
-            && counter("service_solved_total") == m.solved
-            && counter("solver_solves_total") == m.solved;
+            && counter("service_solved_total") == m.solved;
         if !funnel_ok {
             eprintln!("smoke batch admission-funnel counters are inconsistent");
             exit(1);
         }
-        let histograms_ok = registry.histogram("service_total_ns").count() > 0
-            && registry.histogram("service_solve_ns").count() == m.solved
-            && registry.histogram("service_queue_wait_ns").count() > 0;
-        if !histograms_ok {
-            eprintln!("smoke batch latency histograms are empty");
-            exit(1);
+        if faults.is_none() {
+            // Fault-free, the smoke batch is fully deterministic: exact
+            // counter expectations plus non-empty latency histograms.
+            let ok = m.solved == 2 && m.cache_hits == 1 && m.rejected == 1 && m.failed == 0;
+            if !ok {
+                eprintln!("smoke batch produced unexpected metrics");
+                exit(1);
+            }
+            if counter("solver_solves_total") != m.solved {
+                eprintln!("smoke batch solver counter diverges from service counter");
+                exit(1);
+            }
+            let histograms_ok = registry.histogram("service_total_ns").count() > 0
+                && registry.histogram("service_solve_ns").count() == m.solved
+                && registry.histogram("service_queue_wait_ns").count() > 0;
+            if !histograms_ok {
+                eprintln!("smoke batch latency histograms are empty");
+                exit(1);
+            }
+        } else {
+            // Under an armed fault plan the exact counts vary with the
+            // seed, but arithmetic must still close: every non-rejected
+            // request either solved (possibly from cache) or failed.
+            if m.solved + m.cache_hits + m.rejected + m.failed != num_requests as u64 {
+                eprintln!("smoke batch outcome counters do not cover every request");
+                exit(1);
+            }
+            eprintln!("faulted smoke batch: every request reached a terminal response");
         }
     }
     exit(0);

@@ -1,0 +1,168 @@
+//! Chaos soak: a mixed request stream served under seeded fault plans
+//! (device faults, worker panics, slow jobs) must degrade *gracefully*
+//! — every request gets exactly one terminal response, no worker dies,
+//! retries stay bounded, and whatever still succeeds is bit-identical
+//! to the fault-free run. The release-mode version of this soak (~10⁴
+//! requests) lives in `crates/bench/benches/service_chaos.rs`.
+
+use picasso_service::{
+    silence_injected_panics, FaultPlan, FaultSite, JobConfig, JobOutcome, ServiceConfig,
+    SolveRequest, SolveService, Workload,
+};
+use std::collections::HashMap;
+
+const MAX_ATTEMPTS: u32 = 3;
+
+/// A deterministic mixed stream: tiny Pauli and graph instances, a
+/// sprinkle of device placements (the fault plan's device sites fire
+/// there), duplicates for cache traffic, and generous deadlines on a
+/// few jobs. Request `i` is identical across every plan, so responses
+/// can be compared to the fault-free baseline by id.
+fn request_stream(len: usize) -> Vec<SolveRequest> {
+    (0..len)
+        .map(|i| {
+            let workload = match i % 5 {
+                0 | 1 => Workload::SyntheticPauli {
+                    n: 20 + (i % 4) * 6,
+                    qubits: 8,
+                    seed: (i % 7) as u64,
+                },
+                2 => Workload::SyntheticGraph {
+                    n: 30 + (i % 3) * 10,
+                    density: 0.3,
+                    seed: (i % 5) as u64,
+                },
+                // Duplicates of an earlier shape: cache + coalescing
+                // traffic under fire.
+                3 => Workload::SyntheticPauli {
+                    n: 20,
+                    qubits: 8,
+                    seed: 0,
+                },
+                _ => Workload::SyntheticPauli {
+                    n: 26 + (i % 2) * 8,
+                    qubits: 8,
+                    seed: (i % 3) as u64,
+                },
+            };
+            let mut r = SolveRequest::new(format!("chaos-{i}"), workload);
+            r.priority = (i % 4) as u8;
+            if i % 4 == 1 {
+                // Device placement: small enough to fit, so only
+                // *injected* faults (not genuine OOM) can fail it.
+                r.config = JobConfig {
+                    backend: Some("device:64".into()),
+                    ..JobConfig::default()
+                };
+            }
+            if i % 11 == 0 {
+                // A deadline no healthy tiny job misses.
+                r.config.deadline_ms = Some(60_000);
+            }
+            r
+        })
+        .collect()
+}
+
+fn service(faults: Option<FaultPlan>) -> SolveService {
+    SolveService::new(ServiceConfig {
+        workers: 3,
+        queue_capacity: 32,
+        cache_capacity: 64,
+        faults,
+        max_attempts: MAX_ATTEMPTS,
+        retry_backoff_ms: 0,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Runs the stream through a service in waves, asserting the terminal
+/// contract on every wave; returns id → JSONL line for solved jobs plus
+/// the count of failed responses.
+fn soak(svc: &SolveService, stream: &[SolveRequest]) -> (HashMap<String, String>, usize) {
+    let mut solved_lines = HashMap::new();
+    let mut failed = 0usize;
+    for wave in stream.chunks(64) {
+        let report = svc.process_batch(wave.to_vec());
+        assert_eq!(
+            report.responses.len(),
+            wave.len(),
+            "exactly one terminal response per request"
+        );
+        for (req, resp) in wave.iter().zip(report.responses.iter()) {
+            assert_eq!(req.id, resp.id, "responses stay in submission order");
+            match &resp.outcome {
+                JobOutcome::Solved(_) => {
+                    solved_lines.insert(resp.id.clone(), resp.to_json_line());
+                }
+                JobOutcome::Failed { .. } => failed += 1,
+                other => panic!("{}: non-terminal or unexpected outcome {other:?}", resp.id),
+            }
+        }
+    }
+    (solved_lines, failed)
+}
+
+#[test]
+fn chaos_soak_mixed_stream_under_graded_fault_plans() {
+    silence_injected_panics();
+    let stream = request_stream(512);
+
+    // The fault-free truth: everything solves.
+    let baseline_svc = service(None);
+    let (baseline, baseline_failed) = soak(&baseline_svc, &stream);
+    assert_eq!(baseline_failed, 0, "the healthy stream never fails");
+    assert_eq!(baseline.len(), stream.len());
+    assert_eq!(baseline_svc.metrics().retries, 0);
+    assert_eq!(baseline_svc.metrics().faults_injected, 0);
+
+    // Graded chaos: 1% and 10% uniform fault plans, plus a panic storm.
+    let plans = [
+        ("faults-1pct", FaultPlan::uniform(11, 0.01)),
+        ("faults-10pct", FaultPlan::uniform(12, 0.10)),
+        (
+            "panic-storm",
+            FaultPlan::new(13).with_rate(FaultSite::WorkerPanic, 0.30),
+        ),
+    ];
+    for (name, plan) in plans {
+        let svc = service(Some(plan));
+        let (solved, failed) = soak(&svc, &stream);
+        let m = svc.metrics();
+        assert_eq!(
+            solved.len() + failed,
+            stream.len(),
+            "{name}: every request terminal"
+        );
+        // Retries are bounded by the attempt budget; quarantines line up
+        // with the jobs that burned it.
+        assert!(
+            m.retries <= stream.len() as u64 * u64::from(MAX_ATTEMPTS - 1),
+            "{name}: retries {} exceed the attempt budget",
+            m.retries
+        );
+        assert_eq!(m.quarantined as usize, svc.quarantined().len(), "{name}");
+        // Whatever survived is bit-identical to the fault-free payload:
+        // injected faults may fail jobs, never corrupt them.
+        for (id, line) in &solved {
+            assert_eq!(
+                Some(line),
+                baseline.get(id),
+                "{name}: {id} diverged from the fault-free run"
+            );
+        }
+        // The plans are seeded, so the chaos itself is reproducible:
+        // at 10% something must actually have fired.
+        if name != "faults-1pct" {
+            assert!(
+                m.faults_injected > 0,
+                "{name}: the plan was supposed to inject faults"
+            );
+            assert!(m.retries > 0, "{name}: transient failures must retry");
+        }
+        // A panic never kills a worker: the pool still drains a healthy
+        // follow-up batch at full strength.
+        let after = svc.process_batch(request_stream(8));
+        assert_eq!(after.responses.len(), 8, "{name}: pool survives the storm");
+    }
+}

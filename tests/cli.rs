@@ -342,11 +342,105 @@ fn serve_drains_a_jsonl_request_file_deterministically() {
 }
 
 #[test]
-fn serve_rejects_malformed_request_files() {
-    let path = write_input("cli_serve_bad.jsonl", "{\"id\": 5}\n");
+fn serve_turns_malformed_lines_into_per_line_responses() {
+    // A bad line no longer poisons the batch: the good requests solve,
+    // each malformed line gets its own terminal "malformed" response
+    // carrying the 1-based line number, and the exit code stays 0.
+    let reqs = concat!(
+        r#"{"id": "good-1", "workload": {"type": "synthetic_pauli", "n": 40, "qubits": 8, "seed": 1}}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"id": 5}"#,
+        "\n",
+        r#"{"id": "bad-workload", "workload": {"type": "warp-drive"}}"#,
+        "\n",
+        r#"{"id": "good-2", "workload": {"type": "synthetic_graph", "n": 50, "density": 0.3, "seed": 2}}"#,
+        "\n",
+    );
+    let path = write_input("cli_serve_bad.jsonl", reqs);
     let out = Command::new(CLI).arg("serve").arg(&path).output().unwrap();
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let docs: Vec<serde_json::Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("response json"))
+        .collect();
+    assert_eq!(docs.len(), 5, "one terminal response per input line");
+    // Solved responses first (submission order), then the rejected lines.
+    assert_eq!(docs[0]["id"], "good-1");
+    assert_eq!(docs[0]["status"], "solved");
+    assert_eq!(docs[1]["id"], "good-2");
+    assert_eq!(docs[1]["status"], "solved");
+    let malformed: Vec<(&str, u64)> = docs[2..]
+        .iter()
+        .map(|d| {
+            assert_eq!(d["status"], "malformed");
+            assert!(!d["error"].as_str().unwrap().is_empty());
+            (d["id"].as_str().unwrap(), d["line"].as_u64().unwrap())
+        })
+        .collect();
+    assert_eq!(
+        malformed,
+        vec![("line-2", 2), ("line-3", 3), ("bad-workload", 4)],
+        "line numbers are 1-based; a salvageable id is echoed back"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("3 malformed"), "{stderr}");
+}
+
+#[test]
+fn serve_under_a_fault_plan_stays_terminal_and_reports_the_chaos() {
+    // Every worker-site fault fires (panics + slow jobs at rate 1.0 via
+    // --fault-rate also arms device sites, but these CPU jobs never
+    // reach them): with the default attempt budget the jobs exhaust
+    // their retries into quarantine, yet the process exits 0 and every
+    // request still gets exactly one terminal response.
+    let reqs = concat!(
+        r#"{"id": "doomed-1", "workload": {"type": "synthetic_pauli", "n": 30, "qubits": 8, "seed": 1}}"#,
+        "\n",
+        r#"{"id": "doomed-2", "workload": {"type": "synthetic_pauli", "n": 30, "qubits": 8, "seed": 2}}"#,
+        "\n",
+    );
+    let path = write_input("cli_serve_faulted.jsonl", reqs);
+    let out = Command::new(CLI)
+        .arg("serve")
+        .arg(&path)
+        .args([
+            "--fault-rate",
+            "1.0",
+            "--fault-seed",
+            "7",
+            "--max-attempts",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "a fully-faulted batch must not crash the daemon; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let docs: Vec<serde_json::Value> = stdout
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("response json"))
+        .collect();
+    assert_eq!(docs.len(), 2, "one terminal response per request");
+    for d in &docs {
+        assert_eq!(d["status"], "failed", "{d:?}");
+        assert!(
+            d["error"].as_str().unwrap().contains("quarantined"),
+            "{d:?}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fault tolerance:"), "{stderr}");
+    assert!(stderr.contains("2 quarantined"), "{stderr}");
+    assert!(stderr.contains("2 retries"), "{stderr}");
 }
 
 #[test]
